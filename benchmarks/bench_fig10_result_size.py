@@ -1,0 +1,52 @@
+"""Figure 10 — influence of the UDF result size.
+
+Paper setup: 100 rows of 500 bytes (A = 0.2), symmetric network, selectivities
+0.25/0.5/0.75/1.0, result size swept from 0 to 2000 bytes.  The ratio starts
+above 1 for tiny results (the CSJ ships whole records for nothing), declines
+as results grow (the semi-join's uplink fills up), crosses 1.0 where the
+selectivity-scaled CSJ return stream matches the semi-join's return stream,
+and asymptotically approaches the selectivity.  The selectivity-1.0 curve
+never crosses below 1.0.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.experiments import ResultSizeSweep, format_records
+
+
+RESULT_SIZES = (0, 200, 400, 800, 1200, 1600, 2000)
+SELECTIVITIES = (0.25, 0.5, 0.75, 1.0)
+
+
+@pytest.mark.benchmark(group="figure-10")
+def test_fig10_result_size_sweep(benchmark, once):
+    sweep = ResultSizeSweep(result_sizes=RESULT_SIZES, selectivities=SELECTIVITIES)
+    records = once(benchmark, sweep.run)
+
+    print("\nFigure 10 — relative time (CSJ / SJ) vs. result size")
+    print(format_records(records, ["selectivity", "result_size", "measured_ratio", "predicted_ratio"]))
+
+    by_selectivity = {}
+    for record in records:
+        by_selectivity.setdefault(record["selectivity"], []).append(record)
+
+    for selectivity, rows in by_selectivity.items():
+        rows.sort(key=lambda r: r["result_size"])
+        ratios = [r["measured_ratio"] for r in rows]
+        # Declining overall: small results penalise the CSJ the most.
+        assert ratios[0] > ratios[-1]
+        # Monotone non-increasing (within measurement slack).
+        assert all(b <= a + 0.08 for a, b in zip(ratios, ratios[1:]))
+        # Large-result limit approaches the selectivity from above.
+        assert ratios[-1] >= selectivity - 0.05
+        assert ratios[-1] <= selectivity + 0.45
+
+    # Selective predicates eventually make the CSJ cheaper; S=1.0 never does.
+    assert min(r["measured_ratio"] for r in by_selectivity[0.25]) < 1.0
+    assert min(r["measured_ratio"] for r in by_selectivity[0.5]) < 1.0
+    assert all(r["measured_ratio"] >= 0.95 for r in by_selectivity[1.0])
+    # Lower selectivity curves sit below higher ones at the largest result size.
+    final = {sel: rows[-1]["measured_ratio"] for sel, rows in by_selectivity.items()}
+    assert final[0.25] < final[0.5] < final[0.75] <= final[1.0] + 0.05

@@ -1,0 +1,72 @@
+"""Figures 13 & 16 — semi-join groupings for the query with a second UDF.
+
+Adding ``Volatility(S.Quotes, S.FuturePrices)`` to the Figure 11 query opens
+the groupings of Section 5.1.2: shipping shared argument columns once,
+reusing columns already resident at the client after an earlier semi-join,
+or avoiding duplicates by separating the UDFs.  This bench exercises the
+column-location physical property: it compares the costed plan space with and
+without that property and executes the optimizer's decision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimizer import CostEstimator, Optimizer, operations_for_query
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
+from repro.workloads.stock import StockWorkload
+
+
+@pytest.mark.benchmark(group="figure-13")
+def test_fig13_second_udf_plan_space(benchmark, once):
+    workload = StockWorkload(company_count=40, seed=5)
+    db = workload.build()
+    bound = db.bind(StockWorkload.figure13_query())
+
+    full = Optimizer(db.network, exhaustive_properties=True)
+    reduced = Optimizer(db.network, exhaustive_properties=False)
+
+    def run():
+        return full.plan_space(bound), reduced.plan_space(bound), full.optimize(bound)
+
+    full_plans, reduced_plans, decision = once(benchmark, run)
+
+    print("\nFigure 13/16 — plan space with the column-location property")
+    print(f"plans kept with the per-column location property : {len(full_plans)}")
+    print(f"plans kept with only the site property            : {len(reduced_plans)}")
+    print("\nbest plan:")
+    print(decision.describe())
+
+    # The richer property set keeps at least as many alternatives and never
+    # yields a more expensive best plan.
+    assert len(full_plans) >= len(reduced_plans)
+    assert full_plans[0].cost <= reduced_plans[0].cost + 1e-9
+
+    # Reusing client-resident argument columns is cheaper than re-shipping
+    # them (the Figure 16 effect), measured directly on the cost estimator.
+    estimator = CostEstimator(db.network, bound)
+    tables, udfs = operations_for_query(bound)
+    quotes = next(op for op in tables if op.alias == "S")
+    volatility = next(op for op in udfs if op.name == "Volatility")
+    rating = next(op for op in udfs if op.name == "ClientRating")
+    base = estimator.scan(quotes)
+    after_vol = next(
+        p for p in estimator.udf_variants(base, volatility)
+        if p.udf_strategies["Volatility"] is ExecutionStrategy.SEMI_JOIN
+    )
+    resident = next(
+        p for p in estimator.udf_variants(after_vol, rating)
+        if p.udf_strategies["ClientRating"] is ExecutionStrategy.SEMI_JOIN
+    )
+    fresh = next(
+        p for p in estimator.udf_variants(base, rating)
+        if p.udf_strategies["ClientRating"] is ExecutionStrategy.SEMI_JOIN
+    )
+    print(f"\nClientRating semi-join cost with resident arguments : {resident.steps[-1].cost:.4f}s")
+    print(f"ClientRating semi-join cost shipping its arguments   : {fresh.steps[-1].cost:.4f}s")
+    assert resident.steps[-1].cost < fresh.steps[-1].cost
+
+    # The decision still executes correctly.
+    result = db.execute(StockWorkload.figure13_query(), optimize=True)
+    reference = db.execute(StockWorkload.figure13_query(), config=StrategyConfig.semi_join())
+    assert result.row_set() == reference.row_set()

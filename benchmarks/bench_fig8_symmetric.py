@@ -1,0 +1,49 @@
+"""Figure 8 — client-site join vs. semi-join on a symmetric network.
+
+Paper setup: 100 rows of 1000 bytes (A = 0.5), result sizes 100/1000/2000/5000
+bytes, selectivity of the pushable predicate swept from 0 to 1, symmetric
+modem-class link.  Each CSJ/SJ curve is flat while the CSJ is downlink-bound
+and rises linearly once its uplink becomes the bottleneck; larger results push
+the flat region lower and the knee earlier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.experiments import SelectivitySweep, format_records
+
+
+SELECTIVITIES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.mark.benchmark(group="figure-8")
+def test_fig8_selectivity_sweep_symmetric(benchmark, once):
+    sweep = SelectivitySweep.figure8()
+    sweep.selectivities = SELECTIVITIES
+    records = once(benchmark, sweep.run)
+
+    print("\nFigure 8 — relative time (CSJ / SJ) on a symmetric network")
+    print(format_records(records, ["result_size", "selectivity", "measured_ratio", "predicted_ratio"]))
+
+    by_size = {}
+    for record in records:
+        by_size.setdefault(record["result_size"], []).append(record)
+
+    for result_size, rows in by_size.items():
+        rows.sort(key=lambda r: r["selectivity"])
+        ratios = [r["measured_ratio"] for r in rows]
+        # Monotone non-decreasing in selectivity (flat, then rising).
+        assert all(b >= a - 0.05 for a, b in zip(ratios, ratios[1:]))
+        # Measured ratios track the cost model's predictions reasonably well.
+        for row in rows:
+            assert row["measured_ratio"] == pytest.approx(row["predicted_ratio"], rel=0.35, abs=0.2)
+
+    # Larger results push the flat (low-selectivity) part of the curve lower.
+    low_sel = {size: rows[0]["measured_ratio"] for size, rows in by_size.items()}
+    assert low_sel[5000] < low_sel[1000] < low_sel[100]
+    # At selectivity 1.0 the client-site join never beats the semi-join.
+    for size, rows in by_size.items():
+        assert rows[-1]["measured_ratio"] >= 0.95
+    # At low selectivity and large results the client-site join wins (< 1.0).
+    assert low_sel[5000] < 1.0 and low_sel[2000] < 1.0

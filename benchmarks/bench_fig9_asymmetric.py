@@ -1,0 +1,44 @@
+"""Figure 9 — client-site join vs. semi-join on an asymmetric network (N = 100).
+
+Paper setup: 100 rows of 5000 bytes (A = 0.8), result sizes 500/1000/5000
+bytes, downlink one hundred times faster than the uplink.  Because the
+downlink never becomes the bottleneck, the flat region of Figure 8 disappears:
+the ratio grows essentially linearly with selectivity from the origin region,
+and the client-site join wins only at low selectivities.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.experiments import SelectivitySweep, format_records
+
+
+SELECTIVITIES = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@pytest.mark.benchmark(group="figure-9")
+def test_fig9_selectivity_sweep_asymmetric(benchmark, once):
+    sweep = SelectivitySweep.figure9(asymmetry=100.0)
+    sweep.selectivities = SELECTIVITIES
+    sweep.row_count = 60  # smaller grid: the 5000-byte records dominate runtime
+    records = once(benchmark, sweep.run)
+
+    print("\nFigure 9 — relative time (CSJ / SJ) on an asymmetric network, N = 100")
+    print(format_records(records, ["result_size", "selectivity", "measured_ratio", "predicted_ratio"]))
+
+    by_size = {}
+    for record in records:
+        by_size.setdefault(record["result_size"], []).append(record)
+
+    for result_size, rows in by_size.items():
+        rows.sort(key=lambda r: r["selectivity"])
+        ratios = [r["measured_ratio"] for r in rows]
+        # Strictly increasing (no flat downlink-bound region).
+        assert all(b > a for a, b in zip(ratios, ratios[1:]))
+        # The increase from the lowest to the highest selectivity is large —
+        # the uplink is always the bottleneck, so selectivity matters a lot.
+        assert ratios[-1] > 2.5 * max(ratios[0], 0.05)
+        # Low selectivity favours the client-site join; selectivity 1 does not.
+        assert ratios[0] < 1.0
+        assert ratios[-1] > 1.0

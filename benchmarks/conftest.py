@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures (or an ablation) on
+the network simulator, prints the measured series in a table, and asserts the
+*shape* properties the paper reports (who wins, where the knees and
+crossovers fall).  Absolute times are simulated seconds, not 1999 wall-clock
+milliseconds; see EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def run_once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations, so repeated rounds would
+    only re-measure identical work.
+    """
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,71 @@
+"""Choosing an execution strategy on asymmetric networks (Sections 3.2 and 4.3).
+
+The investor of the quickstart now connects over a cable-modem style link:
+the downlink is ~100x faster than the uplink.  This example shows how the
+bandwidth cost model predicts the right strategy for different UDF result
+sizes and predicate selectivities, and verifies the predictions against the
+network simulator.
+
+Run with::
+
+    python examples/asymmetric_network_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import CostModel, CostParameters, NetworkConfig, StrategyConfig
+from repro.core.concurrency import analyze_pipeline
+from repro.workloads.experiments import run_workload_point
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def compare(network: NetworkConfig, result_bytes: int, selectivity: float) -> None:
+    workload = SyntheticWorkload(
+        row_count=80,
+        input_record_bytes=2000,
+        argument_fraction=0.6,
+        result_bytes=result_bytes,
+        selectivity=selectivity,
+    )
+    parameters = CostParameters.paper_experiment(
+        input_record_bytes=workload.input_record_bytes,
+        argument_fraction=workload.argument_fraction,
+        result_bytes=result_bytes,
+        selectivity=selectivity,
+        asymmetry=network.asymmetry,
+    )
+    model = CostModel(parameters)
+    semi = run_workload_point(workload, network, StrategyConfig.semi_join())
+    csj = run_workload_point(workload, network, StrategyConfig.client_site_join())
+    measured_winner = "client_site_join" if csj.elapsed_seconds < semi.elapsed_seconds else "semi_join"
+    print(
+        f"  R={result_bytes:>5}B  S={selectivity:<4}  "
+        f"predicted ratio {model.relative_time():>6.2f}  "
+        f"measured {csj.elapsed_seconds / semi.elapsed_seconds:>6.2f}  "
+        f"predicted winner {model.preferred_strategy().value:<16}  measured winner {measured_winner}"
+    )
+
+
+def main() -> None:
+    for network in (NetworkConfig.paper_symmetric(), NetworkConfig.paper_asymmetric(asymmetry=100.0)):
+        print(f"\nNetwork: {network}")
+        for result_bytes in (100, 1000, 5000):
+            for selectivity in (0.1, 0.5, 1.0):
+                compare(network, result_bytes, selectivity)
+
+    # The B·T analysis: how deep should the semi-join pipeline be?
+    print("\nPipeline concurrency analysis (semi-join buffer sizing):")
+    for network in (NetworkConfig.paper_symmetric(), NetworkConfig.lan()):
+        analysis = analyze_pipeline(
+            network, request_payload_bytes=1200, response_payload_bytes=1000,
+            client_seconds_per_tuple=0.002,
+        )
+        print(
+            f"  {network.name:<18} bottleneck={analysis.bottleneck_stage:<9} "
+            f"round-trip={analysis.round_trip_seconds:.3f}s "
+            f"recommended concurrency factor={analysis.recommended_factor()}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: run a query with a client-site UDF under every execution strategy.
+
+This is the paper's motivating scenario (Figure 1): a stock-market server,
+an investor whose proprietary ``ClientAnalysis`` UDF must run at the client,
+and a query that mixes a server-evaluable predicate with a client-site one::
+
+    SELECT S.Name, S.Report
+    FROM   StockQuotes S
+    WHERE  S.Change / S.Close > 0.2 AND ClientAnalysis(S.Quotes) > 500
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ExecutionStrategy, NetworkConfig, StrategyConfig
+from repro.workloads.stock import StockWorkload
+
+
+def main() -> None:
+    # Build the stock-market database over the paper's modem-class link.
+    workload = StockWorkload(company_count=40, network=NetworkConfig.paper_symmetric())
+    db = workload.build()
+
+    query = StockWorkload.figure1_query()
+    print("Query:")
+    print(" ", query)
+    print()
+
+    # Execute under each client-site UDF strategy and compare.
+    results = db.compare_strategies(query)
+    print(f"{'strategy':<18} {'rows':>5} {'time (sim s)':>13} {'downlink B':>12} {'uplink B':>10}")
+    for strategy in ExecutionStrategy:
+        metrics = results[strategy].metrics
+        print(
+            f"{strategy.value:<18} {metrics.rows_returned:>5} "
+            f"{metrics.elapsed_seconds:>13.2f} {metrics.downlink_bytes:>12} {metrics.uplink_bytes:>10}"
+        )
+
+    # All strategies return the same answer; show it once.
+    answer = results[ExecutionStrategy.SEMI_JOIN]
+    print("\nAnswer (companies with a 20%+ uptick that pass the client's analysis):")
+    print(answer.format_table(max_rows=10))
+
+    # Let the optimizer pick the plan instead of fixing a strategy by hand.
+    optimized = db.execute(query, optimize=True)
+    print(
+        f"\nOptimizer-chosen plan: {optimized.metrics.strategy.value}, "
+        f"{optimized.metrics.elapsed_seconds:.2f} simulated seconds"
+    )
+    print("\nPlan chosen by the extended System-R optimizer:")
+    print(db.explain(query, optimize=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Client-site UDF runtime substrate.
+
+In the paper the client runtime is a Java process that hosts the user's UDFs
+and communicates with the PREDATOR server.  Here the client runtime is a
+simulation process (:class:`~repro.client.runtime.ClientRuntime`) that:
+
+* hosts a :class:`~repro.client.registry.UdfRegistry` of user functions —
+  plain Python callables or untrusted source strings compiled under a
+  restricted-exec :class:`~repro.client.sandbox.Sandbox`;
+* serves the wire protocol (:mod:`repro.client.protocol`): argument batches
+  for semi-joins, whole-record batches for client-site joins;
+* charges simulated CPU time per UDF invocation and applies pushed-down
+  predicates and projections before shipping data back;
+* caches results for duplicate arguments (:mod:`repro.client.cache`).
+"""
+
+from repro.client.udf import UdfDefinition, UdfSite
+from repro.client.registry import UdfRegistry
+from repro.client.sandbox import Sandbox, SandboxPolicy
+from repro.client.cache import ResultCache
+from repro.client.runtime import ClientRuntime
+
+__all__ = [
+    "UdfDefinition",
+    "UdfSite",
+    "UdfRegistry",
+    "Sandbox",
+    "SandboxPolicy",
+    "ResultCache",
+    "ClientRuntime",
+]

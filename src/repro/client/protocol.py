@@ -1,0 +1,121 @@
+"""Wire-protocol payloads exchanged between the server executor and the client.
+
+In the original system these would be serialized byte streams; here the
+payloads are small Python objects whose *sizes* are accounted explicitly by
+the senders (see :mod:`repro.network.message`), so the simulation charges the
+right number of bytes while the values themselves travel by reference.
+
+Three request shapes cover the paper's execution strategies:
+
+* :class:`ArgumentBatch` — semi-join and naive execution ship only the UDF's
+  argument values; the client answers with a :class:`ResultBatch` aligned by
+  position.
+* :class:`RecordBatch` — the client-site join ships whole records together
+  with a :class:`PushedOperations` description of the predicates and
+  projections to apply at the client; the client answers with a
+  :class:`RecordResultBatch` containing only the surviving, projected rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.relational.expressions import Expression
+from repro.relational.schema import Schema
+
+
+@dataclass
+class RemoteCall:
+    """Identifies the UDF(s) the client should run for a batch.
+
+    ``argument_positions`` indexes into the shipped tuples: for an
+    :class:`ArgumentBatch` the shipped tuple *is* the argument tuple, so the
+    positions are ``0..k-1``; for a :class:`RecordBatch` they select the
+    argument columns out of the full record.
+    """
+
+    udf_name: str
+    argument_positions: Tuple[int, ...]
+
+    def arguments_from(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        return tuple(values[position] for position in self.argument_positions)
+
+
+@dataclass
+class ArgumentBatch:
+    """Semi-join / naive downlink payload: bare argument tuples."""
+
+    call: RemoteCall
+    argument_tuples: List[Tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return len(self.argument_tuples)
+
+
+@dataclass
+class ResultBatch:
+    """Semi-join / naive uplink payload: one result per argument tuple, in order."""
+
+    udf_name: str
+    results: List[Any]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+@dataclass
+class PushedOperations:
+    """Predicates and projections pushed to the client for a client-site join.
+
+    ``predicate`` is evaluated over the *extended* client schema: the shipped
+    record columns followed by one column per UDF result.  ``projection``
+    lists the positions (into the same extended schema) of the columns to
+    return; ``None`` returns everything.
+    """
+
+    predicate: Optional[Expression] = None
+    projection: Optional[Tuple[int, ...]] = None
+    extended_schema: Optional[Schema] = None
+
+    @property
+    def has_work(self) -> bool:
+        return self.predicate is not None or self.projection is not None
+
+
+@dataclass
+class RecordBatch:
+    """Client-site join downlink payload: whole records plus pushed operations."""
+
+    calls: List[RemoteCall]
+    rows: List[Tuple[Any, ...]]
+    pushed: PushedOperations = field(default_factory=PushedOperations)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class RecordResultBatch:
+    """Client-site join uplink payload: surviving rows, projected, plus result values.
+
+    ``rows`` are already in their final (projected) shape; ``origin_indexes``
+    records which input rows survived, which the receiver uses only for
+    accounting and tests.
+    """
+
+    rows: List[Tuple[Any, ...]]
+    origin_indexes: List[int]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class FinalResultBatch:
+    """Result-delivery payload: rows of the query answer shipped to the client."""
+
+    rows: List[Tuple[Any, ...]]
+
+    def __len__(self) -> int:
+        return len(self.rows)

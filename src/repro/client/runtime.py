@@ -1,0 +1,226 @@
+"""The client runtime: a simulation process serving UDF requests.
+
+The runtime owns the client's UDF registry and serves the wire protocol of
+:mod:`repro.client.protocol`.  It models the client machine of the paper's
+experiments: each UDF invocation costs simulated CPU time, pushed-down
+predicates and projections are applied locally, and only the surviving,
+projected data is shipped back over the uplink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import UdfError, UdfExecutionError
+from repro.client.cache import ResultCache
+from repro.client.protocol import (
+    ArgumentBatch,
+    FinalResultBatch,
+    RecordBatch,
+    RecordResultBatch,
+    ResultBatch,
+)
+from repro.client.registry import UdfRegistry
+from repro.client.udf import UdfDefinition, UdfSite
+from repro.network.channel import Channel
+from repro.network.events import Event
+from repro.network.message import (
+    Message,
+    MessageKind,
+    end_of_stream,
+    error_message,
+    is_end_of_stream,
+)
+from repro.network.simulator import Simulator
+from repro.relational.tuples import values_size
+
+
+class ClientRuntime:
+    """Hosts client-site UDFs and answers the server's execution requests."""
+
+    def __init__(
+        self,
+        registry: Optional[UdfRegistry] = None,
+        name: str = "client",
+        use_result_cache: bool = True,
+        cache: Optional[ResultCache] = None,
+        fail_on_invocation: Optional[int] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else UdfRegistry()
+        self.name = name
+        self.use_result_cache = use_result_cache
+        self.cache = cache if cache is not None else ResultCache()
+        #: When set, the N-th UDF invocation raises — used by failure-injection tests.
+        self.fail_on_invocation = fail_on_invocation
+
+        # Instrumentation.
+        self.udf_invocations = 0
+        self.cache_hits = 0
+        self.compute_seconds = 0.0
+        self.rows_received = 0
+        self.rows_returned = 0
+        self.delivered_rows: List[Tuple[Any, ...]] = []
+        self.messages_handled = 0
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self, simulator: Simulator, channel: Channel):
+        """Start the serve loop on ``simulator`` reading from ``channel``."""
+        return simulator.process(self._serve(simulator, channel), name=f"{self.name}.serve")
+
+    # -- serve loop ------------------------------------------------------------------
+
+    def _serve(self, simulator: Simulator, channel: Channel) -> Generator[Event, Any, None]:
+        while True:
+            message: Message = yield channel.receive_at_client()
+            self.messages_handled += 1
+            if is_end_of_stream(message):
+                yield channel.send_to_server(end_of_stream(sender=self.name))
+                return
+            if message.kind is MessageKind.UDF_ARGUMENTS:
+                yield from self._handle_argument_batch(simulator, channel, message)
+            elif message.kind is MessageKind.RECORDS:
+                yield from self._handle_record_batch(simulator, channel, message)
+            elif message.kind is MessageKind.FINAL_RESULTS:
+                batch: FinalResultBatch = message.payload
+                self.delivered_rows.extend(batch.rows)
+            elif message.kind is MessageKind.CONTROL:
+                continue
+            else:
+                yield channel.send_to_server(
+                    error_message(UdfError(f"unexpected message kind {message.kind}"), sender=self.name)
+                )
+
+    # -- handlers --------------------------------------------------------------------
+
+    def _handle_argument_batch(
+        self, simulator: Simulator, channel: Channel, message: Message
+    ) -> Generator[Event, Any, None]:
+        batch: ArgumentBatch = message.payload
+        try:
+            udf = self.registry.get(batch.call.udf_name)
+        except UdfError as exc:
+            yield channel.send_to_server(error_message(exc, sender=self.name))
+            return
+
+        results: List[Any] = []
+        payload_bytes = 0
+        compute = 0.0
+        try:
+            for argument_tuple in batch.argument_tuples:
+                self.rows_received += 1
+                result, cost = self._invoke(udf, tuple(argument_tuple))
+                compute += cost
+                results.append(result)
+                payload_bytes += udf.result_size(result)
+        except UdfExecutionError as exc:
+            yield channel.send_to_server(error_message(exc, sender=self.name))
+            return
+
+        if compute > 0:
+            yield simulator.timeout(compute)
+        self.rows_returned += len(results)
+        reply = Message(
+            kind=MessageKind.UDF_RESULT,
+            payload=ResultBatch(udf_name=udf.name, results=results),
+            payload_bytes=payload_bytes,
+            sender=self.name,
+            description=f"{len(results)} results",
+        )
+        yield channel.send_to_server(reply)
+
+    def _handle_record_batch(
+        self, simulator: Simulator, channel: Channel, message: Message
+    ) -> Generator[Event, Any, None]:
+        batch: RecordBatch = message.payload
+        try:
+            udfs = [self.registry.get(call.udf_name) for call in batch.calls]
+        except UdfError as exc:
+            yield channel.send_to_server(error_message(exc, sender=self.name))
+            return
+
+        compute = 0.0
+        extended_rows: List[Tuple[Any, ...]] = []
+        try:
+            for row in batch.rows:
+                self.rows_received += 1
+                values = list(row)
+                for call, udf in zip(batch.calls, udfs):
+                    arguments = call.arguments_from(row)
+                    result, cost = self._invoke(udf, arguments)
+                    compute += cost
+                    values.append(result)
+                extended_rows.append(tuple(values))
+        except UdfExecutionError as exc:
+            yield channel.send_to_server(error_message(exc, sender=self.name))
+            return
+
+        if compute > 0:
+            yield simulator.timeout(compute)
+
+        surviving, origins = self._apply_pushed_operations(batch, extended_rows)
+        self.rows_returned += len(surviving)
+        payload_bytes = sum(values_size(row) for row in surviving)
+        reply = Message(
+            kind=MessageKind.RECORDS_WITH_RESULTS,
+            payload=RecordResultBatch(rows=surviving, origin_indexes=origins),
+            payload_bytes=payload_bytes,
+            sender=self.name,
+            description=f"{len(surviving)}/{len(batch.rows)} rows",
+        )
+        yield channel.send_to_server(reply)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _apply_pushed_operations(
+        self, batch: RecordBatch, extended_rows: List[Tuple[Any, ...]]
+    ) -> Tuple[List[Tuple[Any, ...]], List[int]]:
+        """Apply pushed predicate and projection to the UDF-extended rows."""
+        pushed = batch.pushed
+        bound = None
+        if pushed.predicate is not None and pushed.extended_schema is not None:
+            bound = pushed.predicate.bind(
+                pushed.extended_schema, self.registry.callables(UdfSite.CLIENT)
+            )
+        surviving: List[Tuple[Any, ...]] = []
+        origins: List[int] = []
+        for index, values in enumerate(extended_rows):
+            if bound is not None and not bound(values):
+                continue
+            if pushed.projection is not None:
+                output = tuple(values[position] for position in pushed.projection)
+            else:
+                output = values
+            surviving.append(output)
+            origins.append(index)
+        return surviving, origins
+
+    def _invoke(self, udf: UdfDefinition, arguments: Tuple[Any, ...]) -> Tuple[Any, float]:
+        """Invoke ``udf``, consulting the result cache; returns (result, cpu_seconds)."""
+        key = None
+        if self.use_result_cache:
+            try:
+                key = ResultCache.key_for(udf.name, arguments)
+            except TypeError:
+                key = None
+        if key is not None:
+            found, cached = self.cache.get(key)
+            if found:
+                self.cache_hits += 1
+                return cached, 0.0
+
+        self.udf_invocations += 1
+        if self.fail_on_invocation is not None and self.udf_invocations >= self.fail_on_invocation:
+            raise UdfExecutionError(udf.name, RuntimeError("injected client failure"))
+        result = udf.invoke(arguments)
+        cost = udf.cost_per_call_seconds
+        self.compute_seconds += cost
+        if key is not None:
+            self.cache.put(key, result)
+        return result, cost
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientRuntime({self.name!r}, udfs={self.registry.names()}, "
+            f"invocations={self.udf_invocations})"
+        )

@@ -1,0 +1,27 @@
+"""The paper's primary contribution.
+
+* :mod:`repro.core.strategies` — the three execution strategies for
+  client-site UDFs and their configuration;
+* :mod:`repro.core.costmodel` — the Section 3.2 bandwidth cost model
+  (parameters A, D, S, P, I, R, N) and its strategy-choice predictions;
+* :mod:`repro.core.concurrency` — the B·T pipeline-concurrency analysis;
+* :mod:`repro.core.execution` — the operators implementing naive,
+  semi-join, and client-site-join execution on the network simulator;
+* :mod:`repro.core.optimizer` — the extended System-R optimizer with the
+  plan-site and column-location physical properties, plus the rank-order and
+  heuristic baselines.
+"""
+
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
+from repro.core.costmodel import CostModel, CostParameters, StrategyCost
+from repro.core.concurrency import recommended_concurrency_factor, PipelineAnalysis
+
+__all__ = [
+    "ExecutionStrategy",
+    "StrategyConfig",
+    "CostModel",
+    "CostParameters",
+    "StrategyCost",
+    "recommended_concurrency_factor",
+    "PipelineAnalysis",
+]

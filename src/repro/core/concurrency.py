@@ -1,0 +1,119 @@
+"""Pipeline-concurrency analysis (Section 3.1.2).
+
+The semi-join keeps a bounded number of tuples "between" the sender and the
+receiver; the paper's analysis says the right bound is::
+
+    concurrency factor  =  B * T
+
+where ``B`` is the bandwidth of the pipeline's bottleneck stage (downlink,
+client UDF processor, or uplink) expressed in tuples per second, and ``T`` is
+the time one tuple takes to traverse the whole pipeline (downlink transfer +
+propagation, client compute, uplink transfer + propagation).  Fewer slots
+leave the bottleneck idle while the pipeline drains; more slots only add
+buffering without improving throughput — which is exactly the flattening of
+Figure 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.network.message import MESSAGE_OVERHEAD_BYTES
+from repro.network.topology import NetworkConfig
+
+
+@dataclass(frozen=True)
+class PipelineAnalysis:
+    """The intermediate quantities of the B·T analysis, for inspection."""
+
+    request_bytes: float
+    response_bytes: float
+    downlink_seconds_per_tuple: float
+    client_seconds_per_tuple: float
+    uplink_seconds_per_tuple: float
+    round_trip_seconds: float
+
+    @property
+    def bottleneck_seconds_per_tuple(self) -> float:
+        """Service time of the slowest pipeline stage (1/B)."""
+        return max(
+            self.downlink_seconds_per_tuple,
+            self.client_seconds_per_tuple,
+            self.uplink_seconds_per_tuple,
+        )
+
+    @property
+    def bottleneck_stage(self) -> str:
+        slowest = self.bottleneck_seconds_per_tuple
+        if slowest == self.downlink_seconds_per_tuple:
+            return "downlink"
+        if slowest == self.uplink_seconds_per_tuple:
+            return "uplink"
+        return "client"
+
+    @property
+    def throughput_tuples_per_second(self) -> float:
+        """B: sustained tuples per second once the pipeline is full."""
+        bottleneck = self.bottleneck_seconds_per_tuple
+        return 1.0 / bottleneck if bottleneck > 0 else math.inf
+
+    @property
+    def optimal_concurrency(self) -> float:
+        """B · T — the number of tuples that fit in the pipeline."""
+        return self.throughput_tuples_per_second * self.round_trip_seconds
+
+    def recommended_factor(self, minimum: int = 1, maximum: int = 10_000) -> int:
+        """The analysis rounded up to a usable buffer size."""
+        value = int(math.ceil(self.optimal_concurrency))
+        return max(minimum, min(maximum, value))
+
+
+def analyze_pipeline(
+    network: NetworkConfig,
+    request_payload_bytes: float,
+    response_payload_bytes: float,
+    client_seconds_per_tuple: float = 0.0,
+    per_message_overhead_bytes: float = MESSAGE_OVERHEAD_BYTES,
+) -> PipelineAnalysis:
+    """Compute the B·T analysis for one tuple's request/response sizes.
+
+    ``request_payload_bytes`` is what the semi-join ships per tuple on the
+    downlink (the argument columns, ``A * I``); ``response_payload_bytes`` is
+    the per-tuple result size ``R``.
+    """
+    request = request_payload_bytes + per_message_overhead_bytes
+    response = response_payload_bytes + per_message_overhead_bytes
+    downlink_seconds = request / network.downlink_bandwidth
+    uplink_seconds = response / network.uplink_bandwidth
+    round_trip = (
+        downlink_seconds
+        + network.latency
+        + client_seconds_per_tuple
+        + uplink_seconds
+        + network.latency
+    )
+    return PipelineAnalysis(
+        request_bytes=request,
+        response_bytes=response,
+        downlink_seconds_per_tuple=downlink_seconds,
+        client_seconds_per_tuple=client_seconds_per_tuple,
+        uplink_seconds_per_tuple=uplink_seconds,
+        round_trip_seconds=round_trip,
+    )
+
+
+def recommended_concurrency_factor(
+    network: NetworkConfig,
+    request_payload_bytes: float,
+    response_payload_bytes: float,
+    client_seconds_per_tuple: float = 0.0,
+) -> int:
+    """The analytic B·T buffer size, rounded up, at least 1."""
+    analysis = analyze_pipeline(
+        network,
+        request_payload_bytes=request_payload_bytes,
+        response_payload_bytes=response_payload_bytes,
+        client_seconds_per_tuple=client_seconds_per_tuple,
+    )
+    return analysis.recommended_factor()

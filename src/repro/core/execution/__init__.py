@@ -1,0 +1,34 @@
+"""Execution operators for client-site UDFs.
+
+The three strategies of Section 2/3 are implemented as relational operators
+that drive the network simulator:
+
+* :class:`~repro.core.execution.naive.NaiveUdfOperator` — one synchronous
+  round trip per tuple;
+* :class:`~repro.core.execution.semijoin.SemiJoinUdfOperator` — sender /
+  bounded pipeline buffer / receiver, duplicate elimination, merge of result
+  stream onto buffered records;
+* :class:`~repro.core.execution.clientjoin.ClientSiteJoinOperator` — whole
+  records shipped to the client, pushable predicates and projections applied
+  there.
+
+All three share :class:`~repro.core.execution.context.RemoteExecutionContext`,
+which bundles the simulator, the channel, and the client runtime.
+"""
+
+from repro.core.execution.context import RemoteExecutionContext
+from repro.core.execution.base import RemoteUdfOperator
+from repro.core.execution.naive import NaiveUdfOperator
+from repro.core.execution.semijoin import SemiJoinUdfOperator
+from repro.core.execution.clientjoin import ClientSiteJoinOperator
+from repro.core.execution.rewrite import replace_udf_calls_with_columns, build_operator
+
+__all__ = [
+    "RemoteExecutionContext",
+    "RemoteUdfOperator",
+    "NaiveUdfOperator",
+    "SemiJoinUdfOperator",
+    "ClientSiteJoinOperator",
+    "replace_udf_calls_with_columns",
+    "build_operator",
+]

@@ -1,0 +1,105 @@
+"""Common machinery for the remote UDF execution operators."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError
+from repro.client.udf import UdfDefinition
+from repro.core.execution.context import RemoteExecutionContext
+from repro.core.strategies import StrategyConfig
+from repro.network.message import Message, MessageKind
+from repro.relational.operators.base import Operator
+from repro.relational.operators.sort import _NullsFirstKey
+from repro.relational.schema import Column, Schema
+from repro.relational.tuples import Row, row_size, values_size
+
+
+class RemoteUdfOperator(Operator):
+    """Base class for operators that apply a client-site UDF to their input.
+
+    The child's rows are materialised, the strategy-specific coordination
+    coroutine (``_drive``) is run on the shared simulator via the execution
+    context, and the resulting rows are streamed to the parent.  The output
+    schema is the child schema extended with one result column named after
+    the UDF (``<name>_result``), unless a subclass projects it differently.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        udf: UdfDefinition,
+        argument_columns: Sequence[str],
+        context: RemoteExecutionContext,
+        config: Optional[StrategyConfig] = None,
+        result_column_name: Optional[str] = None,
+    ) -> None:
+        super().__init__([child])
+        if not argument_columns:
+            raise ExecutionError(f"UDF {udf.name!r} needs at least one argument column")
+        self.udf = udf
+        self.argument_columns = list(argument_columns)
+        self.context = context
+        self.config = config if config is not None else StrategyConfig()
+
+        self.child_schema = child.output_schema()
+        self._argument_positions: Tuple[int, ...] = tuple(
+            self.child_schema.index_of(name) for name in self.argument_columns
+        )
+        self.result_column = Column(
+            result_column_name or udf.result_column_name, udf.result_dtype
+        )
+        #: Child schema plus the UDF result column; the client sees this shape
+        #: when predicates/projections are pushed to it.
+        self.extended_schema: Schema = self.child_schema.append(self.result_column)
+        self.schema = self.extended_schema
+
+        # Instrumentation filled in by _drive implementations.
+        self.input_row_count = 0
+        self.output_row_count = 0
+        self.distinct_argument_count = 0
+
+    # -- operator protocol ------------------------------------------------------------
+
+    def execute(self) -> Iterator[Row]:
+        input_rows = list(self.child().execute())
+        self.input_row_count = len(input_rows)
+        output_rows: List[Row] = self.context.run_remote(
+            self._drive(input_rows), name=self.describe()
+        )
+        self.output_row_count = len(output_rows)
+        yield from output_rows
+
+    def _drive(self, rows: List[Row]):
+        """Strategy-specific coordination coroutine (a simulation process)."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------------------
+
+    def argument_tuple(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Extract the UDF's argument values from a child row."""
+        return tuple(row[position] for position in self._argument_positions)
+
+    def argument_bytes(self, arguments: Sequence[Any]) -> int:
+        return values_size(arguments)
+
+    def record_bytes(self, row: Sequence[Any]) -> int:
+        return row_size(row, self.child_schema)
+
+    def sorted_by_arguments(self, rows: List[Row]) -> List[Row]:
+        """Rows ordered (stably) by their argument tuples, grouping duplicates."""
+        return sorted(rows, key=lambda row: _NullsFirstKey(self.argument_tuple(row)))
+
+    def check_reply(self, message: Message) -> Message:
+        """Raise :class:`ExecutionError` when the client reported a failure."""
+        if message.kind is MessageKind.ERROR:
+            raise ExecutionError(
+                f"client-site execution of {self.udf.name!r} failed: {message.payload}"
+            ) from (message.payload if isinstance(message.payload, BaseException) else None)
+        return message
+
+    def describe(self) -> str:
+        return (
+            f"{type(self).__name__}({self.udf.name} on "
+            f"{', '.join(self.argument_columns)})"
+        )

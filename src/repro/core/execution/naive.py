@@ -1,0 +1,66 @@
+"""Naive tuple-at-a-time execution of a client-site UDF (Section 2.1).
+
+This is the paper's strawman: treating the client-site UDF like an expensive
+server-site UDF that happens to make a remote call.  For each input tuple the
+server ships the argument values, blocks until the client returns the result,
+and only then proceeds to the next tuple — so the full network round-trip
+latency is paid per tuple and the pipeline formed by downlink, client, and
+uplink is never more than one tuple deep.
+
+The only optimisation kept from the server-site world is [HN97]-style result
+caching of duplicate argument tuples on the server, controlled by
+``StrategyConfig.server_result_cache``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.client.protocol import ArgumentBatch, RemoteCall, ResultBatch
+from repro.core.execution.base import RemoteUdfOperator
+from repro.network.message import Message, MessageKind, end_of_stream
+from repro.relational.tuples import Row
+
+
+class NaiveUdfOperator(RemoteUdfOperator):
+    """One synchronous client round trip per input tuple."""
+
+    def _drive(self, rows: List[Row]):
+        channel = self.context.channel
+        call = RemoteCall(
+            udf_name=self.udf.name,
+            argument_positions=tuple(range(len(self.argument_columns))),
+        )
+        cache: Dict[Tuple[Any, ...], Any] = {}
+        use_cache = self.config.server_result_cache
+        output: List[Row] = []
+        distinct_arguments = set()
+
+        for row in rows:
+            arguments = self.argument_tuple(row)
+            distinct_arguments.add(arguments)
+            if use_cache and arguments in cache:
+                output.append(row.append(cache[arguments]))
+                continue
+
+            request = Message(
+                kind=MessageKind.UDF_ARGUMENTS,
+                payload=ArgumentBatch(call=call, argument_tuples=[arguments]),
+                payload_bytes=self.argument_bytes(arguments),
+                description=f"naive {self.udf.name}",
+            )
+            yield channel.send_to_client(request)
+            reply = yield channel.receive_at_server()
+            self.check_reply(reply)
+            batch: ResultBatch = reply.payload
+            result = batch.results[0]
+            if use_cache:
+                cache[arguments] = result
+            output.append(row.append(result))
+
+        # Terminate the client's serve loop and absorb its acknowledgement.
+        yield channel.send_to_client(end_of_stream())
+        yield channel.receive_at_server()
+
+        self.distinct_argument_count = len(distinct_arguments)
+        return output

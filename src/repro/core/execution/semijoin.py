@@ -1,0 +1,164 @@
+"""Semi-join execution of a client-site UDF (Sections 2.3.1 and 3.1.1).
+
+Architecture (paper Figure 3): on the server a *sender* and a *receiver* run
+concurrently, connected by a bounded buffer whose capacity is the pipeline
+concurrency factor.
+
+* The sender walks the input (optionally sorted and grouped on the argument
+  columns), eliminates argument duplicates, ships only the argument columns
+  of new argument tuples on the downlink, and enqueues every record on the
+  buffer.
+* The client evaluates the UDF on each received argument tuple and ships the
+  bare result back on the uplink.
+* The receiver dequeues records in order; for a record carrying a new
+  argument tuple it waits for the corresponding result from the client (the
+  two streams are merged positionally, i.e. a merge join on the sorted
+  argument key); for a duplicate it reuses the cached result.  Only once a
+  record's result is in hand is its pipeline slot released, so at most
+  ``concurrency_factor`` argument tuples are in flight at any instant — a
+  factor of 1 degenerates to tuple-at-a-time execution, exactly as in the
+  paper.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.client.protocol import ArgumentBatch, RemoteCall, ResultBatch
+from repro.core.concurrency import recommended_concurrency_factor
+from repro.core.execution.base import RemoteUdfOperator
+from repro.network.message import Message, MessageKind, end_of_stream
+from repro.network.resources import Store
+from repro.relational.tuples import Row
+
+#: Sentinel marking the end of the record stream between sender and receiver.
+_DONE = object()
+
+
+class SemiJoinUdfOperator(RemoteUdfOperator):
+    """Pipelined semi-join between the input relation and the virtual UDF table."""
+
+    def effective_concurrency_factor(self, sample_row: Optional[Row] = None) -> int:
+        """The configured pipeline concurrency factor, or the analytic B·T choice."""
+        if self.config.concurrency_factor is not None:
+            return self.config.concurrency_factor
+        if self.context.network is None or sample_row is None:
+            return 8  # a safe default when the network is not described
+        arguments = self.argument_tuple(sample_row)
+        request_bytes = self.argument_bytes(arguments)
+        response_bytes = (
+            self.udf.result_size_bytes
+            if self.udf.result_size_bytes is not None
+            else max(8, request_bytes)
+        )
+        return recommended_concurrency_factor(
+            self.context.network,
+            request_payload_bytes=request_bytes,
+            response_payload_bytes=response_bytes,
+            client_seconds_per_tuple=self.udf.cost_per_call_seconds,
+        )
+
+    def _drive(self, rows: List[Row]):
+        simulator = self.context.simulator
+        channel = self.context.channel
+
+        if self.config.sort_by_arguments:
+            rows = self.sorted_by_arguments(rows)
+
+        factor = self.effective_concurrency_factor(rows[0] if rows else None)
+        # A batch only leaves the sender once it is full, so the pipeline must
+        # admit at least one whole batch or the sender would block on a slot
+        # while holding an unsent batch (deadlock).
+        factor = max(factor, self.config.batch_size)
+        self.concurrency_factor_used = factor
+
+        call = RemoteCall(
+            udf_name=self.udf.name,
+            argument_positions=tuple(range(len(self.argument_columns))),
+        )
+        # Records whose arguments have been shipped but whose results have not
+        # yet been received occupy a slot here; capacity = concurrency factor.
+        in_flight = Store(simulator, capacity=factor, name="semijoin.pipeline")
+        # The record stream handed from sender to receiver (unbounded: records
+        # are small server-side state, the pipeline is what is bounded).
+        records = Store(simulator, name="semijoin.records")
+
+        eliminate = self.config.eliminate_duplicates
+        batch_size = self.config.batch_size
+
+        def sender():
+            seen: set = set()
+            pending_batch: List[Tuple[Any, ...]] = []
+
+            def flush():
+                if not pending_batch:
+                    return None
+                message = Message(
+                    kind=MessageKind.UDF_ARGUMENTS,
+                    payload=ArgumentBatch(call=call, argument_tuples=list(pending_batch)),
+                    payload_bytes=sum(self.argument_bytes(args) for args in pending_batch),
+                    description=f"semijoin {self.udf.name} x{len(pending_batch)}",
+                )
+                pending_batch.clear()
+                return message
+
+            for row in rows:
+                arguments = self.argument_tuple(row)
+                is_new = True
+                if eliminate:
+                    is_new = arguments not in seen
+                    if is_new:
+                        seen.add(arguments)
+                yield records.put((row, arguments, is_new))
+                if is_new:
+                    yield in_flight.put(arguments)
+                    pending_batch.append(arguments)
+                    if len(pending_batch) >= batch_size:
+                        yield channel.send_to_client(flush())
+            message = flush()
+            if message is not None:
+                yield channel.send_to_client(message)
+            yield records.put(_DONE)
+            yield channel.send_to_client(end_of_stream())
+
+        def receiver():
+            output: List[Row] = []
+            result_cache: Dict[Tuple[Any, ...], Any] = {}
+            pending_results: Deque[Any] = deque()
+            distinct_arguments = set()
+
+            while True:
+                item = yield records.get()
+                if item is _DONE:
+                    break
+                row, arguments, is_new = item
+                distinct_arguments.add(arguments)
+                if is_new:
+                    while not pending_results:
+                        reply = yield channel.receive_at_server()
+                        self.check_reply(reply)
+                        batch: ResultBatch = reply.payload
+                        pending_results.extend(batch.results)
+                    result = pending_results.popleft()
+                    result_cache[arguments] = result
+                    yield in_flight.get()
+                else:
+                    result = result_cache[arguments]
+                output.append(row.append(result))
+
+            # Absorb the client's end-of-stream acknowledgement.
+            yield channel.receive_at_server()
+            self.distinct_argument_count = len(distinct_arguments)
+            return output
+
+        sender_process = simulator.process(sender(), name="semijoin.sender")
+        receiver_process = simulator.process(receiver(), name="semijoin.receiver")
+        # Wait for the receiver first: if the client reports a failure the
+        # receiver raises immediately, even while the sender is still blocked
+        # on a pipeline slot that will never be released.
+        output = yield receiver_process
+        yield sender_process
+        self.peak_pipeline_occupancy = in_flight.peak_occupancy
+        return output

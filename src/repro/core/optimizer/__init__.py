@@ -1,0 +1,59 @@
+"""The extended System-R optimizer for queries with client-site UDFs (Section 5).
+
+The optimizer treats every client-site UDF as a *virtual join* with the
+non-materialised UDF table and enumerates, bottom-up, all interleavings of
+real joins and UDF joins (the Figure 15 algorithm).  Two physical properties
+beyond the classical ones are tracked:
+
+* the **site** of a plan's result (server or client) — a client-site plan is
+  one whose data currently resides at the client (e.g. a client-site join
+  whose return shipment has been deferred, or one fused with the final
+  result-delivery operator);
+* the **set of columns resident at the client** after a semi-join, which
+  lets later UDFs whose arguments are already on the client skip the
+  downlink shipment (Figure 16).
+
+Plans are pruned only within equivalence classes of (operations applied,
+site, client columns), exactly as interesting orders are handled in System R.
+
+Two baselines reproduce the approaches the paper argues against:
+
+* :class:`~repro.core.optimizer.rank_order.RankOrderOptimizer` — the
+  rank-ordering / predicate-migration placement of expensive predicates,
+  executed tuple-at-a-time;
+* :mod:`~repro.core.optimizer.heuristics` — fixed "UDFs first" / "UDFs last"
+  placements.
+"""
+
+from repro.core.optimizer.properties import PlanSite, PhysicalProperties
+from repro.core.optimizer.plans import (
+    CandidatePlan,
+    PlanStep,
+    TableOperation,
+    UdfOperation,
+    operations_for_query,
+)
+from repro.core.optimizer.cost import CostEstimator, CostSettings
+from repro.core.optimizer.enumerator import SystemREnumerator
+from repro.core.optimizer.rank_order import RankOrderOptimizer
+from repro.core.optimizer.heuristics import heuristic_plan, HEURISTIC_UDFS_FIRST, HEURISTIC_UDFS_LAST
+from repro.core.optimizer.decision import OptimizationDecision, Optimizer
+
+__all__ = [
+    "PlanSite",
+    "PhysicalProperties",
+    "CandidatePlan",
+    "PlanStep",
+    "TableOperation",
+    "UdfOperation",
+    "operations_for_query",
+    "CostEstimator",
+    "CostSettings",
+    "SystemREnumerator",
+    "RankOrderOptimizer",
+    "heuristic_plan",
+    "HEURISTIC_UDFS_FIRST",
+    "HEURISTIC_UDFS_LAST",
+    "OptimizationDecision",
+    "Optimizer",
+]

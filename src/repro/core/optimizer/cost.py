@@ -1,0 +1,395 @@
+"""Cost estimation for optimizer plans.
+
+All costs are expressed in estimated seconds, combining:
+
+* network time — bytes shipped over each link divided by that link's
+  bandwidth, plus a per-message latency share; the bottleneck-link structure
+  mirrors the Section 3.2 cost model;
+* client CPU time — UDF invocations times the UDF's declared per-call cost
+  (duplicate arguments invoke only once, matching the result cache);
+* a small per-row server CPU charge so that purely server-side alternatives
+  are not free.
+
+The estimator produces new :class:`~repro.core.optimizer.plans.CandidatePlan`
+instances for scans, joins, UDF applications (in each strategy variant), and
+the final result-delivery operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.optimizer.plans import CandidatePlan, PlanStep, TableOperation, UdfOperation
+from repro.core.optimizer.properties import PhysicalProperties, PlanSite
+from repro.core.strategies import ExecutionStrategy
+from repro.network.message import MESSAGE_OVERHEAD_BYTES
+from repro.network.topology import NetworkConfig
+from repro.relational.predicates import estimate_selectivity
+from repro.sql.logical import BoundQuery
+
+
+@dataclass(frozen=True)
+class CostSettings:
+    """Tunable constants of the cost estimator."""
+
+    server_cpu_seconds_per_row: float = 2e-6
+    per_message_overhead_bytes: float = MESSAGE_OVERHEAD_BYTES
+    #: Rows per network message assumed for costing (the execution operators
+    #: send one row per message; batching changes only the overhead share).
+    rows_per_message: float = 1.0
+    #: Extra latency charged per remote operation for pipeline fill/drain.
+    pipeline_fill_penalty_seconds: float = 0.1
+
+
+class CostEstimator:
+    """Estimates costs of plan operations for a given network configuration."""
+
+    def __init__(
+        self,
+        network: NetworkConfig,
+        query: BoundQuery,
+        settings: Optional[CostSettings] = None,
+        allow_deferred_return: bool = True,
+    ) -> None:
+        self.network = network
+        self.query = query
+        self.settings = settings or CostSettings()
+        #: Whether the "client-site join that keeps its result at the client"
+        #: variant (fusion with result delivery, Figure 12d) is generated.
+        #: The executor of this reproduction always returns CSJ results to the
+        #: server, so the engine's optimize() path disables the variant to keep
+        #: cost estimates aligned with what it can actually execute.
+        self.allow_deferred_return = allow_deferred_return
+
+    # -- link time helpers ----------------------------------------------------------------
+
+    def _downlink_seconds(self, total_bytes: float, messages: float) -> float:
+        overhead = messages * self.settings.per_message_overhead_bytes
+        return (total_bytes + overhead) / self.network.downlink_bandwidth
+
+    def _uplink_seconds(self, total_bytes: float, messages: float) -> float:
+        overhead = messages * self.settings.per_message_overhead_bytes
+        return (total_bytes + overhead) / self.network.uplink_bandwidth
+
+    def _transfer_cost(self, downlink_bytes: float, uplink_bytes: float, rows: float) -> float:
+        """Bottleneck-link time for a pipelined transfer of ``rows`` rows."""
+        messages = max(1.0, rows / self.settings.rows_per_message)
+        down = self._downlink_seconds(downlink_bytes, messages if downlink_bytes > 0 else 1.0)
+        up = self._uplink_seconds(uplink_bytes, messages if uplink_bytes > 0 else 1.0)
+        # The pipeline overlaps the two directions; the slower one dominates,
+        # plus one round-trip latency and a fill penalty.
+        return max(down, up) + 2 * self.network.latency + self.settings.pipeline_fill_penalty_seconds
+
+    # -- scans -------------------------------------------------------------------------------
+
+    def scan(self, operation: TableOperation) -> CandidatePlan:
+        statistics = operation.bound.table.statistics
+        cardinality = max(0.0, statistics.row_count * operation.local_selectivity)
+        column_sizes: Dict[str, float] = {}
+        column_distinct: Dict[str, float] = {}
+        for column in operation.bound.schema.columns:
+            stats = statistics.column(column.name)
+            column_sizes[column.qualified_name] = max(stats.average_size, 1.0)
+            column_distinct[column.qualified_name] = max(1.0, float(stats.distinct_count))
+        row_bytes = sum(column_sizes.values())
+        cost = statistics.row_count * self.settings.server_cpu_seconds_per_row
+        step = PlanStep(
+            kind="scan",
+            name=str(operation),
+            detail=f"selectivity {operation.local_selectivity:.3g}",
+            cost=cost,
+            cardinality=cardinality,
+        )
+        return CandidatePlan(
+            operations=frozenset({operation.key}),
+            cost=cost,
+            cardinality=cardinality,
+            row_bytes=row_bytes,
+            column_sizes=column_sizes,
+            column_distinct=column_distinct,
+            properties=PhysicalProperties(),
+            steps=(step,),
+            table_order=(operation.alias,),
+        )
+
+    # -- joins --------------------------------------------------------------------------------
+
+    def join(self, plan: CandidatePlan, operation: TableOperation) -> CandidatePlan:
+        """Join ``plan`` (outer) with the relation of ``operation`` (inner)."""
+        inner = self.scan(operation)
+        return_cost, plan = self._return_to_server(plan)
+
+        selectivity = self._join_selectivity(plan, inner, operation)
+        cardinality = max(0.0, plan.cardinality * inner.cardinality * selectivity)
+        column_sizes = dict(plan.column_sizes)
+        column_sizes.update(inner.column_sizes)
+        column_distinct = dict(plan.column_distinct)
+        for name, value in inner.column_distinct.items():
+            column_distinct[name] = min(value, max(1.0, cardinality))
+        for name in list(column_distinct):
+            column_distinct[name] = min(column_distinct[name], max(1.0, cardinality))
+
+        cpu = (plan.cardinality + inner.cardinality + cardinality) * self.settings.server_cpu_seconds_per_row
+        cost = plan.cost + inner.cost + cpu + return_cost
+        step = PlanStep(
+            kind="join",
+            name=f"{'+'.join(sorted(plan.operations))} ⋈ {operation.alias}",
+            detail=f"selectivity {selectivity:.3g}" + (", shipped back from client" if return_cost else ""),
+            cost=cpu + return_cost,
+            cardinality=cardinality,
+        )
+        return plan.extended(
+            operations=plan.operations | inner.operations,
+            cost=cost,
+            cardinality=cardinality,
+            row_bytes=sum(column_sizes.values()),
+            column_sizes=column_sizes,
+            column_distinct=column_distinct,
+            properties=PhysicalProperties(),
+            steps=plan.steps + (step,),
+            table_order=plan.table_order + (operation.alias,),
+        )
+
+    def _join_selectivity(
+        self, plan: CandidatePlan, inner: CandidatePlan, operation: TableOperation
+    ) -> float:
+        selectivity = 1.0
+        found = False
+        for predicate in self.query.join_predicates():
+            columns = list(predicate.columns)
+            plan_side = [c for c in columns if plan.has_columns([c])]
+            inner_side = [c for c in columns if inner.has_columns([c])]
+            if not plan_side or not inner_side:
+                continue
+            if not plan.has_columns(plan_side) or not inner.has_columns(inner_side):
+                continue
+            found = True
+            left_distinct = max(
+                (plan.column_distinct.get(c, 1.0) for c in plan_side if c in plan.column_distinct),
+                default=1.0,
+            )
+            right_distinct = max(
+                (inner.column_distinct.get(c, 1.0) for c in inner_side if c in inner.column_distinct),
+                default=1.0,
+            )
+            selectivity *= 1.0 / max(left_distinct, right_distinct, 1.0)
+        if not found:
+            return 1.0  # cross product
+        return selectivity
+
+    def _return_to_server(self, plan: CandidatePlan) -> Tuple[float, CandidatePlan]:
+        """Cost of shipping a client-site plan's rows back to the server."""
+        if plan.properties.site is not PlanSite.CLIENT:
+            return 0.0, plan
+        uplink_bytes = plan.cardinality * plan.row_bytes
+        cost = self._transfer_cost(0.0, uplink_bytes, plan.cardinality)
+        step = PlanStep(
+            kind="ship",
+            name="return results to server",
+            detail=f"{uplink_bytes:.0f} bytes on the uplink",
+            cost=cost,
+            cardinality=plan.cardinality,
+        )
+        updated = plan.extended(
+            cost=plan.cost + cost,
+            properties=PhysicalProperties(),
+            steps=plan.steps + (step,),
+        )
+        return cost, updated
+
+    # -- client-site UDF application ----------------------------------------------------------
+
+    def udf_variants(self, plan: CandidatePlan, operation: UdfOperation) -> List[CandidatePlan]:
+        """All costed ways of applying ``operation`` to ``plan``."""
+        variants = [
+            self._apply_semi_join(plan, operation),
+            self._apply_client_join(plan, operation, defer_return=False),
+        ]
+        if self.allow_deferred_return:
+            variants.append(self._apply_client_join(plan, operation, defer_return=True))
+        return [variant for variant in variants if variant is not None]
+
+    def _udf_common(
+        self, plan: CandidatePlan, operation: UdfOperation
+    ) -> Tuple[float, float, float, float]:
+        """(argument_bytes, result_bytes, distinct_fraction, client_cpu_seconds)."""
+        udf = operation.call.udf
+        argument_bytes = plan.columns_size(operation.argument_columns)
+        result_bytes = float(udf.result_size_bytes if udf.result_size_bytes is not None else 8)
+        distinct_fraction = plan.distinct_fraction(operation.argument_columns)
+        invocations = plan.cardinality * distinct_fraction
+        client_cpu = invocations * udf.cost_per_call_seconds
+        return argument_bytes, result_bytes, distinct_fraction, client_cpu
+
+    def _apply_semi_join(self, plan: CandidatePlan, operation: UdfOperation) -> CandidatePlan:
+        udf = operation.call.udf
+        return_cost, plan = self._return_to_server(plan)
+        argument_bytes, result_bytes, distinct_fraction, client_cpu = self._udf_common(plan, operation)
+
+        # If every argument column already resides at the client (left there
+        # by an earlier semi-join), the downlink shipment is free (Figure 16).
+        arguments_resident = all(
+            column in plan.properties.client_columns for column in operation.argument_columns
+        )
+        downlink_bytes = 0.0 if arguments_resident else plan.cardinality * distinct_fraction * argument_bytes
+        uplink_bytes = plan.cardinality * distinct_fraction * result_bytes
+        transfer = self._transfer_cost(downlink_bytes, uplink_bytes, plan.cardinality * distinct_fraction)
+
+        cardinality = plan.cardinality * operation.predicate_selectivity
+        column_sizes = dict(plan.column_sizes)
+        column_sizes[udf.result_column_name] = result_bytes
+        column_distinct = dict(plan.column_distinct)
+        column_distinct[udf.result_column_name] = max(1.0, plan.cardinality * distinct_fraction)
+
+        client_columns = set(plan.properties.client_columns)
+        client_columns.update(operation.argument_columns)
+        client_columns.add(udf.result_column_name)
+
+        cost = plan.cost + transfer + client_cpu
+        step = PlanStep(
+            kind="udf",
+            name=udf.name,
+            strategy=ExecutionStrategy.SEMI_JOIN,
+            detail=(
+                f"D={distinct_fraction:.2f}, args {'resident' if arguments_resident else 'shipped'}, "
+                f"selectivity {operation.predicate_selectivity:.3g}"
+            ),
+            cost=transfer + client_cpu,
+            cardinality=cardinality,
+        )
+        return plan.extended(
+            operations=plan.operations | {operation.key},
+            cost=cost,
+            cardinality=cardinality,
+            row_bytes=sum(column_sizes.values()),
+            column_sizes=column_sizes,
+            column_distinct=column_distinct,
+            properties=PhysicalProperties(
+                site=PlanSite.SERVER, client_columns=frozenset(client_columns)
+            ),
+            steps=plan.steps + (step,),
+            applied_udfs=plan.applied_udfs | {udf.name},
+            udf_order=plan.udf_order + (udf.name,),
+            udf_strategies={**plan.udf_strategies, udf.name: ExecutionStrategy.SEMI_JOIN},
+        )
+
+    def _apply_client_join(
+        self, plan: CandidatePlan, operation: UdfOperation, defer_return: bool
+    ) -> CandidatePlan:
+        udf = operation.call.udf
+        argument_bytes, result_bytes, distinct_fraction, client_cpu = self._udf_common(plan, operation)
+
+        # A client-site join ships whole records down — unless the plan is
+        # already at the client, in which case the downlink is free.
+        already_at_client = plan.properties.site is PlanSite.CLIENT
+        downlink_bytes = 0.0 if already_at_client else plan.cardinality * plan.row_bytes
+
+        selectivity = operation.predicate_selectivity
+        cardinality = plan.cardinality * selectivity
+        returned_row_bytes = self._returned_row_bytes(plan, operation, result_bytes)
+
+        if defer_return:
+            uplink_bytes = 0.0
+        else:
+            uplink_bytes = cardinality * returned_row_bytes
+
+        transfer = self._transfer_cost(downlink_bytes, uplink_bytes, plan.cardinality)
+
+        column_sizes = dict(plan.column_sizes)
+        column_sizes[udf.result_column_name] = result_bytes
+        column_distinct = dict(plan.column_distinct)
+        column_distinct[udf.result_column_name] = max(1.0, plan.cardinality * distinct_fraction)
+
+        properties = PhysicalProperties(
+            site=PlanSite.CLIENT if defer_return else PlanSite.SERVER,
+            client_columns=frozenset(column_sizes.keys()) if defer_return else frozenset(),
+        )
+        cost = plan.cost + transfer + client_cpu
+        step = PlanStep(
+            kind="udf",
+            name=udf.name,
+            strategy=ExecutionStrategy.CLIENT_SITE_JOIN,
+            detail=(
+                f"selectivity {selectivity:.3g}, "
+                + ("results kept at client" if defer_return else f"returns {returned_row_bytes:.0f} B/row")
+            ),
+            cost=transfer + client_cpu,
+            cardinality=cardinality,
+        )
+        return plan.extended(
+            operations=plan.operations | {operation.key},
+            cost=cost,
+            cardinality=cardinality,
+            row_bytes=sum(column_sizes.values()),
+            column_sizes=column_sizes,
+            column_distinct=column_distinct,
+            properties=properties,
+            steps=plan.steps + (step,),
+            applied_udfs=plan.applied_udfs | {udf.name},
+            udf_order=plan.udf_order + (udf.name,),
+            udf_strategies={**plan.udf_strategies, udf.name: ExecutionStrategy.CLIENT_SITE_JOIN},
+        )
+
+    def _returned_row_bytes(
+        self, plan: CandidatePlan, operation: UdfOperation, result_bytes: float
+    ) -> float:
+        """Bytes per surviving row shipped back by a client-site join.
+
+        Pushable projections keep only the columns still needed: the query's
+        output columns, columns of not-yet-applied predicates, and argument
+        columns of other UDFs — everything else (typically the argument
+        columns of this UDF) stays at the client.
+        """
+        needed: set = set()
+        for output in self.query.outputs:
+            needed.update(output.expression.columns())
+        for predicate in self.query.predicates:
+            needed.update(predicate.columns)
+        for call in self.query.client_udf_calls:
+            if call.udf.name != operation.call.udf.name:
+                needed.update(call.argument_columns)
+        needed_present = [
+            name
+            for name in plan.column_sizes
+            if name in needed or name.partition(".")[2] in {n.partition(".")[2] for n in needed}
+        ]
+        kept = plan.columns_size(needed_present) if needed_present else plan.row_bytes
+        # The UDF's own argument columns are never returned when not needed.
+        return kept + result_bytes
+
+    # -- final result delivery ------------------------------------------------------------------
+
+    def finalize(self, plan: CandidatePlan) -> CandidatePlan:
+        """Apply the final result-delivery operator (ship the answer to the client)."""
+        client_udf_names = {call.udf.name.lower() for call in self.query.client_udf_calls}
+        output_columns: List[str] = []
+        for output in self.query.outputs:
+            calls = output.expression.function_calls()
+            client_calls = [call for call in calls if call.name.lower() in client_udf_names]
+            if client_calls:
+                # The delivered value is the UDF result, not its (often much
+                # larger) argument columns.
+                output_columns.extend(f"{call.name}_result" for call in client_calls)
+            else:
+                output_columns.extend(output.expression.columns())
+        output_bytes = plan.columns_size(output_columns) if output_columns else plan.row_bytes
+        if plan.properties.site is PlanSite.CLIENT:
+            cost = 0.0
+            detail = "results already at the client"
+        else:
+            downlink_bytes = plan.cardinality * output_bytes
+            cost = self._transfer_cost(downlink_bytes, 0.0, plan.cardinality)
+            detail = f"{downlink_bytes:.0f} bytes shipped to the client"
+        step = PlanStep(
+            kind="final",
+            name="deliver results",
+            detail=detail,
+            cost=cost,
+            cardinality=plan.cardinality,
+        )
+        return plan.extended(
+            cost=plan.cost + cost,
+            properties=PhysicalProperties(site=PlanSite.CLIENT),
+            steps=plan.steps + (step,),
+        )

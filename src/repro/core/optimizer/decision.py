@@ -1,0 +1,154 @@
+"""The optimizer facade and its decisions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import OptimizerError
+from repro.core.optimizer.cost import CostEstimator, CostSettings
+from repro.core.optimizer.enumerator import SystemREnumerator
+from repro.core.optimizer.heuristics import (
+    HEURISTIC_UDFS_FIRST,
+    HEURISTIC_UDFS_LAST,
+    heuristic_plan,
+)
+from repro.core.optimizer.plans import CandidatePlan, operations_for_query
+from repro.core.optimizer.rank_order import RankOrderOptimizer
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
+from repro.network.topology import NetworkConfig
+from repro.sql.logical import BoundQuery
+
+
+@dataclass
+class OptimizationDecision:
+    """What the optimizer decided for a query, in executable terms.
+
+    ``table_order`` is the left-deep join order over table aliases;
+    ``udf_order`` is the order in which client-site UDFs are applied;
+    ``udf_strategies`` is the per-UDF execution strategy.  ``plan`` keeps the
+    full costed candidate for inspection, ``alternatives`` the costed
+    baseline plans for comparison.
+    """
+
+    plan: CandidatePlan
+    table_order: Tuple[str, ...]
+    udf_order: Tuple[str, ...]
+    udf_strategies: Dict[str, ExecutionStrategy]
+    strategy_config: StrategyConfig
+    estimated_cost: float
+    alternatives: Dict[str, CandidatePlan] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lines = [
+            f"optimizer decision: cost {self.estimated_cost:.3f}s, "
+            f"join order {list(self.table_order)}, UDF order {list(self.udf_order)}",
+        ]
+        for name, strategy in self.udf_strategies.items():
+            lines.append(f"  UDF {name}: {strategy.value}")
+        for step in self.plan.steps:
+            lines.append("  " + step.describe())
+        if self.alternatives:
+            lines.append("baselines:")
+            for name, alternative in sorted(self.alternatives.items(), key=lambda kv: kv[1].cost):
+                lines.append(f"  {name}: estimated cost {alternative.cost:.3f}s")
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """The extended System-R optimizer plus the baseline optimizers."""
+
+    def __init__(
+        self,
+        network: NetworkConfig,
+        default_config: Optional[StrategyConfig] = None,
+        settings: Optional[CostSettings] = None,
+        exhaustive_properties: bool = True,
+    ) -> None:
+        self.network = network
+        self.default_config = default_config if default_config is not None else StrategyConfig()
+        self.settings = settings
+        self.exhaustive_properties = exhaustive_properties
+
+    # -- helpers -----------------------------------------------------------------------------
+
+    def _estimator(self, query: BoundQuery, allow_deferred_return: bool = True) -> CostEstimator:
+        return CostEstimator(
+            self.network,
+            query,
+            settings=self.settings,
+            allow_deferred_return=allow_deferred_return,
+        )
+
+    def enumerator(
+        self, query: BoundQuery, allow_deferred_return: bool = True
+    ) -> SystemREnumerator:
+        tables, udfs = operations_for_query(query)
+        return SystemREnumerator(
+            self._estimator(query, allow_deferred_return=allow_deferred_return),
+            tables,
+            udfs,
+            exhaustive_properties=self.exhaustive_properties,
+        )
+
+    # -- main entry points ----------------------------------------------------------------------
+
+    def optimize(self, query: BoundQuery, include_baselines: bool = False) -> OptimizationDecision:
+        """Choose join/UDF order and per-UDF strategies for ``query``.
+
+        Deferred-return client-site joins (fusion with result delivery) are
+        excluded here because the executor cannot realise them; use
+        :meth:`plan_space` to study the full plan space including them.
+        """
+        best = self.enumerator(query, allow_deferred_return=False).best_plan()
+
+        # The primary strategy config: keep the caller's tunables, adopt the
+        # strategy the optimizer chose for the first UDF (per-UDF overrides
+        # carry the rest).
+        primary_strategy = None
+        for name in best.udf_order:
+            primary_strategy = best.udf_strategies.get(name)
+            break
+        config = self.default_config
+        if primary_strategy is not None:
+            config = config.with_strategy(primary_strategy)
+
+        alternatives: Dict[str, CandidatePlan] = {}
+        if include_baselines:
+            alternatives = self.baseline_plans(query)
+
+        return OptimizationDecision(
+            plan=best,
+            table_order=best.table_order,
+            udf_order=best.udf_order,
+            udf_strategies=dict(best.udf_strategies),
+            strategy_config=config,
+            estimated_cost=best.cost,
+            alternatives=alternatives,
+        )
+
+    def baseline_plans(self, query: BoundQuery) -> Dict[str, CandidatePlan]:
+        """Costed plans of the baseline optimizers, for comparison benchmarks."""
+        estimator = self._estimator(query)
+        tables, udfs = operations_for_query(query)
+        baselines: Dict[str, CandidatePlan] = {}
+        if udfs:
+            baselines["rank-order (naive execution)"] = RankOrderOptimizer(
+                estimator, tables, udfs
+            ).best_plan()
+            for placement in (HEURISTIC_UDFS_FIRST, HEURISTIC_UDFS_LAST):
+                for strategy in (ExecutionStrategy.SEMI_JOIN, ExecutionStrategy.CLIENT_SITE_JOIN):
+                    name = f"{placement}, {strategy.value}"
+                    try:
+                        baselines[name] = heuristic_plan(
+                            estimator, tables, udfs, placement=placement, strategy=strategy
+                        )
+                    except OptimizerError:
+                        continue
+        else:
+            baselines["system-r (no client UDFs)"] = self.enumerator(query).best_plan()
+        return baselines
+
+    def plan_space(self, query: BoundQuery) -> List[CandidatePlan]:
+        """All complete plans the enumerator keeps (for Figures 12/13/14/16 studies)."""
+        return self.enumerator(query).all_complete_plans()

@@ -1,0 +1,129 @@
+"""Bottom-up dynamic-programming enumeration (the Figure 15 algorithm).
+
+Operations are real joins (one per FROM entry) plus virtual UDF joins (one
+per client-site UDF call).  The table below each subset size keeps the
+cheapest plan *per physical-property class* — (subset, result site, client
+column set) — so alternatives that left data at the client, or that left
+useful columns there after a semi-join, survive pruning even when they are
+locally more expensive, exactly as interesting orders survive in System R.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import OptimizerError
+from repro.core.optimizer.cost import CostEstimator
+from repro.core.optimizer.plans import CandidatePlan, TableOperation, UdfOperation
+from repro.core.optimizer.properties import PhysicalProperties
+
+#: A DP state: which operations are applied plus the plan's physical properties.
+StateKey = Tuple[FrozenSet[str], PhysicalProperties]
+
+
+class SystemREnumerator:
+    """Enumerates left-deep interleavings of joins and client-site UDFs."""
+
+    def __init__(
+        self,
+        estimator: CostEstimator,
+        tables: List[TableOperation],
+        udfs: List[UdfOperation],
+        exhaustive_properties: bool = True,
+    ) -> None:
+        if not tables:
+            raise OptimizerError("cannot optimize a query without tables")
+        self.estimator = estimator
+        self.tables = tables
+        self.udfs = udfs
+        #: With ``exhaustive_properties`` False, only the site (not the column
+        #: location set) is used for pruning — the ablation of Section 5.2.3.
+        self.exhaustive_properties = exhaustive_properties
+        self.plans_considered = 0
+        self.plans_kept = 0
+
+    # -- public API -----------------------------------------------------------------------
+
+    def best_plan(self) -> CandidatePlan:
+        """Run the DP and return the cheapest complete plan including delivery."""
+        operations = {op.key: op for op in self.tables}
+        operations.update({op.key: op for op in self.udfs})
+        all_keys = frozenset(operations.keys())
+
+        best: Dict[StateKey, CandidatePlan] = {}
+
+        # Step 1: single-operation plans.  Only table operations can start a
+        # plan (a UDF needs an input relation).
+        for table in self.tables:
+            self._keep(best, self.estimator.scan(table))
+
+        # Steps 2..m: extend every kept plan by one not-yet-applied operation.
+        total = len(operations)
+        for size in range(2, total + 1):
+            current: Dict[StateKey, CandidatePlan] = {}
+            for (applied, _properties), plan in list(best.items()):
+                if len(applied) != size - 1:
+                    continue
+                for key, operation in operations.items():
+                    if key in applied:
+                        continue
+                    for candidate in self._apply(plan, operation):
+                        self._keep(current, candidate)
+            # Merge the new layer into the table (keep earlier layers for the
+            # next iterations' look-ups).
+            for state, plan in current.items():
+                self._keep(best, plan)
+
+        complete = [plan for (applied, _), plan in best.items() if applied == all_keys]
+        if not complete:
+            raise OptimizerError("the enumerator produced no complete plan")
+
+        finished = [self.estimator.finalize(plan) for plan in complete]
+        return min(finished, key=lambda plan: plan.cost)
+
+    def all_complete_plans(self) -> List[CandidatePlan]:
+        """Every complete plan kept by the DP (finalized), for plan-space studies."""
+        operations = {op.key: op for op in self.tables}
+        operations.update({op.key: op for op in self.udfs})
+        all_keys = frozenset(operations.keys())
+
+        best: Dict[StateKey, CandidatePlan] = {}
+        for table in self.tables:
+            self._keep(best, self.estimator.scan(table))
+        total = len(operations)
+        for size in range(2, total + 1):
+            for (applied, _properties), plan in list(best.items()):
+                if len(applied) != size - 1:
+                    continue
+                for key, operation in operations.items():
+                    if key in applied:
+                        continue
+                    for candidate in self._apply(plan, operation):
+                        self._keep(best, candidate)
+        complete = [plan for (applied, _), plan in best.items() if applied == all_keys]
+        return sorted(
+            (self.estimator.finalize(plan) for plan in complete), key=lambda plan: plan.cost
+        )
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _apply(self, plan: CandidatePlan, operation) -> List[CandidatePlan]:
+        self.plans_considered += 1
+        if isinstance(operation, TableOperation):
+            return [self.estimator.join(plan, operation)]
+        if isinstance(operation, UdfOperation):
+            if not plan.has_columns(operation.argument_columns):
+                return []  # the UDF's arguments are not available yet
+            return self.estimator.udf_variants(plan, operation)
+        raise OptimizerError(f"unknown operation type {type(operation).__name__}")
+
+    def _keep(self, table: Dict[StateKey, CandidatePlan], plan: CandidatePlan) -> None:
+        properties = plan.properties
+        if not self.exhaustive_properties:
+            properties = PhysicalProperties(site=properties.site, client_columns=frozenset())
+        key: StateKey = (plan.operations, properties)
+        existing = table.get(key)
+        if existing is None or plan.cost < existing.cost:
+            table[key] = plan
+            self.plans_kept += 1

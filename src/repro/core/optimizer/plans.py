@@ -1,0 +1,183 @@
+"""Optimizer plan representation: operations, steps, and candidate plans.
+
+The enumerator works over *operations*: one :class:`TableOperation` per FROM
+entry (its application to a non-empty plan is a real join, to an empty plan a
+scan) and one :class:`UdfOperation` per client-site UDF call (its application
+is a virtual join with the UDF table, executed by one of the strategies).
+A :class:`CandidatePlan` carries the estimated statistics, the accumulated
+cost, the physical properties, and the ordered list of :class:`PlanStep`
+records describing how it was built — which is what the plan-space benchmarks
+print and what the engine's ``explain(optimize=True)`` shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.optimizer.properties import PhysicalProperties, PlanSite
+from repro.core.strategies import ExecutionStrategy
+from repro.relational.predicates import estimate_selectivity
+from repro.sql.logical import BoundQuery, BoundTable, ClientUdfCall
+
+
+@dataclass(frozen=True)
+class TableOperation:
+    """A FROM-list relation, together with its pushed single-table selectivity."""
+
+    alias: str
+    bound: BoundTable
+    local_selectivity: float = 1.0
+
+    @property
+    def key(self) -> str:
+        return f"table:{self.alias.lower()}"
+
+    def __str__(self) -> str:
+        return str(self.bound)
+
+
+@dataclass(frozen=True)
+class UdfOperation:
+    """A client-site UDF call treated as a virtual join."""
+
+    call: ClientUdfCall
+    predicate_selectivity: float = 1.0
+
+    @property
+    def key(self) -> str:
+        return f"udf:{self.call.udf.name.lower()}"
+
+    @property
+    def name(self) -> str:
+        return self.call.udf.name
+
+    @property
+    def argument_columns(self) -> Tuple[str, ...]:
+        return self.call.argument_columns
+
+    def __str__(self) -> str:
+        return str(self.call)
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One applied operation in a candidate plan."""
+
+    kind: str  # "scan", "join", "udf", "final"
+    name: str
+    strategy: Optional[ExecutionStrategy] = None
+    detail: str = ""
+    cost: float = 0.0
+    cardinality: float = 0.0
+
+    def describe(self) -> str:
+        strategy = f" [{self.strategy.value}]" if self.strategy else ""
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind} {self.name}{strategy}{detail}: cost {self.cost:.3f}, card {self.cardinality:.0f}"
+
+
+@dataclass
+class CandidatePlan:
+    """A (sub)plan considered by the enumerator."""
+
+    operations: FrozenSet[str]
+    cost: float
+    cardinality: float
+    row_bytes: float
+    column_sizes: Dict[str, float] = field(default_factory=dict)
+    column_distinct: Dict[str, float] = field(default_factory=dict)
+    properties: PhysicalProperties = field(default_factory=PhysicalProperties)
+    steps: Tuple[PlanStep, ...] = ()
+    applied_udfs: FrozenSet[str] = frozenset()
+    table_order: Tuple[str, ...] = ()
+    udf_order: Tuple[str, ...] = ()
+    udf_strategies: Dict[str, ExecutionStrategy] = field(default_factory=dict)
+
+    # -- helpers --------------------------------------------------------------------
+
+    @property
+    def available_columns(self) -> FrozenSet[str]:
+        return frozenset(self.column_sizes.keys())
+
+    def has_columns(self, names: Sequence[str]) -> bool:
+        available = {name.lower() for name in self.column_sizes}
+        bare = {name.partition(".")[2].lower() if "." in name else name.lower() for name in self.column_sizes}
+        for name in names:
+            lowered = name.lower()
+            stripped = lowered.partition(".")[2] if "." in lowered else lowered
+            if lowered not in available and stripped not in bare:
+                return False
+        return True
+
+    def columns_size(self, names: Sequence[str]) -> float:
+        """Total estimated byte size of the named columns in one row."""
+        total = 0.0
+        lowered = {name.lower(): size for name, size in self.column_sizes.items()}
+        bare = {}
+        for name, size in self.column_sizes.items():
+            bare.setdefault(name.partition(".")[2].lower() if "." in name else name.lower(), size)
+        for name in names:
+            key = name.lower()
+            if key in lowered:
+                total += lowered[key]
+            else:
+                stripped = key.partition(".")[2] if "." in key else key
+                total += bare.get(stripped, 8.0)
+        return total
+
+    def distinct_fraction(self, names: Sequence[str]) -> float:
+        """Estimated fraction of rows distinct on the named columns (the paper's D)."""
+        if self.cardinality <= 0:
+            return 1.0
+        distinct = 1.0
+        lowered = {name.lower(): value for name, value in self.column_distinct.items()}
+        bare: Dict[str, float] = {}
+        for name, value in self.column_distinct.items():
+            bare.setdefault(name.partition(".")[2].lower() if "." in name else name.lower(), value)
+        for name in names:
+            key = name.lower()
+            stripped = key.partition(".")[2] if "." in key else key
+            value = lowered.get(key, bare.get(stripped, self.cardinality))
+            distinct *= max(1.0, value)
+        distinct = min(distinct, self.cardinality)
+        return distinct / self.cardinality
+
+    def describe(self) -> str:
+        lines = [
+            f"plan over {sorted(self.operations)}: cost {self.cost:.3f}, "
+            f"card {self.cardinality:.0f}, {self.properties.describe()}"
+        ]
+        for step in self.steps:
+            lines.append("  " + step.describe())
+        return "\n".join(lines)
+
+    def extended(self, **changes) -> "CandidatePlan":
+        """A copy with the given fields replaced (dataclasses.replace wrapper)."""
+        return replace(self, **changes)
+
+
+def operations_for_query(query: BoundQuery) -> Tuple[List[TableOperation], List[UdfOperation]]:
+    """Derive the operation set (real joins + UDF joins) from a bound query."""
+    tables: List[TableOperation] = []
+    for bound in query.tables:
+        selectivity = 1.0
+        for predicate in query.single_table_predicates(bound.alias):
+            selectivity *= max(predicate.selectivity, 1e-6)
+        tables.append(TableOperation(alias=bound.alias, bound=bound, local_selectivity=selectivity))
+
+    udfs: List[UdfOperation] = []
+    for call in query.client_udf_calls:
+        # The selectivity credited to applying this UDF is the combined
+        # selectivity of the predicates that become evaluable once its result
+        # exists (and reference no other, not-yet-applied UDF).  Predicates
+        # over several UDFs are credited to the lexically last one.
+        selectivity = 1.0
+        for predicate in query.udf_predicates():
+            names = {name.lower() for name in predicate.udf_names}
+            if call.udf.name.lower() in names:
+                ordered = [c.udf.name.lower() for c in query.client_udf_calls if c.udf.name.lower() in names]
+                if ordered and ordered[-1] == call.udf.name.lower():
+                    selectivity *= max(predicate.selectivity, 1e-6)
+        udfs.append(UdfOperation(call=call, predicate_selectivity=selectivity))
+    return tables, udfs

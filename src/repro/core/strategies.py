@@ -1,0 +1,123 @@
+"""Execution strategies for client-site UDFs and their configuration."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class ExecutionStrategy(enum.Enum):
+    """The three ways the paper executes a client-site UDF over a relation.
+
+    * ``NAIVE`` — treat the UDF like a server-site black box that happens to
+      make a remote call: one synchronous round trip per input tuple
+      (Section 2.1).
+    * ``SEMI_JOIN`` — ship only (duplicate-free) argument columns to the
+      client and join the returned results back onto the buffered records;
+      a sender/receiver pair with a bounded pipeline hides network latency
+      (Sections 2.3.1 and 3.1.1).
+    * ``CLIENT_SITE_JOIN`` — ship whole records to the client, evaluate the
+      UDF there together with any pushable predicates and projections, and
+      ship only the surviving, projected rows back (Sections 2.3.2 and 3.1.3).
+    """
+
+    NAIVE = "naive"
+    SEMI_JOIN = "semi_join"
+    CLIENT_SITE_JOIN = "client_site_join"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class StrategyConfig:
+    """Tunable knobs of the execution strategies.
+
+    Parameters
+    ----------
+    strategy:
+        Which algorithm to run.
+    concurrency_factor:
+        The pipeline concurrency factor of the semi-join (Section 3.1.2):
+        the maximum number of argument tuples in flight between sender and
+        receiver.  ``None`` lets the engine pick the analytic optimum B·T.
+    batch_size:
+        Number of argument tuples per downlink message for the semi-join
+        sender.  The paper pipelines single tuples; batches model the
+        "set-oriented" extension and reduce per-message overhead.
+    eliminate_duplicates:
+        Whether the semi-join sender suppresses argument duplicates
+        (Section 3.2.2).  Disabling this is an ablation knob.
+    sort_by_arguments:
+        Whether the server sorts the input on the argument columns before
+        shipping.  For the semi-join this groups duplicates so the receiver
+        performs a merge join; for the client-site join it lets the client's
+        result cache avoid duplicate invocations without affecting bytes.
+    server_result_cache:
+        Whether the naive strategy caches results of duplicate argument
+        tuples on the server ([HN97]); irrelevant to the semi-join (which
+        deduplicates anyway) and to the client-site join (which ships whole
+        records regardless).
+    push_predicates / push_projections:
+        Whether the client-site join pushes pushable predicates and
+        projections to the client (Section 2.3.2).  Both default to True;
+        turning them off is used by ablation benchmarks.
+    """
+
+    strategy: ExecutionStrategy = ExecutionStrategy.SEMI_JOIN
+    concurrency_factor: Optional[int] = None
+    batch_size: int = 1
+    eliminate_duplicates: bool = True
+    sort_by_arguments: bool = True
+    server_result_cache: bool = True
+    push_predicates: bool = True
+    push_projections: bool = True
+
+    def __post_init__(self) -> None:
+        if self.concurrency_factor is not None and self.concurrency_factor < 1:
+            raise ValueError("concurrency_factor must be at least 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+
+    # -- convenience constructors --------------------------------------------------
+
+    @classmethod
+    def naive(cls, server_result_cache: bool = True) -> "StrategyConfig":
+        return cls(strategy=ExecutionStrategy.NAIVE, server_result_cache=server_result_cache)
+
+    @classmethod
+    def semi_join(
+        cls,
+        concurrency_factor: Optional[int] = None,
+        batch_size: int = 1,
+        eliminate_duplicates: bool = True,
+        sort_by_arguments: bool = True,
+    ) -> "StrategyConfig":
+        return cls(
+            strategy=ExecutionStrategy.SEMI_JOIN,
+            concurrency_factor=concurrency_factor,
+            batch_size=batch_size,
+            eliminate_duplicates=eliminate_duplicates,
+            sort_by_arguments=sort_by_arguments,
+        )
+
+    @classmethod
+    def client_site_join(
+        cls,
+        push_predicates: bool = True,
+        push_projections: bool = True,
+        sort_by_arguments: bool = True,
+    ) -> "StrategyConfig":
+        return cls(
+            strategy=ExecutionStrategy.CLIENT_SITE_JOIN,
+            push_predicates=push_predicates,
+            push_projections=push_projections,
+            sort_by_arguments=sort_by_arguments,
+        )
+
+    def with_strategy(self, strategy: ExecutionStrategy) -> "StrategyConfig":
+        return replace(self, strategy=strategy)
+
+    def with_concurrency(self, concurrency_factor: int) -> "StrategyConfig":
+        return replace(self, concurrency_factor=concurrency_factor)

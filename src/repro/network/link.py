@@ -1,0 +1,113 @@
+"""Directed network links with bandwidth and propagation latency.
+
+A link serialises messages one at a time at its ``bandwidth`` (bytes per
+second); a message then propagates for ``latency`` seconds before arriving at
+the destination mailbox.  Because serialisation occupies the link but
+propagation does not, multiple messages can be "in flight" concurrently —
+exactly the behaviour that makes pipeline concurrency worthwhile in the paper
+(Figure 2b): while one message propagates, the next is already being
+transmitted.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ChannelClosedError, SimulationError
+from repro.network.events import Event
+from repro.network.message import Message
+from repro.network.resources import Store
+from repro.network.stats import LinkStats
+
+
+class Link:
+    """A unidirectional link delivering messages into a destination store."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",  # noqa: F821
+        name: str,
+        bandwidth_bytes_per_sec: float,
+        latency_seconds: float = 0.0,
+        destination: Optional[Store] = None,
+    ) -> None:
+        if bandwidth_bytes_per_sec <= 0:
+            raise SimulationError("link bandwidth must be positive")
+        if latency_seconds < 0:
+            raise SimulationError("link latency must be non-negative")
+        self.simulator = simulator
+        self.name = name
+        self.bandwidth = float(bandwidth_bytes_per_sec)
+        self.latency = float(latency_seconds)
+        self.destination = destination if destination is not None else Store(simulator, name=f"{name}.inbox")
+        self.stats = LinkStats(name=name)
+        self._free_at = 0.0
+        self._closed = False
+
+    # -- transfer -----------------------------------------------------------------
+
+    def transmission_time(self, message: Message) -> float:
+        """Seconds the link is occupied serialising ``message``."""
+        return message.size_bytes / self.bandwidth
+
+    def send(self, message: Message) -> Event:
+        """Ship ``message``; returns an event that fires when serialisation ends.
+
+        The returned event lets the *sender* proceed as soon as the link is
+        free again (it models the network card accepting the next message);
+        delivery into the destination store happens ``latency`` seconds after
+        serialisation completes.
+        """
+        if self._closed:
+            raise ChannelClosedError(f"link {self.name!r} is closed")
+        now = self.simulator.now
+        start = max(now, self._free_at)
+        transmission = self.transmission_time(message)
+        finish_tx = start + transmission
+        self._free_at = finish_tx
+
+        self.stats.record(message, queued_for=start - now, transmission=transmission)
+
+        # Event for the sender: the link has finished serialising the message.
+        sender_event = Event(self.simulator, name=f"{self.name}.tx#{message.sequence}")
+        sender_event.succeed(message, delay=finish_tx - now)
+
+        # Delivery into the destination mailbox after propagation.
+        arrival_delay = (finish_tx + self.latency) - now
+        delivery_event = Event(self.simulator, name=f"{self.name}.rx#{message.sequence}")
+        delivery_event.add_callback(lambda event: self.destination.put(event.value))
+        delivery_event.succeed(message, delay=arrival_delay)
+
+        return sender_event
+
+    def close(self) -> None:
+        """Refuse any further sends (used for failure-injection tests)."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def bytes_transferred(self) -> int:
+        return self.stats.total_bytes
+
+    @property
+    def busy_until(self) -> float:
+        """Simulation time at which the link finishes its current backlog."""
+        return self._free_at
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of elapsed time the link spent serialising messages."""
+        elapsed = elapsed if elapsed is not None else self.simulator.now
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_seconds / elapsed)
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.name!r}, {self.bandwidth:g} B/s, latency={self.latency:g}s, "
+            f"{self.stats.message_count} msgs, {self.stats.total_bytes} B)"
+        )

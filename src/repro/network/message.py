@@ -1,0 +1,95 @@
+"""Messages exchanged between the server and the client runtime.
+
+A message carries an opaque ``payload`` plus an explicit ``size_bytes`` used
+for link-time accounting.  The size is computed by the sender from the
+serialized sizes of the values being shipped (argument columns, whole
+records, UDF results), so link occupancy reflects exactly the byte counts the
+paper's cost model reasons about.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Fixed per-message framing overhead, in bytes (headers, sequence numbers).
+#: Kept small so the experiments are dominated by payload sizes, as in the
+#: paper, but non-zero so per-message costs exist at all.
+MESSAGE_OVERHEAD_BYTES = 16
+
+_sequence = itertools.count(1)
+
+
+class MessageKind(enum.Enum):
+    """What a message carries, used for routing at the receiving runtime."""
+
+    UDF_ARGUMENTS = "udf_arguments"  # semi-join: argument columns only
+    UDF_RESULT = "udf_result"  # semi-join: results only
+    RECORDS = "records"  # client-site join: whole records downlink
+    RECORDS_WITH_RESULTS = "records_with_results"  # client-site join uplink
+    FINAL_RESULTS = "final_results"  # result delivery to the client
+    CONTROL = "control"  # open/close/flush markers
+    ERROR = "error"  # client-side failure notification
+
+
+@dataclass
+class Message:
+    """A single unit of transfer over a link."""
+
+    kind: MessageKind
+    payload: Any
+    payload_bytes: int
+    sequence: int = field(default_factory=lambda: next(_sequence))
+    sender: str = ""
+    description: str = ""
+
+    @property
+    def size_bytes(self) -> int:
+        """Total wire size, including framing overhead."""
+        return self.payload_bytes + MESSAGE_OVERHEAD_BYTES
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.sequence} {self.kind.value}, {self.size_bytes}B"
+            f"{', ' + self.description if self.description else ''})"
+        )
+
+
+def control_message(description: str, sender: str = "") -> Message:
+    """A zero-payload control message (e.g. end-of-stream)."""
+    return Message(
+        kind=MessageKind.CONTROL,
+        payload=None,
+        payload_bytes=0,
+        sender=sender,
+        description=description,
+    )
+
+
+def error_message(exception: BaseException, sender: str = "") -> Message:
+    """A message signalling a remote failure; the exception rides along."""
+    return Message(
+        kind=MessageKind.ERROR,
+        payload=exception,
+        payload_bytes=len(str(exception)),
+        sender=sender,
+        description=type(exception).__name__,
+    )
+
+
+#: Sentinel description used by control messages that terminate a stream.
+END_OF_STREAM = "end-of-stream"
+
+
+def end_of_stream(sender: str = "") -> Message:
+    return control_message(END_OF_STREAM, sender=sender)
+
+
+def is_end_of_stream(message: Optional[Message]) -> bool:
+    return (
+        message is not None
+        and message.kind is MessageKind.CONTROL
+        and message.description == END_OF_STREAM
+    )

@@ -1,0 +1,105 @@
+"""Simulation resources: bounded FIFO stores.
+
+A :class:`Store` is the synchronisation primitive used throughout the
+execution strategies:
+
+* the *pipeline buffer* between the semi-join sender and receiver is a store
+  whose capacity is the pipeline concurrency factor (Section 3.1.2);
+* mailboxes at each end of a channel are unbounded stores that messages are
+  delivered into.
+
+``put`` blocks (the putting process waits) while the store is full; ``get``
+blocks while it is empty.  Both are FIFO, preserving stream order.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Deque, Tuple
+
+from repro.errors import SimulationError
+from repro.network.events import Event
+
+
+class Store:
+    """A bounded FIFO buffer usable from simulation processes."""
+
+    def __init__(self, simulator: "Simulator", capacity: float = math.inf, name: str = "") -> None:  # noqa: F821
+        if capacity <= 0:
+            raise SimulationError("Store capacity must be positive")
+        self.simulator = simulator
+        self.capacity = capacity
+        self.name = name or "Store"
+        self._items: Deque[Any] = deque()
+        self._put_waiters: Deque[Tuple[Event, Any]] = deque()
+        self._get_waiters: Deque[Event] = deque()
+        # Instrumentation: peak occupancy tells us the effective pipeline
+        # concurrency actually reached during a run.
+        self.peak_occupancy = 0
+        self.total_puts = 0
+        self.total_gets = 0
+
+    # -- operations -----------------------------------------------------------------
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` has entered the store."""
+        event = Event(self.simulator, name=f"{self.name}.put")
+        self._put_waiters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item once one is available."""
+        event = Event(self.simulator, name=f"{self.name}.get")
+        self._get_waiters.append(event)
+        self._dispatch()
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the store is full."""
+        if len(self._items) >= self.capacity and not self._get_waiters:
+            return False
+        self.put(item)
+        return True
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_putters(self) -> int:
+        return len(self._put_waiters)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._get_waiters)
+
+    # -- internal ------------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Move items between waiters and the buffer until no progress is possible."""
+        progress = True
+        while progress:
+            progress = False
+            if self._put_waiters and len(self._items) < self.capacity:
+                event, item = self._put_waiters.popleft()
+                self._items.append(item)
+                self.total_puts += 1
+                self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+                event.succeed()
+                progress = True
+            if self._get_waiters and self._items:
+                event = self._get_waiters.popleft()
+                item = self._items.popleft()
+                self.total_gets += 1
+                event.succeed(item)
+                progress = True
+
+    def __repr__(self) -> str:
+        return (
+            f"Store({self.name!r}, occupancy={len(self._items)}, "
+            f"capacity={self.capacity}, peak={self.peak_occupancy})"
+        )

@@ -1,0 +1,74 @@
+"""Transfer statistics for links and channels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.message import Message
+
+
+@dataclass
+class LinkStats:
+    """Byte and timing accounting for one directed link."""
+
+    name: str
+    message_count: int = 0
+    total_bytes: int = 0
+    payload_bytes: int = 0
+    busy_seconds: float = 0.0
+    queueing_seconds: float = 0.0
+    bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, message: "Message", queued_for: float, transmission: float) -> None:
+        self.message_count += 1
+        self.total_bytes += message.size_bytes
+        self.payload_bytes += message.payload_bytes
+        self.busy_seconds += transmission
+        self.queueing_seconds += queued_for
+        kind = message.kind.value
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + message.size_bytes
+
+    def merge(self, other: "LinkStats") -> "LinkStats":
+        merged = LinkStats(name=self.name)
+        merged.message_count = self.message_count + other.message_count
+        merged.total_bytes = self.total_bytes + other.total_bytes
+        merged.payload_bytes = self.payload_bytes + other.payload_bytes
+        merged.busy_seconds = self.busy_seconds + other.busy_seconds
+        merged.queueing_seconds = self.queueing_seconds + other.queueing_seconds
+        for kind, value in list(self.bytes_by_kind.items()) + list(other.bytes_by_kind.items()):
+            merged.bytes_by_kind[kind] = merged.bytes_by_kind.get(kind, 0) + value
+        return merged
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.message_count} msgs, {self.total_bytes} B, "
+            f"busy {self.busy_seconds:.3f}s"
+        )
+
+
+@dataclass
+class ChannelStats:
+    """Combined statistics for a duplex channel (downlink + uplink)."""
+
+    downlink: LinkStats
+    uplink: LinkStats
+
+    @property
+    def total_bytes(self) -> int:
+        return self.downlink.total_bytes + self.uplink.total_bytes
+
+    @property
+    def downlink_bytes(self) -> int:
+        return self.downlink.total_bytes
+
+    @property
+    def uplink_bytes(self) -> int:
+        return self.uplink.total_bytes
+
+    def summary(self) -> str:
+        return (
+            f"downlink: {self.downlink.total_bytes} B in {self.downlink.message_count} msgs; "
+            f"uplink: {self.uplink.total_bytes} B in {self.uplink.message_count} msgs"
+        )

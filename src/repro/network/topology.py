@@ -1,0 +1,119 @@
+"""Named network configurations, including the paper's experimental setups.
+
+All bandwidths are stored in **bytes per second** internally; the
+constructors accept the more natural kilobits/megabits units used in the
+paper ("28.8KBit phone connection", "10Mbit Ethernet", "N = 100").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.network.channel import Channel
+from repro.network.simulator import Simulator
+
+BITS_PER_BYTE = 8
+
+
+def kilobits_per_second(value: float) -> float:
+    """Convert kbit/s to bytes/s."""
+    return value * 1000.0 / BITS_PER_BYTE
+
+
+def megabits_per_second(value: float) -> float:
+    """Convert Mbit/s to bytes/s."""
+    return value * 1_000_000.0 / BITS_PER_BYTE
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """A reusable description of the client/server connection.
+
+    ``asymmetry`` (the paper's ``N``) is derived, not stored: it is the ratio
+    of downlink to uplink bandwidth.
+    """
+
+    downlink_bandwidth: float  # bytes per second, server -> client
+    uplink_bandwidth: float  # bytes per second, client -> server
+    latency: float = 0.05  # one-way propagation delay in seconds
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.downlink_bandwidth <= 0 or self.uplink_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+
+    @property
+    def asymmetry(self) -> float:
+        """The paper's ``N`` parameter (downlink / uplink bandwidth)."""
+        return self.downlink_bandwidth / self.uplink_bandwidth
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        return min(self.downlink_bandwidth, self.uplink_bandwidth)
+
+    def build_channel(self, simulator: Simulator, name: str = "channel") -> Channel:
+        """Instantiate a channel for this configuration on ``simulator``."""
+        return Channel(
+            simulator,
+            downlink_bandwidth=self.downlink_bandwidth,
+            uplink_bandwidth=self.uplink_bandwidth,
+            latency=self.latency,
+            name=name,
+        )
+
+    # -- presets -----------------------------------------------------------------------
+
+    @classmethod
+    def symmetric(cls, bandwidth: float, latency: float = 0.05, name: str = "symmetric") -> "NetworkConfig":
+        """A symmetric connection with the given bandwidth in bytes/s."""
+        return cls(bandwidth, bandwidth, latency, name)
+
+    @classmethod
+    def asymmetric(
+        cls,
+        downlink_bandwidth: float,
+        asymmetry: float,
+        latency: float = 0.05,
+        name: str = "asymmetric",
+    ) -> "NetworkConfig":
+        """A connection where the uplink is ``asymmetry`` times slower."""
+        if asymmetry <= 0:
+            raise ValueError("asymmetry must be positive")
+        return cls(downlink_bandwidth, downlink_bandwidth / asymmetry, latency, name)
+
+    @classmethod
+    def paper_modem(cls, latency: float = 0.1) -> "NetworkConfig":
+        """The paper's 28.8 kbit/s symmetric phone connection (Section 4)."""
+        bandwidth = kilobits_per_second(28.8)
+        return cls(bandwidth, bandwidth, latency, name="modem-28.8k")
+
+    @classmethod
+    def paper_symmetric(cls, latency: float = 0.05) -> "NetworkConfig":
+        """Symmetric setting used for Figures 8 and 10 (modem-class link)."""
+        bandwidth = kilobits_per_second(28.8)
+        return cls(bandwidth, bandwidth, latency, name="paper-symmetric")
+
+    @classmethod
+    def paper_asymmetric(cls, asymmetry: float = 100.0, latency: float = 0.05) -> "NetworkConfig":
+        """Asymmetric setting of Figure 9: ~10 Mbit/s downlink, N = 100.
+
+        The paper models a multiplexed 10 Mbit cable downlink with a
+        28.8 kbit/s uplink, giving an effective N of roughly 100.
+        """
+        downlink = megabits_per_second(10.0) / 3.5  # multiplexed share
+        return cls(downlink, downlink / asymmetry, latency, name=f"paper-asymmetric-N{asymmetry:g}")
+
+    @classmethod
+    def lan(cls, latency: float = 0.001) -> "NetworkConfig":
+        """A fast symmetric LAN, useful to show when strategy choice stops mattering."""
+        bandwidth = megabits_per_second(100.0)
+        return cls(bandwidth, bandwidth, latency, name="lan-100M")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: down {self.downlink_bandwidth:g} B/s, up {self.uplink_bandwidth:g} B/s, "
+            f"latency {self.latency:g}s (N={self.asymmetry:g})"
+        )

@@ -1,0 +1,41 @@
+"""Iterator-model physical operators.
+
+Each operator exposes a :class:`~repro.relational.operators.base.Operator`
+interface: an output :class:`~repro.relational.schema.Schema` plus an
+``execute()`` generator yielding rows.  Operators compose into trees; the
+root's ``execute()`` drives the whole pipeline lazily, as in the classical
+Volcano/iterator execution model the paper assumes.
+"""
+
+from repro.relational.operators.base import Operator, CollectingOperator
+from repro.relational.operators.scan import TableScan, RowSource
+from repro.relational.operators.filter import Filter
+from repro.relational.operators.project import Project, ProjectExpressions
+from repro.relational.operators.sort import Sort
+from repro.relational.operators.distinct import Distinct, DistinctOn
+from repro.relational.operators.nested_loop_join import NestedLoopJoin
+from repro.relational.operators.hash_join import HashJoin
+from repro.relational.operators.merge_join import MergeJoin
+from repro.relational.operators.aggregate import Aggregate, AggregateSpec
+from repro.relational.operators.limit import Limit
+from repro.relational.operators.materialize import Materialize
+
+__all__ = [
+    "Operator",
+    "CollectingOperator",
+    "TableScan",
+    "RowSource",
+    "Filter",
+    "Project",
+    "ProjectExpressions",
+    "Sort",
+    "Distinct",
+    "DistinctOn",
+    "NestedLoopJoin",
+    "HashJoin",
+    "MergeJoin",
+    "Aggregate",
+    "AggregateSpec",
+    "Limit",
+    "Materialize",
+]

@@ -1,0 +1,121 @@
+"""Grouped aggregation operator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import OperatorError
+from repro.relational.operators.base import Operator
+from repro.relational.schema import Column, Schema
+from repro.relational.tuples import Row
+from repro.relational.types import FLOAT, INTEGER, DataType
+
+
+def _sum(values: List) -> Optional[float]:
+    values = [v for v in values if v is not None]
+    return sum(values) if values else None
+
+
+def _avg(values: List) -> Optional[float]:
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else None
+
+
+def _min(values: List):
+    values = [v for v in values if v is not None]
+    return min(values) if values else None
+
+
+def _max(values: List):
+    values = [v for v in values if v is not None]
+    return max(values) if values else None
+
+
+def _count(values: List) -> int:
+    return sum(1 for v in values if v is not None)
+
+
+_AGGREGATES: Dict[str, Tuple[Callable[[List], object], DataType]] = {
+    "SUM": (_sum, FLOAT),
+    "AVG": (_avg, FLOAT),
+    "MIN": (_min, FLOAT),
+    "MAX": (_max, FLOAT),
+    "COUNT": (_count, INTEGER),
+}
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output: ``function(input_column) AS output_name``."""
+
+    function: str
+    input_column: Optional[str]
+    output_name: str
+
+    def __post_init__(self) -> None:
+        if self.function.upper() not in _AGGREGATES:
+            raise OperatorError(f"unknown aggregate function {self.function!r}")
+
+
+class Aggregate(Operator):
+    """Hash aggregation grouped on ``group_by`` columns.
+
+    With an empty ``group_by`` a single row is produced (global aggregation),
+    even over empty input — matching SQL semantics for COUNT.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ) -> None:
+        super().__init__([child])
+        child_schema = child.output_schema()
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+        self._group_positions = tuple(child_schema.index_of(name) for name in self.group_by)
+        self._input_positions = tuple(
+            child_schema.index_of(spec.input_column) if spec.input_column else None
+            for spec in self.aggregates
+        )
+        columns = [child_schema.column(name) for name in self.group_by]
+        for spec in self.aggregates:
+            _, dtype = _AGGREGATES[spec.function.upper()]
+            columns.append(Column(spec.output_name, dtype))
+        self.schema = Schema(columns)
+
+    def execute(self) -> Iterator[Row]:
+        groups: Dict[Tuple, List[Row]] = {}
+        order: List[Tuple] = []
+        for row in self.child().execute():
+            key = tuple(row[position] for position in self._group_positions)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+
+        if not groups and not self.group_by:
+            groups[()] = []
+            order.append(())
+
+        for key in order:
+            rows = groups[key]
+            outputs = list(key)
+            for spec, position in zip(self.aggregates, self._input_positions):
+                function, _ = _AGGREGATES[spec.function.upper()]
+                if position is None:
+                    values = [1] * len(rows)  # COUNT(*)
+                else:
+                    values = [row[position] for row in rows]
+                outputs.append(function(values))
+            yield Row(outputs)
+
+    def describe(self) -> str:
+        aggs = ", ".join(
+            f"{spec.function}({spec.input_column or '*'}) AS {spec.output_name}"
+            for spec in self.aggregates
+        )
+        group = f" GROUP BY {', '.join(self.group_by)}" if self.group_by else ""
+        return f"Aggregate({aggs}{group})"

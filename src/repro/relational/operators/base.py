@@ -1,0 +1,80 @@
+"""Operator base classes for the iterator execution model."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import OperatorError
+from repro.relational.schema import Schema
+from repro.relational.tuples import Row
+
+
+class Operator:
+    """A physical operator producing a stream of rows.
+
+    Subclasses must set :attr:`schema` before execution and implement
+    :meth:`execute`.  ``rows_produced`` is updated by :meth:`run` and by the
+    executor for instrumentation.
+    """
+
+    def __init__(self, children: Sequence["Operator"] = ()) -> None:
+        self.children: List[Operator] = list(children)
+        self.schema: Optional[Schema] = None
+        self.rows_produced = 0
+
+    # -- interface -------------------------------------------------------------
+
+    def execute(self) -> Iterator[Row]:
+        """Yield output rows.  Must be implemented by subclasses."""
+        raise NotImplementedError
+
+    def output_schema(self) -> Schema:
+        if self.schema is None:
+            raise OperatorError(f"{type(self).__name__} has no schema")
+        return self.schema
+
+    # -- conveniences ----------------------------------------------------------
+
+    def run(self) -> List[Row]:
+        """Execute to completion and collect all rows (for tests and tools)."""
+        result = []
+        for row in self.execute():
+            self.rows_produced += 1
+            result.append(row)
+        return result
+
+    def child(self) -> "Operator":
+        """The single child of a unary operator."""
+        if len(self.children) != 1:
+            raise OperatorError(
+                f"{type(self).__name__} expected exactly one child, has {len(self.children)}"
+            )
+        return self.children[0]
+
+    def explain(self, indent: int = 0) -> str:
+        """A human-readable, indented description of the operator tree."""
+        lines = ["  " * indent + self.describe()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(schema={self.schema})"
+
+
+class CollectingOperator(Operator):
+    """A leaf operator over an already materialised list of rows."""
+
+    def __init__(self, schema: Schema, rows: Sequence[Row]) -> None:
+        super().__init__()
+        self.schema = schema
+        self._rows = list(rows)
+
+    def execute(self) -> Iterator[Row]:
+        yield from self._rows
+
+    def describe(self) -> str:
+        return f"Collected({len(self._rows)} rows)"

@@ -1,0 +1,59 @@
+"""Duplicate-elimination operators.
+
+The paper distinguishes *tuple duplicates* (identical in all columns) from
+*argument duplicates* (identical only in the UDF's argument columns).
+:class:`Distinct` removes tuple duplicates; :class:`DistinctOn` removes
+argument duplicates, keeping the first representative row for each distinct
+key — which is exactly what the semi-join sender needs before shipping
+argument columns to the client.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Set, Tuple
+
+from repro.relational.operators.base import Operator
+from repro.relational.tuples import Row
+
+
+class Distinct(Operator):
+    """Removes rows identical in every column, preserving first-seen order."""
+
+    def __init__(self, child: Operator) -> None:
+        super().__init__([child])
+        self.schema = child.output_schema()
+
+    def execute(self) -> Iterator[Row]:
+        seen: Set[Tuple] = set()
+        for row in self.child().execute():
+            key = tuple(row)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def describe(self) -> str:
+        return "Distinct"
+
+
+class DistinctOn(Operator):
+    """Removes rows that duplicate earlier rows on the key columns only."""
+
+    def __init__(self, child: Operator, key_columns: Sequence[str]) -> None:
+        super().__init__([child])
+        self.schema = child.output_schema()
+        self.key_columns = list(key_columns)
+        self._positions = tuple(self.schema.index_of(name) for name in self.key_columns)
+
+    def execute(self) -> Iterator[Row]:
+        positions = self._positions
+        seen: Set[Tuple] = set()
+        for row in self.child().execute():
+            key = tuple(row[position] for position in positions)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield row
+
+    def describe(self) -> str:
+        return f"DistinctOn({', '.join(self.key_columns)})"

@@ -1,0 +1,37 @@
+"""Selection (filter) operator."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.relational.expressions import Expression, ScalarFunction
+from repro.relational.operators.base import Operator
+from repro.relational.tuples import Row
+
+
+class Filter(Operator):
+    """Passes through rows for which the predicate evaluates to true.
+
+    SQL three-valued logic applies: rows where the predicate evaluates to
+    NULL are dropped, as are rows where it is false.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        predicate: Expression,
+        functions: Optional[Dict[str, ScalarFunction]] = None,
+    ) -> None:
+        super().__init__([child])
+        self.predicate = predicate
+        self.functions = functions or {}
+        self.schema = child.output_schema()
+
+    def execute(self) -> Iterator[Row]:
+        bound = self.predicate.bind(self.schema, self.functions)
+        for row in self.child().execute():
+            if bound(row):
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate})"

@@ -1,0 +1,54 @@
+"""Hash equi-join."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import OperatorError
+from repro.relational.operators.base import Operator
+from repro.relational.tuples import Row
+
+
+class HashJoin(Operator):
+    """Equi-join by building a hash table on the inner (right) input.
+
+    ``left_keys`` and ``right_keys`` are parallel lists of column names from
+    the respective inputs.  NULL keys never match (SQL semantics).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+    ) -> None:
+        super().__init__([left, right])
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise OperatorError("HashJoin requires matching, non-empty key lists")
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        left_schema = left.output_schema()
+        right_schema = right.output_schema()
+        self._left_positions = tuple(left_schema.index_of(name) for name in self.left_keys)
+        self._right_positions = tuple(right_schema.index_of(name) for name in self.right_keys)
+        self.schema = left_schema.concat(right_schema)
+
+    def execute(self) -> Iterator[Row]:
+        left, right = self.children
+        table: Dict[Tuple, List[Row]] = {}
+        for row in right.execute():
+            key = tuple(row[position] for position in self._right_positions)
+            if any(value is None for value in key):
+                continue
+            table.setdefault(key, []).append(row)
+        for left_row in left.execute():
+            key = tuple(left_row[position] for position in self._left_positions)
+            if any(value is None for value in key):
+                continue
+            for right_row in table.get(key, ()):
+                yield left_row.concat(right_row)
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        return f"HashJoin({pairs})"

@@ -1,0 +1,37 @@
+"""LIMIT / OFFSET operator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import OperatorError
+from repro.relational.operators.base import Operator
+from repro.relational.tuples import Row
+
+
+class Limit(Operator):
+    """Yields at most ``count`` rows after skipping ``offset`` rows."""
+
+    def __init__(self, child: Operator, count: int, offset: int = 0) -> None:
+        super().__init__([child])
+        if count < 0 or offset < 0:
+            raise OperatorError("Limit count and offset must be non-negative")
+        self.count = count
+        self.offset = offset
+        self.schema = child.output_schema()
+
+    def execute(self) -> Iterator[Row]:
+        produced = 0
+        skipped = 0
+        for row in self.child().execute():
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if produced >= self.count:
+                return
+            produced += 1
+            yield row
+
+    def describe(self) -> str:
+        offset = f" OFFSET {self.offset}" if self.offset else ""
+        return f"Limit({self.count}{offset})"

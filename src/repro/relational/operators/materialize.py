@@ -1,0 +1,34 @@
+"""Materialization operator: caches its child's output for repeated execution."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.relational.operators.base import Operator
+from repro.relational.tuples import Row
+
+
+class Materialize(Operator):
+    """Executes the child once and replays the cached rows on later executions.
+
+    Useful when the same subplan feeds multiple consumers (e.g. an inner
+    relation probed more than once), mirroring a temp-table spool.
+    """
+
+    def __init__(self, child: Operator) -> None:
+        super().__init__([child])
+        self.schema = child.output_schema()
+        self._cache: Optional[List[Row]] = None
+
+    def execute(self) -> Iterator[Row]:
+        if self._cache is None:
+            self._cache = list(self.child().execute())
+        yield from self._cache
+
+    def invalidate(self) -> None:
+        """Drop the cache so the next execution re-runs the child."""
+        self._cache = None
+
+    def describe(self) -> str:
+        state = "cached" if self._cache is not None else "cold"
+        return f"Materialize({state})"

@@ -1,0 +1,115 @@
+"""Sort-merge equi-join.
+
+The semi-join receiver of the paper performs a merge join between the stream
+of buffered records (sorted and grouped on the argument columns by the
+sender) and the stream of UDF results coming back from the client.  This
+operator is the general relational version; the execution-strategy code uses
+the same merging logic on its internal streams.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import OperatorError
+from repro.relational.operators.base import Operator
+from repro.relational.tuples import Row
+
+
+def _key_less_than(a: Tuple, b: Tuple) -> bool:
+    """Total order on key tuples, with None sorting first."""
+    for x, y in zip(a, b):
+        if x is None and y is None:
+            continue
+        if x is None:
+            return True
+        if y is None:
+            return False
+        if x == y:
+            continue
+        return x < y
+    return False
+
+
+class MergeJoin(Operator):
+    """Equi-join of two inputs already sorted on their join keys.
+
+    ``assume_sorted`` skips the defensive order check (used when the inputs
+    come from Sort operators and the extra comparison would be wasted).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        assume_sorted: bool = False,
+    ) -> None:
+        super().__init__([left, right])
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise OperatorError("MergeJoin requires matching, non-empty key lists")
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.assume_sorted = assume_sorted
+        left_schema = left.output_schema()
+        right_schema = right.output_schema()
+        self._left_positions = tuple(left_schema.index_of(name) for name in self.left_keys)
+        self._right_positions = tuple(right_schema.index_of(name) for name in self.right_keys)
+        self.schema = left_schema.concat(right_schema)
+
+    def _check_order(self, previous: Optional[Tuple], current: Tuple, side: str) -> None:
+        if previous is not None and _key_less_than(current, previous):
+            raise OperatorError(f"MergeJoin {side} input is not sorted on its keys")
+
+    def execute(self) -> Iterator[Row]:
+        left_rows = list(self.children[0].execute())
+        right_rows = list(self.children[1].execute())
+
+        left_index = 0
+        right_index = 0
+        previous_left: Optional[Tuple] = None
+        previous_right: Optional[Tuple] = None
+
+        def left_key(index: int) -> Tuple:
+            return tuple(left_rows[index][position] for position in self._left_positions)
+
+        def right_key(index: int) -> Tuple:
+            return tuple(right_rows[index][position] for position in self._right_positions)
+
+        while left_index < len(left_rows) and right_index < len(right_rows):
+            lkey = left_key(left_index)
+            rkey = right_key(right_index)
+            if not self.assume_sorted:
+                self._check_order(previous_left, lkey, "left")
+                self._check_order(previous_right, rkey, "right")
+                previous_left, previous_right = lkey, rkey
+
+            if any(value is None for value in lkey):
+                left_index += 1
+                continue
+            if any(value is None for value in rkey):
+                right_index += 1
+                continue
+
+            if _key_less_than(lkey, rkey):
+                left_index += 1
+            elif _key_less_than(rkey, lkey):
+                right_index += 1
+            else:
+                # Gather the full group of equal keys on both sides.
+                left_group: List[Row] = []
+                while left_index < len(left_rows) and left_key(left_index) == lkey:
+                    left_group.append(left_rows[left_index])
+                    left_index += 1
+                right_group: List[Row] = []
+                while right_index < len(right_rows) and right_key(right_index) == rkey:
+                    right_group.append(right_rows[right_index])
+                    right_index += 1
+                for left_row in left_group:
+                    for right_row in right_group:
+                        yield left_row.concat(right_row)
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        return f"MergeJoin({pairs})"

@@ -1,0 +1,72 @@
+"""Projection operators: by column name and by arbitrary expression."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.relational.expressions import ColumnRef, Expression, ScalarFunction
+from repro.relational.operators.base import Operator
+from repro.relational.schema import Column, Schema
+from repro.relational.tuples import Row
+from repro.relational.types import DataType, FLOAT
+
+
+class Project(Operator):
+    """Projects the child's output onto the named columns, in order."""
+
+    def __init__(self, child: Operator, column_names: Sequence[str]) -> None:
+        super().__init__([child])
+        child_schema = child.output_schema()
+        self.column_names = list(column_names)
+        self._positions = tuple(child_schema.index_of(name) for name in self.column_names)
+        self.schema = child_schema.select_positions(self._positions)
+
+    def execute(self) -> Iterator[Row]:
+        positions = self._positions
+        for row in self.child().execute():
+            yield row.project(positions)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.column_names)})"
+
+
+class ProjectExpressions(Operator):
+    """Projects the child's output onto arbitrary expressions.
+
+    Each output column is ``(name, expression, dtype)``.  Plain column
+    references keep their original type; computed expressions default to
+    FLOAT unless a type is supplied.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        outputs: Sequence[Tuple[str, Expression, Optional[DataType]]],
+        functions: Optional[Dict[str, ScalarFunction]] = None,
+    ) -> None:
+        super().__init__([child])
+        self.outputs = list(outputs)
+        self.functions = functions or {}
+        child_schema = child.output_schema()
+        columns: List[Column] = []
+        for name, expression, dtype in self.outputs:
+            if dtype is None:
+                if isinstance(expression, ColumnRef):
+                    dtype = child_schema.column(expression.name).dtype
+                else:
+                    dtype = FLOAT
+            columns.append(Column(name, dtype))
+        self.schema = Schema(columns)
+
+    def execute(self) -> Iterator[Row]:
+        child_schema = self.child().output_schema()
+        bound = [
+            expression.bind(child_schema, self.functions)
+            for _, expression, _ in self.outputs
+        ]
+        for row in self.child().execute():
+            yield Row(evaluate(row) for evaluate in bound)
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{expr} AS {name}" for name, expr, _ in self.outputs)
+        return f"ProjectExpressions({parts})"

@@ -1,0 +1,55 @@
+"""Leaf operators: table scans and generic row sources."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.relational.operators.base import Operator
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.tuples import Row
+
+
+class TableScan(Operator):
+    """A sequential scan over a catalog table, with an optional alias.
+
+    When an alias is given the output schema is re-qualified by the alias so
+    self-joins and aliased queries resolve correctly.
+    """
+
+    def __init__(self, table: Table, alias: Optional[str] = None) -> None:
+        super().__init__()
+        self.table = table
+        self.alias = alias or table.name
+        base = Schema(
+            column.with_table(None) for column in table.schema.columns
+        )
+        self.schema = base.qualify(self.alias)
+
+    def execute(self) -> Iterator[Row]:
+        yield from self.table.scan()
+
+    def describe(self) -> str:
+        if self.alias != self.table.name:
+            return f"TableScan({self.table.name} AS {self.alias})"
+        return f"TableScan({self.table.name})"
+
+
+class RowSource(Operator):
+    """A leaf operator over rows produced by a callable or iterable.
+
+    Useful for streaming rows out of non-table sources (e.g. the receiver side
+    of a network transfer) while still fitting the operator interface.
+    """
+
+    def __init__(self, schema: Schema, source: Callable[[], Iterable[Row]]) -> None:
+        super().__init__()
+        self.schema = schema
+        self._source = source
+
+    def execute(self) -> Iterator[Row]:
+        for row in self._source():
+            yield row if isinstance(row, Row) else Row(row)
+
+    def describe(self) -> str:
+        return "RowSource"

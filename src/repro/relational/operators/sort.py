@@ -1,0 +1,58 @@
+"""Sort operator (blocking)."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Tuple
+
+from repro.relational.operators.base import Operator
+from repro.relational.tuples import Row
+
+
+class _NullsFirstKey:
+    """Sort key wrapper ordering None before any value, per column."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Tuple) -> None:
+        self.values = values
+
+    def __lt__(self, other: "_NullsFirstKey") -> bool:
+        for a, b in zip(self.values, other.values):
+            if a is None and b is None:
+                continue
+            if a is None:
+                return True
+            if b is None:
+                return False
+            if a == b:
+                continue
+            return a < b
+        return False
+
+
+class Sort(Operator):
+    """Sorts the child's output on the named columns.
+
+    ``descending`` flips the whole ordering (per-column direction mixing is
+    not needed by the paper's plans and is intentionally omitted).
+    """
+
+    def __init__(self, child: Operator, column_names: Sequence[str], descending: bool = False) -> None:
+        super().__init__([child])
+        self.column_names = list(column_names)
+        self.descending = descending
+        self.schema = child.output_schema()
+        self._positions = tuple(self.schema.index_of(name) for name in self.column_names)
+
+    def execute(self) -> Iterator[Row]:
+        positions = self._positions
+        rows = list(self.child().execute())
+        rows.sort(
+            key=lambda row: _NullsFirstKey(tuple(row[position] for position in positions)),
+            reverse=self.descending,
+        )
+        yield from rows
+
+    def describe(self) -> str:
+        direction = " DESC" if self.descending else ""
+        return f"Sort({', '.join(self.column_names)}{direction})"

@@ -1,0 +1,228 @@
+"""Predicate analysis: selectivity estimation, pushability, and join detection.
+
+This module provides the static analyses the optimizer needs:
+
+* :func:`estimate_selectivity` — textbook selectivity estimation from column
+  statistics (1/V(A) for equality, 1/3 for ranges, independence for AND/OR);
+* :func:`is_join_predicate` — detects equi-join predicates between two
+  relations;
+* :class:`PredicateInfo` — per-conjunct metadata: referenced columns, UDF
+  calls, whether it is *pushable* to the client given a set of columns that
+  will be present there (Section 2 of the paper: "simple predicates that rely
+  on the values in the result columns, but can be executed on the client").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.relational.expressions import (
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+    conjuncts,
+)
+from repro.relational.statistics import TableStatistics
+
+#: Default selectivities used when statistics cannot answer.
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_SELECTIVITY = 0.5
+
+
+def _bare_name(name: str) -> str:
+    return name.partition(".")[2] if "." in name else name
+
+
+def estimate_selectivity(
+    expression: Optional[Expression],
+    statistics: Optional[TableStatistics] = None,
+    udf_selectivities: Optional[Dict[str, float]] = None,
+) -> float:
+    """Estimate the fraction of rows satisfying ``expression``.
+
+    ``udf_selectivities`` maps UDF names to externally supplied selectivities
+    (the paper's experiments vary the selectivity of the pushable predicate
+    ``UDF1`` explicitly).
+    """
+    if expression is None:
+        return 1.0
+    udf_selectivities = udf_selectivities or {}
+
+    if isinstance(expression, BooleanOp):
+        child = [
+            estimate_selectivity(operand, statistics, udf_selectivities)
+            for operand in expression.operands
+        ]
+        if expression.operator == "AND":
+            product = 1.0
+            for value in child:
+                product *= value
+            return product
+        if expression.operator == "OR":
+            complement = 1.0
+            for value in child:
+                complement *= 1.0 - value
+            return 1.0 - complement
+        return max(0.0, 1.0 - child[0])
+
+    if isinstance(expression, Comparison):
+        return _comparison_selectivity(expression, statistics, udf_selectivities)
+
+    if isinstance(expression, FunctionCall):
+        # A bare boolean UDF used as a predicate.
+        return udf_selectivities.get(
+            expression.name, udf_selectivities.get(expression.name.lower(), DEFAULT_SELECTIVITY)
+        )
+
+    if isinstance(expression, Literal):
+        return 1.0 if expression.value else 0.0
+
+    return DEFAULT_SELECTIVITY
+
+
+def _comparison_selectivity(
+    expression: Comparison,
+    statistics: Optional[TableStatistics],
+    udf_selectivities: Dict[str, float],
+) -> float:
+    calls = expression.function_calls()
+    if calls:
+        # Comparisons on a UDF result, e.g. ClientAnalysis(x) > 500: defer to
+        # a per-UDF selectivity if given.
+        for call in calls:
+            if call.name in udf_selectivities:
+                return udf_selectivities[call.name]
+            if call.name.lower() in udf_selectivities:
+                return udf_selectivities[call.name.lower()]
+        return DEFAULT_SELECTIVITY
+
+    if expression.operator in ("=",):
+        column = _single_column_vs_literal(expression)
+        if column and statistics is not None:
+            distinct = statistics.column(_bare_name(column)).distinct_count
+            if distinct > 0:
+                return 1.0 / distinct
+        return DEFAULT_EQUALITY_SELECTIVITY
+    if expression.operator in ("<>", "!="):
+        return 1.0 - _comparison_selectivity(
+            Comparison("=", expression.left, expression.right), statistics, udf_selectivities
+        )
+    return DEFAULT_RANGE_SELECTIVITY
+
+
+def _single_column_vs_literal(expression: Comparison) -> Optional[str]:
+    """Return the column name when the comparison is column-vs-literal."""
+    left, right = expression.left, expression.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        return left.name
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        return right.name
+    return None
+
+
+def is_join_predicate(
+    expression: Expression, left_columns: Set[str], right_columns: Set[str]
+) -> bool:
+    """True when ``expression`` is an equi-join between the two column sets.
+
+    Column sets are given as qualified names; bare-name fallbacks are applied
+    so ``S.Name = E.CompanyName`` matches regardless of qualification style.
+    """
+    if not isinstance(expression, Comparison) or expression.operator != "=":
+        return False
+    if expression.function_calls():
+        return False
+    left_refs = expression.left.columns()
+    right_refs = expression.right.columns()
+    if not left_refs or not right_refs:
+        return False
+
+    def side_of(names: FrozenSet[str]) -> Optional[str]:
+        if all(_covered(name, left_columns) for name in names):
+            return "left"
+        if all(_covered(name, right_columns) for name in names):
+            return "right"
+        return None
+
+    sides = {side_of(left_refs), side_of(right_refs)}
+    return sides == {"left", "right"}
+
+
+def _covered(name: str, available: Set[str]) -> bool:
+    """True when column ``name`` is present in ``available`` (qualified or not)."""
+    if name in available:
+        return True
+    bare = _bare_name(name)
+    if bare in available:
+        return True
+    return any(_bare_name(candidate) == bare for candidate in available)
+
+
+def columns_covered(required: FrozenSet[str], available: Set[str]) -> bool:
+    """True when every column in ``required`` is present in ``available``."""
+    return all(_covered(name, available) for name in required)
+
+
+@dataclass
+class PredicateInfo:
+    """Metadata for a single conjunct of a WHERE clause."""
+
+    expression: Expression
+    columns: FrozenSet[str] = field(default_factory=frozenset)
+    udf_names: Tuple[str, ...] = ()
+    selectivity: float = DEFAULT_SELECTIVITY
+
+    @classmethod
+    def analyze(
+        cls,
+        expression: Expression,
+        statistics: Optional[TableStatistics] = None,
+        udf_selectivities: Optional[Dict[str, float]] = None,
+    ) -> "PredicateInfo":
+        return cls(
+            expression=expression,
+            columns=expression.columns(),
+            udf_names=tuple(call.name for call in expression.function_calls()),
+            selectivity=estimate_selectivity(expression, statistics, udf_selectivities),
+        )
+
+    @property
+    def references_udf(self) -> bool:
+        return bool(self.udf_names)
+
+    def references_only(self, udf_names: Set[str]) -> bool:
+        """True when every UDF mentioned is in ``udf_names``."""
+        return all(name in udf_names for name in self.udf_names)
+
+    def is_pushable(
+        self, client_columns: Set[str], client_udfs: Set[str]
+    ) -> bool:
+        """Can this predicate be evaluated at the client?
+
+        It can when every referenced column is available at the client (either
+        shipped there or produced there as a UDF result) and every function it
+        calls is a client-site UDF (or no function at all).
+        """
+        if not columns_covered(self.columns, client_columns):
+            return False
+        return all(name in client_udfs for name in self.udf_names)
+
+    def __str__(self) -> str:
+        return str(self.expression)
+
+
+def analyze_conjuncts(
+    expression: Optional[Expression],
+    statistics: Optional[TableStatistics] = None,
+    udf_selectivities: Optional[Dict[str, float]] = None,
+) -> List[PredicateInfo]:
+    """Split ``expression`` into conjuncts and analyze each one."""
+    return [
+        PredicateInfo.analyze(conjunct, statistics, udf_selectivities)
+        for conjunct in conjuncts(expression)
+    ]

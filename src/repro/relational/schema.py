@@ -1,0 +1,145 @@
+"""Schemas: ordered collections of typed, optionally table-qualified columns.
+
+A :class:`Schema` is immutable.  Operators derive new schemas (projection,
+concatenation for joins, appending UDF result columns) rather than mutating
+existing ones, which keeps plan construction and property propagation simple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.types import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column, optionally qualified by a table (or alias) name."""
+
+    name: str
+    dtype: DataType
+    table: Optional[str] = None
+
+    @property
+    def qualified_name(self) -> str:
+        """``table.name`` when qualified, else just ``name``."""
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+    def with_table(self, table: Optional[str]) -> "Column":
+        """Return a copy of this column qualified by ``table``."""
+        return Column(self.name, self.dtype, table)
+
+    def matches(self, name: str) -> bool:
+        """True when ``name`` (qualified or not) refers to this column."""
+        if "." in name:
+            table, _, column = name.partition(".")
+            return self.name == column and self.table == table
+        return self.name == name
+
+    def __str__(self) -> str:
+        return f"{self.qualified_name}:{self.dtype.name}"
+
+
+class Schema:
+    """An immutable, ordered sequence of :class:`Column` objects."""
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns: Iterable[Column]) -> None:
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        index: Dict[str, List[int]] = {}
+        for position, column in enumerate(self.columns):
+            index.setdefault(column.name, []).append(position)
+            if column.table:
+                index.setdefault(column.qualified_name, []).append(position)
+        self._index = index
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def of(cls, *pairs: Tuple[str, DataType], table: Optional[str] = None) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs, all in one table."""
+        return cls(Column(name, dtype, table) for name, dtype in pairs)
+
+    def qualify(self, table: str) -> "Schema":
+        """Return this schema with every column qualified by ``table``."""
+        return Schema(column.with_table(table) for column in self.columns)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a join: this schema's columns followed by ``other``'s."""
+        return Schema(self.columns + other.columns)
+
+    def append(self, column: Column) -> "Schema":
+        """Return a schema with ``column`` added at the end (e.g. a UDF result)."""
+        return Schema(self.columns + (column,))
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema containing only the named columns, in the given order."""
+        return Schema(self.columns[self.index_of(name)] for name in names)
+
+    def select_positions(self, positions: Sequence[int]) -> "Schema":
+        """Schema containing the columns at ``positions``, in that order."""
+        return Schema(self.columns[position] for position in positions)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def index_of(self, name: str) -> int:
+        """Position of the column referred to by ``name``.
+
+        Raises :class:`SchemaError` if the name is unknown or ambiguous.
+        """
+        positions = self._index.get(name)
+        if positions is None and "." in name:
+            # A qualified name whose table prefix is unknown to this schema:
+            # fall back to the bare column name.
+            positions = self._index.get(name.partition(".")[2])
+        if not positions:
+            raise SchemaError(f"unknown column {name!r} in schema {self}")
+        if len(positions) > 1:
+            raise SchemaError(f"ambiguous column {name!r} in schema {self}")
+        return positions[0]
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def has_column(self, name: str) -> bool:
+        try:
+            self.index_of(name)
+        except SchemaError:
+            return False
+        return True
+
+    def names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def qualified_names(self) -> List[str]:
+        return [column.qualified_name for column in self.columns]
+
+    def indexes_of(self, names: Sequence[str]) -> List[int]:
+        return [self.index_of(name) for name in names]
+
+    # -- protocol --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __getitem__(self, position: int) -> Column:
+        return self.columns[position]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:
+        return "Schema(" + ", ".join(str(column) for column in self.columns) + ")"

@@ -1,0 +1,173 @@
+"""Table and column statistics.
+
+The optimizer's cost model (and the paper's own cost model parameters) need a
+handful of statistics per relation:
+
+* cardinality (row count),
+* per-column distinct-value counts (the paper's ``D`` parameter is the ratio
+  of distinct argument tuples to input cardinality),
+* per-column and per-row average serialized sizes (the ``A``, ``I`` and ``P``
+  parameters are ratios of sizes).
+
+Statistics are computed eagerly from in-memory tables — they are exact, which
+keeps the experiments deterministic — but the classes also accept externally
+supplied estimates so the optimizer can be exercised on hypothetical tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.relational.schema import Schema
+from repro.relational.tuples import Row
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics for a single column of a relation."""
+
+    name: str
+    distinct_count: int = 0
+    null_count: int = 0
+    average_size: float = 0.0
+    minimum: Optional[object] = None
+    maximum: Optional[object] = None
+
+    @property
+    def has_range(self) -> bool:
+        return self.minimum is not None and self.maximum is not None
+
+
+@dataclass
+class TableStatistics:
+    """Statistics for a whole relation."""
+
+    row_count: int = 0
+    average_row_size: float = 0.0
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        if "." in name:
+            name = name.partition(".")[2]
+        if name not in self.columns:
+            # Unknown columns get a neutral default so cost estimation can
+            # proceed; this happens for derived columns (UDF results).
+            return ColumnStatistics(name=name, distinct_count=max(1, self.row_count))
+        return self.columns[name]
+
+    def distinct_fraction(self, names: Sequence[str]) -> float:
+        """Estimated fraction of rows that are distinct on ``names``.
+
+        This is the paper's ``D`` parameter for a given argument-column set.
+        Independence is assumed across columns, capped at 1.0.
+        """
+        if self.row_count <= 0:
+            return 1.0
+        distinct = 1.0
+        for name in names:
+            distinct *= max(1, self.column(name).distinct_count)
+        distinct = min(distinct, float(self.row_count))
+        return distinct / self.row_count
+
+    def column_size_fraction(self, names: Sequence[str]) -> float:
+        """Fraction of the average row size occupied by ``names`` (paper's ``A``)."""
+        if self.average_row_size <= 0:
+            return 1.0
+        size = sum(self.column(name).average_size for name in names)
+        return min(1.0, size / self.average_row_size)
+
+
+def compute_column_statistics(
+    name: str, values: Iterable[object]
+) -> ColumnStatistics:
+    """Compute exact statistics for one column from its values."""
+    from repro.relational.types import value_size
+
+    distinct = set()
+    nulls = 0
+    total_size = 0
+    count = 0
+    minimum = None
+    maximum = None
+    for value in values:
+        count += 1
+        total_size += value_size(value)
+        if value is None:
+            nulls += 1
+            continue
+        distinct.add(value)
+        try:
+            if minimum is None or value < minimum:
+                minimum = value
+            if maximum is None or value > maximum:
+                maximum = value
+        except TypeError:
+            # Heterogeneous or unorderable values: skip range tracking.
+            minimum = None
+            maximum = None
+    return ColumnStatistics(
+        name=name,
+        distinct_count=len(distinct),
+        null_count=nulls,
+        average_size=(total_size / count) if count else 0.0,
+        minimum=minimum,
+        maximum=maximum,
+    )
+
+
+def compute_table_statistics(schema: Schema, rows: Sequence[Row]) -> TableStatistics:
+    """Compute exact statistics for a relation given its schema and rows."""
+    from repro.relational.tuples import row_size
+
+    stats = TableStatistics(row_count=len(rows))
+    if rows:
+        stats.average_row_size = sum(row_size(row, schema) for row in rows) / len(rows)
+    for position, column in enumerate(schema.columns):
+        stats.columns[column.name] = compute_column_statistics(
+            column.name, (row[position] for row in rows)
+        )
+    return stats
+
+
+def merge_statistics(
+    left: TableStatistics, right: TableStatistics, estimated_rows: int
+) -> TableStatistics:
+    """Statistics for the result of joining two relations.
+
+    Column statistics are carried over from both sides; distinct counts are
+    capped at the estimated output cardinality.
+    """
+    merged = TableStatistics(
+        row_count=estimated_rows,
+        average_row_size=left.average_row_size + right.average_row_size,
+    )
+    for source in (left, right):
+        for name, column in source.columns.items():
+            capped = ColumnStatistics(
+                name=name,
+                distinct_count=min(column.distinct_count, max(1, estimated_rows)),
+                null_count=column.null_count,
+                average_size=column.average_size,
+                minimum=column.minimum,
+                maximum=column.maximum,
+            )
+            merged.columns.setdefault(name, capped)
+    return merged
+
+
+def scale_statistics(stats: TableStatistics, selectivity: float) -> TableStatistics:
+    """Statistics after a filter of the given selectivity."""
+    selectivity = min(max(selectivity, 0.0), 1.0)
+    new_rows = int(round(stats.row_count * selectivity))
+    scaled = TableStatistics(row_count=new_rows, average_row_size=stats.average_row_size)
+    for name, column in stats.columns.items():
+        scaled.columns[name] = ColumnStatistics(
+            name=name,
+            distinct_count=min(column.distinct_count, max(1, new_rows)),
+            null_count=min(column.null_count, new_rows),
+            average_size=column.average_size,
+            minimum=column.minimum,
+            maximum=column.maximum,
+        )
+    return scaled

@@ -1,0 +1,103 @@
+"""In-memory tables (heap files) with exact statistics."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import SchemaError, TypeMismatchError
+from repro.relational.schema import Schema
+from repro.relational.statistics import TableStatistics, compute_table_statistics
+from repro.relational.tuples import Row, row_size
+
+
+class Table:
+    """A named, in-memory relation.
+
+    Rows are validated against the schema on insertion.  Statistics are
+    recomputed lazily and cached; any mutation invalidates the cache.
+    """
+
+    def __init__(self, name: str, schema: Schema, rows: Optional[Iterable[Sequence[Any]]] = None) -> None:
+        self.name = name
+        # A table's own columns are qualified by the table name so that
+        # multi-table queries can disambiguate.
+        self.schema = schema if any(c.table for c in schema.columns) else schema.qualify(name)
+        self._rows: List[Row] = []
+        self._statistics: Optional[TableStatistics] = None
+        if rows is not None:
+            self.insert_many(rows)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> None:
+        """Insert one row, validating arity and column types."""
+        if len(values) != len(self.schema):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(self.schema)} values, got {len(values)}"
+            )
+        for column, value in zip(self.schema.columns, values):
+            try:
+                column.dtype.validate(value)
+            except TypeMismatchError as exc:
+                raise TypeMismatchError(
+                    f"column {column.qualified_name!r}: {exc}"
+                ) from exc
+        self._rows.append(Row(values))
+        self._statistics = None
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        for values in rows:
+            self.insert(values)
+
+    def insert_dicts(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Insert rows given as ``{column_name: value}`` mappings."""
+        names = self.schema.names()
+        for record in records:
+            unknown = set(record) - set(names)
+            if unknown:
+                raise SchemaError(
+                    f"table {self.name!r} has no columns {sorted(unknown)!r}"
+                )
+            self.insert([record.get(name) for name in names])
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._statistics = None
+
+    # -- access -----------------------------------------------------------------
+
+    @property
+    def rows(self) -> List[Row]:
+        """The rows of the table (do not mutate the returned list)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate over rows; semantically a sequential heap scan."""
+        return iter(self._rows)
+
+    @property
+    def statistics(self) -> TableStatistics:
+        """Exact statistics, recomputed after any mutation."""
+        if self._statistics is None:
+            self._statistics = compute_table_statistics(self.schema, self._rows)
+        return self._statistics
+
+    def average_row_size(self) -> float:
+        return self.statistics.average_row_size
+
+    def total_size(self) -> int:
+        """Total serialized size of the table in bytes."""
+        return sum(row_size(row, self.schema) for row in self._rows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All rows as dictionaries keyed by qualified column name."""
+        return [row.as_dict(self.schema) for row in self._rows]
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self._rows)}, schema={self.schema})"

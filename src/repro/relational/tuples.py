@@ -1,0 +1,61 @@
+"""Row representation and byte-accurate row sizing.
+
+Rows are plain immutable tuples wrapped in a tiny :class:`Row` subclass so
+they stay cheap to create and hashable, while still reading clearly in
+operator code.  All positional access goes through schema lookups performed
+once per operator (not once per row).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Sequence, Tuple
+
+from repro.relational.schema import Schema
+from repro.relational.types import value_size
+
+
+class Row(tuple):
+    """An immutable row of values aligned with some :class:`Schema`."""
+
+    __slots__ = ()
+
+    def __new__(cls, values: Iterable[Any]) -> "Row":
+        return super().__new__(cls, tuple(values))
+
+    def project(self, positions: Sequence[int]) -> "Row":
+        """Return a row containing only the values at ``positions``."""
+        return Row(self[position] for position in positions)
+
+    def concat(self, other: Sequence[Any]) -> "Row":
+        """Return this row followed by ``other`` (used by joins)."""
+        return Row(tuple(self) + tuple(other))
+
+    def append(self, value: Any) -> "Row":
+        """Return this row with ``value`` added at the end (UDF result)."""
+        return Row(tuple(self) + (value,))
+
+    def replace(self, position: int, value: Any) -> "Row":
+        values = list(self)
+        values[position] = value
+        return Row(values)
+
+    def as_dict(self, schema: Schema) -> Dict[str, Any]:
+        """Map qualified column names to values (for display and tests)."""
+        return dict(zip(schema.qualified_names(), self))
+
+
+def row_size(row: Sequence[Any], schema: Schema) -> int:
+    """Wire size of ``row`` in bytes under ``schema``'s column types."""
+    return sum(
+        column.dtype.serialized_size(value) for column, value in zip(schema.columns, row)
+    )
+
+
+def values_size(values: Sequence[Any]) -> int:
+    """Wire size of a bag of values whose types are not statically known."""
+    return sum(value_size(value) for value in values)
+
+
+def project_positions(schema: Schema, names: Sequence[str]) -> Tuple[int, ...]:
+    """Resolve ``names`` to positions once, for use in per-row projection."""
+    return tuple(schema.index_of(name) for name in names)

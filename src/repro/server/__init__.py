@@ -1,0 +1,27 @@
+"""Server-side engine facade.
+
+:class:`~repro.server.engine.Database` is the top-level entry point most
+users interact with: register tables and UDFs, then ``execute`` SQL.  The
+executor builds physical plans (either directly, strategy chosen by a
+:class:`~repro.core.strategies.StrategyConfig`, or through the extended
+System-R optimizer) and runs them against the network simulator, returning a
+:class:`~repro.server.result.QueryResult` that carries both the rows and the
+:class:`~repro.server.metrics.ExecutionMetrics` of the run.
+"""
+
+from repro.server.metrics import ExecutionMetrics
+from repro.server.result import QueryResult
+from repro.server.planner import build_plan, PlanBuildResult
+from repro.server.executor import Executor
+from repro.server.session import ClientSession
+from repro.server.engine import Database
+
+__all__ = [
+    "ExecutionMetrics",
+    "QueryResult",
+    "build_plan",
+    "PlanBuildResult",
+    "Executor",
+    "ClientSession",
+    "Database",
+]

@@ -1,0 +1,256 @@
+"""The top-level engine facade: :class:`Database`.
+
+A :class:`Database` bundles a catalog, a UDF registry, a client session (the
+network configuration and client runtime), and the execution machinery.  It
+is the public API most examples and benchmarks use::
+
+    db = Database(network=NetworkConfig.paper_symmetric())
+    db.create_table("StockQuotes", [("Name", STRING), ("Quotes", TIME_SERIES)])
+    db.register_client_udf("ClientAnalysis", analyse, result_dtype=FLOAT)
+    result = db.execute(
+        "SELECT S.Name FROM StockQuotes S WHERE ClientAnalysis(S.Quotes) > 500",
+        config=StrategyConfig.semi_join(),
+    )
+    print(result.metrics.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import OptimizerError
+from repro.client.registry import UdfRegistry
+from repro.client.udf import UdfDefinition, UdfSite
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
+from repro.network.topology import NetworkConfig
+from repro.relational.catalog import Catalog
+from repro.relational.schema import Column, Schema
+from repro.relational.table import Table
+from repro.relational.types import DataType, FLOAT
+from repro.server.executor import Executor
+from repro.server.result import QueryResult
+from repro.server.session import ClientSession
+from repro.sql.binder import Binder
+from repro.sql.logical import BoundQuery
+
+
+class Database:
+    """An in-memory ORDBMS with client-site UDF support."""
+
+    def __init__(
+        self,
+        network: Optional[NetworkConfig] = None,
+        default_config: Optional[StrategyConfig] = None,
+        use_client_result_cache: bool = True,
+    ) -> None:
+        self.catalog = Catalog()
+        self.udfs = UdfRegistry()
+        self.network = network if network is not None else NetworkConfig.paper_symmetric()
+        self.default_config = default_config if default_config is not None else StrategyConfig()
+        self.session = ClientSession(
+            self.network, registry=self.udfs, use_result_cache=use_client_result_cache
+        )
+
+    # -- schema management --------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Tuple[str, DataType]],
+        rows: Optional[Sequence[Sequence[Any]]] = None,
+        replace: bool = False,
+    ) -> Table:
+        """Create (and register) a table from ``(column, type)`` pairs."""
+        schema = Schema(Column(column_name, dtype) for column_name, dtype in columns)
+        table = Table(name, schema, rows=rows)
+        return self.catalog.register(table, replace=replace)
+
+    def register_table(self, table: Table, replace: bool = False) -> Table:
+        return self.catalog.register(table, replace=replace)
+
+    def drop_table(self, name: str) -> None:
+        self.catalog.drop(name)
+
+    # -- UDF management -----------------------------------------------------------------
+
+    def register_client_udf(
+        self,
+        name: str,
+        function: Callable[..., Any],
+        result_dtype: DataType = FLOAT,
+        result_size_bytes: Optional[int] = None,
+        cost_per_call_seconds: float = 0.0005,
+        selectivity: float = 0.5,
+        description: str = "",
+        replace: bool = False,
+    ) -> UdfDefinition:
+        """Register a client-site UDF (executed only at the client)."""
+        return self.udfs.register_function(
+            name,
+            function,
+            site=UdfSite.CLIENT,
+            result_dtype=result_dtype,
+            result_size_bytes=result_size_bytes,
+            cost_per_call_seconds=cost_per_call_seconds,
+            selectivity=selectivity,
+            description=description,
+            replace=replace,
+        )
+
+    def register_client_udf_source(
+        self,
+        name: str,
+        source: str,
+        entry_point: Optional[str] = None,
+        result_dtype: DataType = FLOAT,
+        result_size_bytes: Optional[int] = None,
+        cost_per_call_seconds: float = 0.0005,
+        selectivity: float = 0.5,
+        replace: bool = False,
+    ) -> UdfDefinition:
+        """Register an untrusted source-text UDF, compiled under the sandbox."""
+        return self.udfs.register_source(
+            name,
+            source,
+            entry_point=entry_point,
+            site=UdfSite.CLIENT,
+            result_dtype=result_dtype,
+            result_size_bytes=result_size_bytes,
+            cost_per_call_seconds=cost_per_call_seconds,
+            selectivity=selectivity,
+            replace=replace,
+        )
+
+    def register_server_udf(
+        self,
+        name: str,
+        function: Callable[..., Any],
+        result_dtype: DataType = FLOAT,
+        cost_per_call_seconds: float = 0.0001,
+        selectivity: float = 0.5,
+        description: str = "",
+        replace: bool = False,
+    ) -> UdfDefinition:
+        """Register an ordinary server-site UDF (evaluated inside the server)."""
+        return self.udfs.register_function(
+            name,
+            function,
+            site=UdfSite.SERVER,
+            result_dtype=result_dtype,
+            cost_per_call_seconds=cost_per_call_seconds,
+            selectivity=selectivity,
+            description=description,
+            replace=replace,
+        )
+
+    # -- parsing / binding ----------------------------------------------------------------
+
+    def bind(self, sql: str) -> BoundQuery:
+        """Parse and bind a SQL string without executing it."""
+        return Binder(self.catalog, self.udfs).bind_sql(sql)
+
+    def _server_functions(self) -> Dict[str, Callable[..., Any]]:
+        return self.udfs.callables(UdfSite.SERVER)
+
+    # -- execution ---------------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Union[str, BoundQuery],
+        config: Optional[StrategyConfig] = None,
+        strategy: Optional[ExecutionStrategy] = None,
+        deliver_results: bool = False,
+        optimize: bool = False,
+        udf_order: Optional[Sequence[str]] = None,
+    ) -> QueryResult:
+        """Execute ``query`` (SQL text or a bound query) and return the result.
+
+        ``config`` selects the client-site UDF execution strategy explicitly;
+        ``strategy`` is a shorthand for ``default_config.with_strategy(...)``.
+        With ``optimize=True`` the extended System-R optimizer chooses the
+        join/UDF order and per-UDF strategy instead (``config`` then only
+        supplies the tunables such as the concurrency factor).
+        """
+        bound = self.bind(query) if isinstance(query, str) else query
+        if config is None:
+            config = self.default_config
+        if strategy is not None:
+            config = config.with_strategy(strategy)
+
+        context = self.session.new_context()
+        executor = Executor(context, server_functions=self._server_functions())
+
+        if optimize:
+            from repro.core.optimizer import Optimizer
+
+            optimizer = Optimizer(self.network, default_config=config)
+            decision = optimizer.optimize(bound)
+            return executor.execute_query(
+                bound,
+                config=decision.strategy_config,
+                deliver_results=deliver_results,
+                udf_order=decision.udf_order,
+            )
+
+        return executor.execute_query(
+            bound, config=config, deliver_results=deliver_results, udf_order=udf_order
+        )
+
+    def explain(
+        self,
+        query: Union[str, BoundQuery],
+        config: Optional[StrategyConfig] = None,
+        optimize: bool = False,
+    ) -> str:
+        """The physical plan (and, with ``optimize=True``, the optimizer's choice)."""
+        from repro.server.planner import build_plan
+
+        bound = self.bind(query) if isinstance(query, str) else query
+        config = config if config is not None else self.default_config
+        context = self.session.new_context()
+
+        lines: List[str] = []
+        udf_order = None
+        if optimize:
+            from repro.core.optimizer import Optimizer
+
+            optimizer = Optimizer(self.network, default_config=config)
+            decision = optimizer.optimize(bound)
+            config = decision.strategy_config
+            udf_order = decision.udf_order
+            lines.append(decision.describe())
+        plan = build_plan(
+            bound,
+            context,
+            config=config,
+            server_functions=self._server_functions(),
+            udf_order=udf_order,
+        )
+        lines.append(plan.explain())
+        return "\n".join(lines)
+
+    # -- comparisons (used heavily by benchmarks) ----------------------------------------------
+
+    def compare_strategies(
+        self,
+        query: Union[str, BoundQuery],
+        strategies: Optional[Sequence[ExecutionStrategy]] = None,
+        config: Optional[StrategyConfig] = None,
+        deliver_results: bool = False,
+    ) -> Dict[ExecutionStrategy, QueryResult]:
+        """Execute the same query under several strategies and return all results."""
+        bound = self.bind(query) if isinstance(query, str) else query
+        strategies = list(strategies) if strategies is not None else list(ExecutionStrategy)
+        base = config if config is not None else self.default_config
+        results: Dict[ExecutionStrategy, QueryResult] = {}
+        for strategy in strategies:
+            results[strategy] = self.execute(
+                bound, config=base.with_strategy(strategy), deliver_results=deliver_results
+            )
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(tables={self.catalog.table_names()}, udfs={self.udfs.names()}, "
+            f"network={self.network.name!r})"
+        )

@@ -1,0 +1,141 @@
+"""The executor: runs physical plans and gathers metrics."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.core.execution.base import RemoteUdfOperator
+from repro.core.execution.context import RemoteExecutionContext
+from repro.core.strategies import StrategyConfig
+from repro.client.protocol import FinalResultBatch
+from repro.network.message import Message, MessageKind
+from repro.relational.operators.base import Operator
+from repro.relational.tuples import Row, row_size
+from repro.server.metrics import ExecutionMetrics
+from repro.server.planner import PlanBuildResult, build_plan
+from repro.server.result import QueryResult
+from repro.sql.logical import BoundQuery
+
+
+class Executor:
+    """Executes bound queries (or pre-built plans) on a remote execution context."""
+
+    def __init__(
+        self,
+        context: RemoteExecutionContext,
+        server_functions: Optional[Dict[str, Callable[..., Any]]] = None,
+    ) -> None:
+        self.context = context
+        self.server_functions = server_functions or {}
+
+    # -- query execution ------------------------------------------------------------------
+
+    def execute_query(
+        self,
+        query: BoundQuery,
+        config: Optional[StrategyConfig] = None,
+        deliver_results: bool = False,
+        udf_order: Optional[Sequence[str]] = None,
+    ) -> QueryResult:
+        """Plan and execute ``query``; optionally ship the answer to the client."""
+        plan = build_plan(
+            query,
+            self.context,
+            config=config,
+            server_functions=self.server_functions,
+            udf_order=udf_order,
+        )
+        return self.execute_plan(plan, config=config, deliver_results=deliver_results)
+
+    def execute_plan(
+        self,
+        plan: PlanBuildResult,
+        config: Optional[StrategyConfig] = None,
+        deliver_results: bool = False,
+    ) -> QueryResult:
+        """Execute an already-built plan."""
+        root = plan.root
+        try:
+            rows = root.run()
+        except ExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surface plan failures uniformly
+            raise ExecutionError(f"plan execution failed: {exc}") from exc
+
+        if deliver_results:
+            self._deliver_results(root, rows)
+
+        metrics = self._collect_metrics(plan, rows, config)
+        return QueryResult(
+            schema=root.output_schema(),
+            rows=rows,
+            metrics=metrics,
+            plan_text=root.explain(),
+        )
+
+    # -- result delivery --------------------------------------------------------------------
+
+    def _deliver_results(self, root: Operator, rows: List[Row]) -> None:
+        """Ship the final result rows to the client over the downlink.
+
+        This models the paper's "result operator": for most queries the answer
+        ultimately travels to the client, and that transfer competes for the
+        same downlink the execution strategies use.
+        """
+        schema = root.output_schema()
+        payload_bytes = sum(row_size(row, schema) for row in rows)
+        channel = self.context.channel
+        client = self.context.client
+        simulator = self.context.simulator
+
+        def deliver():
+            message = Message(
+                kind=MessageKind.FINAL_RESULTS,
+                payload=FinalResultBatch(rows=[tuple(row) for row in rows]),
+                payload_bytes=payload_bytes,
+                description=f"final results ({len(rows)} rows)",
+            )
+            yield channel.send_to_client(message)
+            from repro.network.message import end_of_stream
+
+            yield channel.send_to_client(end_of_stream())
+            yield channel.receive_at_server()
+
+        serve = client.start(simulator, channel)
+        process = simulator.process(deliver(), name="result-delivery")
+        simulator.run()
+        if not process.triggered or process._exception is not None:
+            raise ExecutionError("result delivery to the client failed")
+        if serve.triggered and serve._exception is not None:
+            raise ExecutionError("client runtime failed during result delivery")
+
+    # -- metrics ------------------------------------------------------------------------------
+
+    def _collect_metrics(
+        self,
+        plan: PlanBuildResult,
+        rows: List[Row],
+        config: Optional[StrategyConfig],
+    ) -> ExecutionMetrics:
+        client = self.context.client
+        concurrency = None
+        input_rows = 0
+        for operator in plan.remote_operators:
+            input_rows = max(input_rows, operator.input_row_count)
+            factor = getattr(operator, "concurrency_factor_used", None)
+            if factor is not None:
+                concurrency = factor
+        return ExecutionMetrics.from_run(
+            elapsed_seconds=self.context.elapsed_seconds,
+            channel_stats=self.context.channel_stats,
+            udf_invocations=client.udf_invocations,
+            client_cache_hits=client.cache_hits,
+            client_compute_seconds=client.compute_seconds,
+            rows_returned=len(rows),
+            input_rows=input_rows,
+            remote_operations=self.context.remote_operations,
+            strategy=(config.strategy if config is not None else plan.strategy),
+            concurrency_factor=concurrency,
+            plan_description=plan.explain(),
+        )

@@ -1,0 +1,93 @@
+"""Execution metrics collected for every query run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.strategies import ExecutionStrategy
+from repro.network.stats import ChannelStats
+
+
+@dataclass
+class ExecutionMetrics:
+    """What a query execution cost, in simulated time and network bytes.
+
+    ``elapsed_seconds`` is the simulated wall-clock time of the whole query
+    on its connection (the quantity the paper's figures plot).  The byte
+    counters come straight from the links, so the cost model can be validated
+    against them.
+    """
+
+    elapsed_seconds: float = 0.0
+    downlink_bytes: int = 0
+    uplink_bytes: int = 0
+    downlink_messages: int = 0
+    uplink_messages: int = 0
+    downlink_bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    uplink_bytes_by_kind: Dict[str, int] = field(default_factory=dict)
+    udf_invocations: int = 0
+    client_cache_hits: int = 0
+    client_compute_seconds: float = 0.0
+    rows_returned: int = 0
+    input_rows: int = 0
+    remote_operations: int = 0
+    strategy: Optional[ExecutionStrategy] = None
+    concurrency_factor: Optional[int] = None
+    plan_description: str = ""
+
+    @classmethod
+    def from_run(
+        cls,
+        elapsed_seconds: float,
+        channel_stats: ChannelStats,
+        udf_invocations: int,
+        client_cache_hits: int,
+        client_compute_seconds: float,
+        rows_returned: int,
+        input_rows: int = 0,
+        remote_operations: int = 0,
+        strategy: Optional[ExecutionStrategy] = None,
+        concurrency_factor: Optional[int] = None,
+        plan_description: str = "",
+    ) -> "ExecutionMetrics":
+        return cls(
+            elapsed_seconds=elapsed_seconds,
+            downlink_bytes=channel_stats.downlink.total_bytes,
+            uplink_bytes=channel_stats.uplink.total_bytes,
+            downlink_messages=channel_stats.downlink.message_count,
+            uplink_messages=channel_stats.uplink.message_count,
+            downlink_bytes_by_kind=dict(channel_stats.downlink.bytes_by_kind),
+            uplink_bytes_by_kind=dict(channel_stats.uplink.bytes_by_kind),
+            udf_invocations=udf_invocations,
+            client_cache_hits=client_cache_hits,
+            client_compute_seconds=client_compute_seconds,
+            rows_returned=rows_returned,
+            input_rows=input_rows,
+            remote_operations=remote_operations,
+            strategy=strategy,
+            concurrency_factor=concurrency_factor,
+            plan_description=plan_description,
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        return self.downlink_bytes + self.uplink_bytes
+
+    @property
+    def elapsed_milliseconds(self) -> float:
+        return self.elapsed_seconds * 1000.0
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable summary."""
+        strategy = self.strategy.value if self.strategy else "n/a"
+        return (
+            f"elapsed {self.elapsed_seconds:.3f}s | strategy {strategy} | "
+            f"downlink {self.downlink_bytes} B in {self.downlink_messages} msgs | "
+            f"uplink {self.uplink_bytes} B in {self.uplink_messages} msgs | "
+            f"UDF invocations {self.udf_invocations} (cache hits {self.client_cache_hits}) | "
+            f"rows {self.rows_returned}"
+        )
+
+    def __str__(self) -> str:
+        return self.summary()

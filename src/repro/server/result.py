@@ -1,0 +1,89 @@
+"""Query results: rows plus the metrics of the run that produced them."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema
+from repro.relational.tuples import Row
+from repro.server.metrics import ExecutionMetrics
+
+
+class QueryResult:
+    """The outcome of executing one query."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Sequence[Row],
+        metrics: Optional[ExecutionMetrics] = None,
+        plan_text: str = "",
+    ) -> None:
+        self.schema = schema
+        self.rows: List[Row] = [row if isinstance(row, Row) else Row(row) for row in rows]
+        self.metrics = metrics if metrics is not None else ExecutionMetrics()
+        self.plan_text = plan_text
+
+    # -- row access --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self.rows[index]
+
+    def column_names(self) -> List[str]:
+        return self.schema.names()
+
+    def column(self, name: str) -> List[Any]:
+        """All values of the named output column."""
+        position = self.schema.index_of(name)
+        return [row[position] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [row.as_dict(self.schema) for row in self.rows]
+
+    def row_set(self) -> List[tuple]:
+        """Rows as a sorted list of plain tuples, for order-insensitive comparison."""
+        return sorted((tuple(row) for row in self.rows), key=repr)
+
+    def single_value(self) -> Any:
+        """The single value of a 1×1 result, or raise."""
+        if len(self.rows) != 1 or len(self.schema) != 1:
+            raise SchemaError(
+                f"expected a single value but the result is {len(self.rows)}x{len(self.schema)}"
+            )
+        return self.rows[0][0]
+
+    # -- display -------------------------------------------------------------------------
+
+    def format_table(self, max_rows: int = 20) -> str:
+        """A plain-text rendering of the result, for examples and debugging."""
+        names = self.schema.names()
+        shown = self.rows[:max_rows]
+        cells = [[self._render(value) for value in row] for row in shown]
+        widths = [len(name) for name in names]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        header = " | ".join(name.ljust(widths[index]) for index, name in enumerate(names))
+        separator = "-+-".join("-" * width for width in widths)
+        lines = [header, separator]
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _render(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    def __repr__(self) -> str:
+        return f"QueryResult(rows={len(self.rows)}, columns={self.schema.names()})"

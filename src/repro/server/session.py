@@ -1,0 +1,50 @@
+"""Client sessions: one connected client with its network and UDF registry."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.client.registry import UdfRegistry
+from repro.client.runtime import ClientRuntime
+from repro.core.execution.context import RemoteExecutionContext
+from repro.network.topology import NetworkConfig
+
+
+class ClientSession:
+    """One client connection to the server.
+
+    A session fixes the network configuration and the client's UDF registry.
+    Each query executed in the session gets a *fresh* execution context (its
+    own simulator and channel) so that per-query elapsed times and byte
+    counts are independent, which is what the experiments measure.
+    """
+
+    def __init__(
+        self,
+        network: NetworkConfig,
+        registry: Optional[UdfRegistry] = None,
+        name: str = "client",
+        use_result_cache: bool = True,
+    ) -> None:
+        self.network = network
+        self.registry = registry if registry is not None else UdfRegistry()
+        self.name = name
+        self.use_result_cache = use_result_cache
+        self.queries_executed = 0
+
+    def new_context(self) -> RemoteExecutionContext:
+        """A fresh execution context (simulator + channel + client runtime)."""
+        self.queries_executed += 1
+        client = ClientRuntime(
+            registry=self.registry,
+            name=f"{self.name}-{self.queries_executed}",
+            use_result_cache=self.use_result_cache,
+        )
+        return RemoteExecutionContext.create(
+            self.network,
+            client=client,
+            channel_name=f"{self.name}.channel{self.queries_executed}",
+        )
+
+    def __repr__(self) -> str:
+        return f"ClientSession({self.name!r}, network={self.network.name!r})"

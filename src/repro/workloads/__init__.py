@@ -1,0 +1,40 @@
+"""Workload generators for the paper's experiments and the examples.
+
+* :mod:`repro.workloads.synthetic` — generic relations of sized data objects
+  with controllable duplicate ratios, plus synthetic UDFs with declared
+  result sizes and selectivities (what Section 4's experiments use);
+* :mod:`repro.workloads.stock` — the stock-market scenario of the paper's
+  introduction (StockQuotes, Estimations, ClientAnalysis, Volatility);
+* :mod:`repro.workloads.experiments` — parameter sweeps that regenerate each
+  figure of the evaluation section.
+"""
+
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    make_object_relation,
+    make_udf_relation,
+    register_identity_udf,
+    register_sized_udf,
+    register_threshold_udf,
+)
+from repro.workloads.stock import StockWorkload
+from repro.workloads.experiments import (
+    ConcurrencySweep,
+    SelectivitySweep,
+    ResultSizeSweep,
+    ExperimentPoint,
+)
+
+__all__ = [
+    "SyntheticWorkload",
+    "make_object_relation",
+    "make_udf_relation",
+    "register_identity_udf",
+    "register_sized_udf",
+    "register_threshold_udf",
+    "StockWorkload",
+    "ConcurrencySweep",
+    "SelectivitySweep",
+    "ResultSizeSweep",
+    "ExperimentPoint",
+]

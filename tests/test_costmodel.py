@@ -1,0 +1,189 @@
+"""Tests for the Section 3.2 cost model and the B·T concurrency analysis."""
+
+import math
+
+import pytest
+
+from repro.core.concurrency import analyze_pipeline, recommended_concurrency_factor
+from repro.core.costmodel import CostModel, CostParameters
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
+from repro.network.topology import NetworkConfig
+
+
+def params(**overrides):
+    base = dict(
+        argument_fraction=0.5,
+        distinct_fraction=1.0,
+        selectivity=0.5,
+        projection_fraction=0.75,
+        input_record_bytes=1000,
+        result_bytes=1000,
+        asymmetry=1.0,
+    )
+    base.update(overrides)
+    return CostParameters(**base)
+
+
+class TestCostFormulas:
+    def test_semi_join_bytes_match_paper_formulas(self):
+        p = params(distinct_fraction=0.6)
+        cost = CostModel(p).semi_join_cost()
+        assert cost.downlink_bytes == pytest.approx(0.6 * 0.5 * 1000)
+        assert cost.uplink_bytes == pytest.approx(0.6 * 1000)
+        assert cost.weighted_uplink_bytes == pytest.approx(0.6 * 1000)
+
+    def test_client_site_join_bytes_match_paper_formulas(self):
+        p = params(selectivity=0.4, projection_fraction=0.8, asymmetry=10.0)
+        cost = CostModel(p).client_site_join_cost()
+        assert cost.downlink_bytes == pytest.approx(1000)
+        assert cost.uplink_bytes == pytest.approx(2000 * 0.8 * 0.4)
+        assert cost.weighted_uplink_bytes == pytest.approx(10 * 2000 * 0.8 * 0.4)
+
+    def test_bottleneck_is_max_of_links(self):
+        cost = CostModel(params()).client_site_join_cost()
+        assert cost.bottleneck_bytes == max(cost.downlink_bytes, cost.weighted_uplink_bytes)
+
+    def test_paper_experiment_projection_convention(self):
+        p = CostParameters.paper_experiment(
+            input_record_bytes=1000, argument_fraction=0.5, result_bytes=1000, selectivity=1.0
+        )
+        # P * (I + R) = I * (1 - A) + R
+        assert p.projection_fraction * (p.I + p.R) == pytest.approx(1000 * 0.5 + 1000)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            params(argument_fraction=1.5)
+        with pytest.raises(ValueError):
+            params(distinct_fraction=0.0)
+        with pytest.raises(ValueError):
+            params(selectivity=-0.1)
+        with pytest.raises(ValueError):
+            params(input_record_bytes=0)
+        with pytest.raises(ValueError):
+            params(asymmetry=0)
+
+
+class TestStrategyChoice:
+    def test_relative_time_flat_then_linear_in_selectivity(self):
+        """The Figure 8 curve shape: flat while downlink-bound, then rising."""
+        ratios = []
+        for selectivity in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]:
+            p = CostParameters.paper_experiment(1000, 0.5, 1000, selectivity)
+            ratios.append(CostModel(p).relative_time())
+        assert ratios[0] == pytest.approx(ratios[1])  # flat region
+        assert ratios[-1] > ratios[-2] > ratios[2]  # rising region
+        # monotone non-decreasing overall
+        assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:]))
+
+    def test_knee_matches_paper_example(self):
+        """For result size 1000, I=1000, A=0.5 the knee is near selectivity 0.6."""
+        p = CostParameters.paper_experiment(1000, 0.5, 1000, selectivity=0.5)
+        knee = CostModel(p).csj_knee_selectivity()
+        assert knee == pytest.approx(1000 / (0.75 * 2000), rel=1e-6)
+        assert 0.6 < knee < 0.7
+
+    def test_asymmetric_network_removes_flat_region(self):
+        """With N=100 the downlink never binds (Figure 9)."""
+        p = CostParameters.paper_experiment(5000, 0.8, 5000, selectivity=0.5, asymmetry=100.0)
+        knee = CostModel(p).csj_knee_selectivity()
+        assert knee < 0.01
+
+    def test_preferred_strategy_switches_with_selectivity(self):
+        selective = CostParameters.paper_experiment(1000, 0.5, 2000, selectivity=0.1)
+        unselective = CostParameters.paper_experiment(1000, 0.5, 2000, selectivity=1.0)
+        assert CostModel(selective).preferred_strategy() is ExecutionStrategy.CLIENT_SITE_JOIN
+        assert CostModel(unselective).preferred_strategy() is ExecutionStrategy.SEMI_JOIN
+
+    def test_breakeven_selectivity_consistency(self):
+        p = CostParameters.paper_experiment(1000, 0.5, 2000, selectivity=0.5)
+        model = CostModel(p)
+        breakeven = model.breakeven_selectivity()
+        assert breakeven is not None
+        at_breakeven = CostModel(p.with_selectivity(breakeven))
+        assert at_breakeven.relative_time() == pytest.approx(1.0, rel=1e-6)
+
+    def test_breakeven_result_size_consistency(self):
+        p = CostParameters.paper_experiment(500, 0.2, 100, selectivity=0.5)
+        model = CostModel(p)
+        breakeven = model.breakeven_result_size()
+        assert breakeven is not None and breakeven > 0
+        at_breakeven = CostModel(p.with_result_bytes(breakeven))
+        assert at_breakeven.relative_time() == pytest.approx(1.0, rel=1e-3)
+
+    def test_selectivity_one_never_crosses_below_one(self):
+        """The S=1.0 curve of Figure 10 never makes the CSJ cheaper."""
+        for result_size in [0, 100, 500, 1000, 5000, 50000]:
+            p = CostParameters.paper_experiment(500, 0.2, result_size, selectivity=1.0)
+            assert CostModel(p).relative_time() >= 1.0 - 1e-9
+
+    def test_ratio_approaches_selectivity_for_large_results(self):
+        """The Figure 10 curves asymptote to their selectivity."""
+        for selectivity in (0.25, 0.5, 0.75):
+            p = CostParameters.paper_experiment(500, 0.2, 10_000_000, selectivity=selectivity)
+            assert CostModel(p).relative_time() == pytest.approx(selectivity, rel=0.01)
+
+    def test_duplicates_help_only_the_semi_join(self):
+        unique = CostModel(params(distinct_fraction=1.0))
+        duplicated = CostModel(params(distinct_fraction=0.25))
+        assert (
+            duplicated.semi_join_cost().bottleneck_bytes
+            < unique.semi_join_cost().bottleneck_bytes
+        )
+        assert (
+            duplicated.client_site_join_cost().bottleneck_bytes
+            == unique.client_site_join_cost().bottleneck_bytes
+        )
+
+    def test_all_costs_enumerates_strategies(self):
+        costs = CostModel(params()).all_costs()
+        assert set(costs) == set(ExecutionStrategy)
+
+
+class TestConcurrencyAnalysis:
+    def test_bt_product_matches_hand_computation(self):
+        network = NetworkConfig.symmetric(3600.0, latency=0.4)
+        analysis = analyze_pipeline(
+            network, request_payload_bytes=1000, response_payload_bytes=1000,
+            client_seconds_per_tuple=0.03,
+        )
+        expected_round_trip = 2 * (1016 / 3600.0) + 0.8 + 0.03
+        assert analysis.round_trip_seconds == pytest.approx(expected_round_trip)
+        assert analysis.bottleneck_stage in ("downlink", "uplink")
+        assert analysis.optimal_concurrency == pytest.approx(
+            expected_round_trip / (1016 / 3600.0)
+        )
+
+    def test_larger_objects_need_smaller_factors(self):
+        network = NetworkConfig.symmetric(3600.0, latency=0.4)
+        small = recommended_concurrency_factor(network, 100, 100, 0.03)
+        large = recommended_concurrency_factor(network, 1000, 1000, 0.03)
+        assert small > large >= 1
+
+    def test_client_can_be_the_bottleneck(self):
+        network = NetworkConfig.lan()
+        analysis = analyze_pipeline(network, 100, 100, client_seconds_per_tuple=0.5)
+        assert analysis.bottleneck_stage == "client"
+
+    def test_factor_is_at_least_one(self):
+        network = NetworkConfig.lan(latency=0.0)
+        assert recommended_concurrency_factor(network, 10, 10) >= 1
+
+
+class TestStrategyConfig:
+    def test_constructors(self):
+        assert StrategyConfig.naive().strategy is ExecutionStrategy.NAIVE
+        assert StrategyConfig.semi_join(concurrency_factor=7).concurrency_factor == 7
+        assert StrategyConfig.client_site_join().push_predicates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StrategyConfig(concurrency_factor=0)
+        with pytest.raises(ValueError):
+            StrategyConfig(batch_size=0)
+
+    def test_with_strategy_and_concurrency_are_copies(self):
+        base = StrategyConfig.semi_join()
+        other = base.with_strategy(ExecutionStrategy.NAIVE)
+        assert base.strategy is ExecutionStrategy.SEMI_JOIN
+        assert other.strategy is ExecutionStrategy.NAIVE
+        assert base.with_concurrency(3).concurrency_factor == 3

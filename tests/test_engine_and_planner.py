@@ -1,0 +1,213 @@
+"""End-to-end tests of the Database engine, planner, executor and metrics."""
+
+import pytest
+
+from repro.errors import BindError, CatalogError
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
+from repro.network.topology import NetworkConfig
+from repro.relational.types import FLOAT, INTEGER, STRING, TIME_SERIES, TimeSeries
+from repro.server.engine import Database
+from repro.server.planner import build_plan, find_remote_operators
+from repro.workloads.stock import StockWorkload
+
+FAST = NetworkConfig.symmetric(2_000_000.0, latency=0.0005, name="fast")
+
+
+@pytest.fixture
+def db():
+    database = Database(network=FAST)
+    database.create_table(
+        "StockQuotes",
+        [("Name", STRING), ("Quotes", TIME_SERIES), ("Change", FLOAT), ("Close", FLOAT)],
+        rows=[
+            ["Alpha", TimeSeries([10, 12, 15]), 3.0, 15.0],
+            ["Beta", TimeSeries([30, 28, 27]), -1.0, 27.0],
+            ["Gamma", TimeSeries([5, 9, 14]), 5.0, 14.0],
+            ["Delta", TimeSeries([100, 101, 99]), -2.0, 99.0],
+        ],
+    )
+    database.create_table(
+        "Estimations",
+        [("CompanyName", STRING), ("Rating", INTEGER)],
+        rows=[["Alpha", 4], ["Beta", 2], ["Gamma", 4], ["Gamma", 1]],
+    )
+    database.register_client_udf(
+        "Score",
+        lambda quotes: sum(quotes) / len(quotes),
+        result_dtype=FLOAT,
+        result_size_bytes=8,
+        selectivity=0.5,
+    )
+    database.register_client_udf(
+        "Stars",
+        lambda quotes: min(5, max(1, int(quotes[-1] // 10) + 1)),
+        result_dtype=INTEGER,
+        result_size_bytes=4,
+        selectivity=0.3,
+    )
+    database.register_server_udf("Half", lambda x: x / 2.0, result_dtype=FLOAT)
+    return database
+
+
+class TestBasicSql:
+    def test_projection_and_filter_without_udfs(self, db):
+        result = db.execute("SELECT S.Name FROM StockQuotes S WHERE S.Close > 20")
+        assert sorted(result.column("Name")) == ["Beta", "Delta"]
+        assert result.metrics.udf_invocations == 0
+
+    def test_join_query(self, db):
+        result = db.execute(
+            "SELECT S.Name, E.Rating FROM StockQuotes S, Estimations E "
+            "WHERE S.Name = E.CompanyName AND E.Rating > 3"
+        )
+        assert sorted(result.column("Name")) == ["Alpha", "Gamma"]
+
+    def test_order_by_distinct_limit(self, db):
+        result = db.execute(
+            "SELECT DISTINCT E.CompanyName FROM Estimations E ORDER BY E.CompanyName LIMIT 2"
+        )
+        assert result.column("CompanyName") == ["Alpha", "Beta"]
+
+    def test_arithmetic_and_server_udf(self, db):
+        result = db.execute("SELECT S.Name, Half(S.Close) AS HalfClose FROM StockQuotes S WHERE S.Name = 'Alpha'")
+        assert result.rows[0][1] == pytest.approx(7.5)
+
+    def test_result_helpers(self, db):
+        result = db.execute("SELECT S.Name, S.Close FROM StockQuotes S ORDER BY S.Close")
+        assert result.column_names() == ["Name", "Close"]
+        assert len(result.to_dicts()) == 4
+        table_text = result.format_table()
+        assert "Name" in table_text and "Alpha" in table_text
+
+    def test_errors(self, db):
+        with pytest.raises(BindError):
+            db.execute("SELECT Missing FROM StockQuotes S")
+        with pytest.raises(CatalogError):
+            db.create_table("StockQuotes", [("x", INTEGER)])
+
+
+class TestClientUdfQueries:
+    QUERY = "SELECT S.Name, Score(S.Quotes) AS s FROM StockQuotes S WHERE Score(S.Quotes) > 12"
+
+    def test_strategies_agree_on_rows(self, db):
+        results = db.compare_strategies(self.QUERY)
+        row_sets = [result.row_set() for result in results.values()]
+        assert row_sets[0] == row_sets[1] == row_sets[2]
+        assert len(row_sets[0]) == 3  # Alpha (12.3), Beta (28.3) and Delta (100)
+
+    def test_metrics_are_populated(self, db):
+        result = db.execute(self.QUERY, config=StrategyConfig.semi_join())
+        metrics = result.metrics
+        assert metrics.strategy is ExecutionStrategy.SEMI_JOIN
+        assert metrics.downlink_bytes > 0 and metrics.uplink_bytes > 0
+        assert metrics.udf_invocations == 4
+        assert metrics.elapsed_seconds > 0
+        assert "semi_join" in metrics.summary()
+
+    def test_udf_in_select_only(self, db):
+        result = db.execute("SELECT S.Name, Stars(S.Quotes) AS r FROM StockQuotes S")
+        assert len(result) == 4
+        assert all(isinstance(row[1], int) for row in result)
+
+    def test_two_udfs_in_one_query(self, db):
+        result = db.execute(
+            "SELECT S.Name, Score(S.Quotes) AS s, Stars(S.Quotes) AS r "
+            "FROM StockQuotes S WHERE Stars(S.Quotes) >= 2"
+        )
+        assert len(result) >= 1
+        assert result.metrics.remote_operations >= 2
+
+    def test_udf_join_with_rating(self, db):
+        query = (
+            "SELECT S.Name, E.Rating FROM StockQuotes S, Estimations E "
+            "WHERE S.Name = E.CompanyName AND Stars(S.Quotes) = E.Rating"
+        )
+        results = db.compare_strategies(query)
+        row_sets = [result.row_set() for result in results.values()]
+        assert row_sets[0] == row_sets[1] == row_sets[2]
+
+    def test_deliver_results_adds_downlink_traffic(self, db):
+        plain = db.execute(self.QUERY, config=StrategyConfig.semi_join())
+        delivered = db.execute(self.QUERY, config=StrategyConfig.semi_join(), deliver_results=True)
+        assert delivered.metrics.downlink_bytes > plain.metrics.downlink_bytes
+        assert delivered.row_set() == plain.row_set()
+
+    def test_explain_shows_plan(self, db):
+        text = db.explain(self.QUERY, config=StrategyConfig.client_site_join())
+        assert "ClientSiteJoinOperator" in text
+        assert "TableScan(StockQuotes" in text
+
+    def test_udf_order_override(self, db):
+        query = (
+            "SELECT S.Name FROM StockQuotes S "
+            "WHERE Score(S.Quotes) > 12 AND Stars(S.Quotes) >= 2"
+        )
+        first = db.execute(query, udf_order=["Score", "Stars"])
+        second = db.execute(query, udf_order=["Stars", "Score"])
+        assert first.row_set() == second.row_set()
+
+    def test_sandboxed_source_udf_end_to_end(self, db):
+        db.register_client_udf_source(
+            "Momentum",
+            "def Momentum(quotes):\n    return quotes[-1] - quotes[0]\n",
+            result_dtype=FLOAT,
+            result_size_bytes=8,
+        )
+        result = db.execute("SELECT S.Name FROM StockQuotes S WHERE Momentum(S.Quotes) > 0")
+        assert sorted(result.column("Name")) == ["Alpha", "Gamma"]
+
+
+class TestPlannerDetails:
+    def test_remote_operator_discovery_and_strategy_override(self, db):
+        bound = db.bind(
+            "SELECT S.Name, Score(S.Quotes) AS s, Stars(S.Quotes) AS r FROM StockQuotes S"
+        )
+        context = db.session.new_context()
+        plan = build_plan(
+            bound,
+            context,
+            config=StrategyConfig.semi_join(),
+            udf_strategies={"Stars": ExecutionStrategy.CLIENT_SITE_JOIN},
+        )
+        operators = find_remote_operators(plan.root)
+        assert len(operators) == 2
+        names = {type(op).__name__ for op in operators}
+        assert names == {"SemiJoinUdfOperator", "ClientSiteJoinOperator"}
+
+    def test_single_table_predicates_applied_before_udf(self, db):
+        bound = db.bind(
+            "SELECT S.Name FROM StockQuotes S WHERE S.Close > 20 AND Score(S.Quotes) > 12"
+        )
+        context = db.session.new_context()
+        plan = build_plan(bound, context, config=StrategyConfig.semi_join())
+        text = plan.explain()
+        # The server-evaluable filter sits below the remote UDF operator.
+        assert text.index("SemiJoinUdfOperator") < text.index("Filter(S.Close > 20")
+
+    def test_table_order_override(self, db):
+        bound = db.bind(
+            "SELECT S.Name, E.Rating FROM StockQuotes S, Estimations E "
+            "WHERE S.Name = E.CompanyName"
+        )
+        context = db.session.new_context()
+        plan = build_plan(bound, context, table_order=["E", "S"])
+        text = plan.explain()
+        assert text.index("TableScan(Estimations") < text.index("TableScan(StockQuotes")
+
+
+class TestStockWorkloadQueries:
+    def test_figure1_query_all_strategies(self, stock_db):
+        results = stock_db.compare_strategies(StockWorkload.figure1_query())
+        row_sets = [result.row_set() for result in results.values()]
+        assert row_sets[0] == row_sets[1] == row_sets[2]
+        assert len(row_sets[0]) > 0
+
+    def test_figure11_query_all_strategies(self, stock_db):
+        results = stock_db.compare_strategies(StockWorkload.figure11_query())
+        row_sets = [result.row_set() for result in results.values()]
+        assert row_sets[0] == row_sets[1] == row_sets[2]
+
+    def test_figure13_query_executes(self, stock_db):
+        result = stock_db.execute(StockWorkload.figure13_query(), config=StrategyConfig.semi_join())
+        assert result.column_names() == ["Name", "BrokerName", "Vol"]
+        assert all(row[2] >= 0 for row in result)

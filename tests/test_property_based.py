@@ -1,0 +1,196 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.costmodel import CostModel, CostParameters
+from repro.core.strategies import StrategyConfig
+from repro.network.resources import Store
+from repro.network.simulator import Simulator
+from repro.network.topology import NetworkConfig
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.relational.operators import Distinct, HashJoin, MergeJoin, Sort, TableScan
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.types import DataObject, INTEGER
+from repro.workloads.experiments import run_workload_point
+from repro.workloads.synthetic import SyntheticWorkload
+
+FAST = NetworkConfig.symmetric(2_000_000.0, latency=0.0005, name="prop-fast")
+
+
+def int_table(name, column, values):
+    return Table(name, Schema.of((column, INTEGER)), rows=[[v] for v in values])
+
+
+# ---------------------------------------------------------------------------
+# Relational operator algebra
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=-20, max_value=20), max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_distinct_matches_set_semantics(values):
+    table = int_table("t", "v", values)
+    result = [row[0] for row in Distinct(TableScan(table)).run()]
+    assert result == list(dict.fromkeys(values))
+
+
+@given(st.lists(st.integers(min_value=-50, max_value=50), max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_sort_matches_python_sorted(values):
+    table = int_table("t", "v", values)
+    result = [row[0] for row in Sort(TableScan(table), ["v"]).run()]
+    assert result == sorted(values)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=6), max_size=25),
+    st.lists(st.integers(min_value=0, max_value=6), max_size=25),
+)
+@settings(max_examples=40, deadline=None)
+def test_hash_and_merge_join_match_brute_force(left_values, right_values):
+    left = int_table("l", "k", left_values)
+    right = int_table("r", "k", right_values)
+    expected = sorted(
+        (a, b) for a in left_values for b in right_values if a == b
+    )
+    hashed = sorted(
+        (row[0], row[1])
+        for row in HashJoin(TableScan(left), TableScan(right), ["l.k"], ["r.k"]).run()
+    )
+    merged = sorted(
+        (row[0], row[1])
+        for row in MergeJoin(
+            Sort(TableScan(left), ["l.k"]),
+            Sort(TableScan(right), ["r.k"]),
+            ["l.k"],
+            ["r.k"],
+        ).run()
+    )
+    assert hashed == expected
+    assert merged == expected
+
+
+@given(st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_filter_partition_is_complete(values):
+    table = int_table("t", "v", values)
+    from repro.relational.operators import Filter
+
+    low = Filter(TableScan(table), Comparison("<", ColumnRef("v"), Literal(4))).run()
+    high = Filter(TableScan(table), Comparison(">=", ColumnRef("v"), Literal(4))).run()
+    assert len(low) + len(high) == len(values)
+
+
+# ---------------------------------------------------------------------------
+# Simulation store (FIFO buffer) invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(), min_size=1, max_size=30),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_store_preserves_fifo_order_for_any_capacity(items, capacity):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+
+    def consumer():
+        received = []
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+        return received
+
+    sim.process(producer())
+    consumer_process = sim.process(consumer())
+    sim.run()
+    assert consumer_process.value == items
+    assert store.peak_occupancy <= capacity
+
+
+# ---------------------------------------------------------------------------
+# Cost model invariants
+# ---------------------------------------------------------------------------
+
+
+cost_parameters = st.builds(
+    CostParameters.paper_experiment,
+    input_record_bytes=st.integers(min_value=50, max_value=10_000),
+    argument_fraction=st.floats(min_value=0.05, max_value=0.95),
+    result_bytes=st.integers(min_value=0, max_value=10_000),
+    selectivity=st.floats(min_value=0.0, max_value=1.0),
+    asymmetry=st.floats(min_value=1.0, max_value=200.0),
+)
+
+
+@given(cost_parameters, st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=80, deadline=None)
+def test_csj_cost_is_monotone_in_selectivity(parameters, other_selectivity):
+    lower, higher = sorted([parameters.selectivity, other_selectivity])
+    low_cost = CostModel(parameters.with_selectivity(lower)).client_site_join_cost()
+    high_cost = CostModel(parameters.with_selectivity(higher)).client_site_join_cost()
+    assert low_cost.bottleneck_bytes <= high_cost.bottleneck_bytes + 1e-9
+    # The semi-join is unaffected by the pushable predicate's selectivity.
+    assert CostModel(parameters.with_selectivity(lower)).semi_join_cost().bottleneck_bytes == (
+        CostModel(parameters.with_selectivity(higher)).semi_join_cost().bottleneck_bytes
+    )
+
+
+@given(cost_parameters)
+@settings(max_examples=80, deadline=None)
+def test_preferred_strategy_has_minimal_bottleneck_cost(parameters):
+    model = CostModel(parameters)
+    preferred = model.preferred_strategy()
+    costs = {
+        strategy: cost.bottleneck_bytes
+        for strategy, cost in model.all_costs().items()
+        if strategy.value != "naive"
+    }
+    assert costs[preferred] == min(costs.values())
+
+
+# ---------------------------------------------------------------------------
+# Execution strategy equivalence on random workloads
+# ---------------------------------------------------------------------------
+
+
+@given(
+    row_count=st.integers(min_value=1, max_value=12),
+    argument_fraction=st.sampled_from([0.25, 0.5, 0.75]),
+    result_bytes=st.integers(min_value=8, max_value=400),
+    selectivity=st.sampled_from([0.0, 0.3, 0.7, 1.0]),
+    distinct_fraction=st.sampled_from([1.0, 0.5, 0.34]),
+)
+@settings(max_examples=20, deadline=None)
+def test_strategies_agree_on_random_workloads(
+    row_count, argument_fraction, result_bytes, selectivity, distinct_fraction
+):
+    workload = SyntheticWorkload(
+        row_count=row_count,
+        input_record_bytes=240,
+        argument_fraction=argument_fraction,
+        result_bytes=result_bytes,
+        selectivity=selectivity,
+        distinct_fraction=distinct_fraction,
+        udf_cost_seconds=0.0001,
+    )
+    outcomes = []
+    for config in (StrategyConfig.naive(), StrategyConfig.semi_join(), StrategyConfig.client_site_join()):
+        point = run_workload_point(workload, FAST, config)
+        outcomes.append(point.rows)
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=0, max_value=1_000))
+@settings(max_examples=50, deadline=None)
+def test_data_object_equality_consistent_with_hash(size, seed):
+    assert DataObject(size, seed) == DataObject(size, seed)
+    assert hash(DataObject(size, seed)) == hash(DataObject(size, seed))

@@ -1,0 +1,248 @@
+"""Tests for the iterator-model physical operators."""
+
+import pytest
+
+from repro.errors import OperatorError
+from repro.relational.expressions import ColumnRef, Comparison, Literal
+from repro.relational.operators import (
+    Aggregate,
+    AggregateSpec,
+    CollectingOperator,
+    Distinct,
+    DistinctOn,
+    Filter,
+    HashJoin,
+    Limit,
+    Materialize,
+    MergeJoin,
+    NestedLoopJoin,
+    Project,
+    ProjectExpressions,
+    RowSource,
+    Sort,
+    TableScan,
+)
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.tuples import Row
+from repro.relational.types import FLOAT, INTEGER, STRING
+
+
+def make_table(name, columns, rows):
+    return Table(name, Schema.of(*columns), rows=rows)
+
+
+@pytest.fixture
+def orders():
+    return make_table(
+        "orders",
+        (("id", INTEGER), ("customer", STRING), ("amount", FLOAT)),
+        [
+            [1, "ann", 10.0],
+            [2, "bob", 25.0],
+            [3, "ann", 5.0],
+            [4, "cid", 25.0],
+        ],
+    )
+
+
+@pytest.fixture
+def customers():
+    return make_table(
+        "customers",
+        (("name", STRING), ("city", STRING)),
+        [["ann", "ithaca"], ["bob", "nyc"], ["dot", "boston"]],
+    )
+
+
+class TestScansAndFilters:
+    def test_table_scan_schema_and_rows(self, orders):
+        scan = TableScan(orders)
+        assert scan.output_schema().qualified_names()[0] == "orders.id"
+        assert len(scan.run()) == 4
+
+    def test_table_scan_alias(self, orders):
+        scan = TableScan(orders, alias="o")
+        assert scan.output_schema().qualified_names()[0] == "o.id"
+
+    def test_filter(self, orders):
+        scan = TableScan(orders)
+        filtered = Filter(scan, Comparison(">", ColumnRef("amount"), Literal(9.0)))
+        assert len(filtered.run()) == 3
+
+    def test_filter_drops_null_predicate_rows(self):
+        table = make_table("t", (("v", INTEGER),), [[1], [None], [3]])
+        filtered = Filter(TableScan(table), Comparison(">", ColumnRef("v"), Literal(0)))
+        assert len(filtered.run()) == 2
+
+    def test_row_source(self):
+        schema = Schema.of(("x", INTEGER))
+        source = RowSource(schema, lambda: [(1,), (2,)])
+        assert [tuple(row) for row in source.run()] == [(1,), (2,)]
+
+    def test_collecting_operator(self):
+        schema = Schema.of(("x", INTEGER))
+        op = CollectingOperator(schema, [Row([1]), Row([2])])
+        assert len(op.run()) == 2
+        assert "Collected" in op.describe()
+
+
+class TestProjection:
+    def test_project_by_name(self, orders):
+        project = Project(TableScan(orders), ["customer", "amount"])
+        assert project.output_schema().names() == ["customer", "amount"]
+        assert tuple(project.run()[0]) == ("ann", 10.0)
+
+    def test_project_expressions(self, orders):
+        project = ProjectExpressions(
+            TableScan(orders),
+            [
+                ("customer", ColumnRef("customer"), None),
+                ("double_amount", Comparison(">", ColumnRef("amount"), Literal(9.0)), None),
+            ],
+        )
+        rows = project.run()
+        assert project.output_schema().names() == ["customer", "double_amount"]
+        assert rows[0][1] is True
+
+
+class TestSortDistinctLimit:
+    def test_sort_ascending_descending(self, orders):
+        ascending = Sort(TableScan(orders), ["amount"]).run()
+        assert [row[2] for row in ascending] == [5.0, 10.0, 25.0, 25.0]
+        descending = Sort(TableScan(orders), ["amount"], descending=True).run()
+        assert [row[2] for row in descending] == [25.0, 25.0, 10.0, 5.0]
+
+    def test_sort_nulls_first(self):
+        table = make_table("t", (("v", INTEGER),), [[2], [None], [1]])
+        values = [row[0] for row in Sort(TableScan(table), ["v"]).run()]
+        assert values == [None, 1, 2]
+
+    def test_distinct_and_distinct_on(self, orders):
+        doubled = CollectingOperator(
+            TableScan(orders).output_schema(), list(TableScan(orders).run()) * 2
+        )
+        assert len(Distinct(doubled).run()) == 4
+        by_customer = DistinctOn(TableScan(orders), ["customer"]).run()
+        assert len(by_customer) == 3  # ann, bob, cid
+
+    def test_limit_and_offset(self, orders):
+        assert len(Limit(TableScan(orders), 2).run()) == 2
+        offset = Limit(TableScan(orders), 10, offset=3).run()
+        assert len(offset) == 1
+        with pytest.raises(OperatorError):
+            Limit(TableScan(orders), -1)
+
+    def test_materialize_caches(self, orders):
+        materialized = Materialize(TableScan(orders))
+        first = materialized.run()
+        second = list(materialized.execute())
+        assert [tuple(r) for r in first] == [tuple(r) for r in second]
+        materialized.invalidate()
+        assert len(list(materialized.execute())) == 4
+
+
+class TestJoins:
+    def expected_join(self, orders, customers):
+        result = set()
+        for order in orders:
+            for customer in customers:
+                if order[1] == customer[0]:
+                    result.add(tuple(order) + tuple(customer))
+        return result
+
+    def test_hash_join_matches_nested_loop(self, orders, customers):
+        predicate = Comparison("=", ColumnRef("orders.customer"), ColumnRef("customers.name"))
+        nested = NestedLoopJoin(TableScan(orders), TableScan(customers), predicate)
+        hashed = HashJoin(
+            TableScan(orders), TableScan(customers), ["orders.customer"], ["customers.name"]
+        )
+        expected = self.expected_join(orders.rows, customers.rows)
+        assert {tuple(row) for row in nested.run()} == expected
+        assert {tuple(row) for row in hashed.run()} == expected
+
+    def test_merge_join_matches_hash_join(self, orders, customers):
+        left = Sort(TableScan(orders), ["orders.customer"])
+        right = Sort(TableScan(customers), ["customers.name"])
+        merged = MergeJoin(left, right, ["orders.customer"], ["customers.name"])
+        expected = self.expected_join(orders.rows, customers.rows)
+        assert {tuple(row) for row in merged.run()} == expected
+
+    def test_merge_join_rejects_unsorted_input(self, orders, customers):
+        join = MergeJoin(
+            TableScan(orders), TableScan(customers), ["orders.customer"], ["customers.name"]
+        )
+        with pytest.raises(OperatorError):
+            join.run()
+
+    def test_cross_product(self, orders, customers):
+        cross = NestedLoopJoin(TableScan(orders), TableScan(customers))
+        assert len(cross.run()) == len(orders) * len(customers)
+
+    def test_hash_join_null_keys_never_match(self):
+        left = make_table("l", (("k", INTEGER),), [[1], [None]])
+        right = make_table("r", (("k", INTEGER),), [[1], [None]])
+        join = HashJoin(TableScan(left), TableScan(right), ["l.k"], ["r.k"])
+        assert len(join.run()) == 1
+
+    def test_key_validation(self, orders, customers):
+        with pytest.raises(OperatorError):
+            HashJoin(TableScan(orders), TableScan(customers), [], [])
+        with pytest.raises(OperatorError):
+            MergeJoin(TableScan(orders), TableScan(customers), ["orders.id"], [])
+
+    def test_duplicate_join_keys_produce_all_pairs(self):
+        left = make_table("l", (("k", INTEGER),), [[1], [1]])
+        right = make_table("r", (("k", INTEGER),), [[1], [1], [1]])
+        hashed = HashJoin(TableScan(left), TableScan(right), ["l.k"], ["r.k"]).run()
+        merged = MergeJoin(
+            Sort(TableScan(left), ["l.k"]), Sort(TableScan(right), ["r.k"]), ["l.k"], ["r.k"]
+        ).run()
+        assert len(hashed) == 6
+        assert len(merged) == 6
+
+
+class TestAggregate:
+    def test_grouped_aggregation(self, orders):
+        aggregate = Aggregate(
+            TableScan(orders),
+            ["customer"],
+            [AggregateSpec("SUM", "amount", "total"), AggregateSpec("COUNT", "id", "n")],
+        )
+        rows = {row[0]: (row[1], row[2]) for row in aggregate.run()}
+        assert rows["ann"] == (15.0, 2)
+        assert rows["bob"] == (25.0, 1)
+
+    def test_global_aggregation_over_empty_input(self):
+        table = make_table("t", (("v", FLOAT),), [])
+        aggregate = Aggregate(TableScan(table), [], [AggregateSpec("COUNT", None, "n")])
+        rows = aggregate.run()
+        assert len(rows) == 1 and rows[0][0] == 0
+
+    def test_min_max_avg(self, orders):
+        aggregate = Aggregate(
+            TableScan(orders),
+            [],
+            [
+                AggregateSpec("MIN", "amount", "lo"),
+                AggregateSpec("MAX", "amount", "hi"),
+                AggregateSpec("AVG", "amount", "mean"),
+            ],
+        )
+        row = aggregate.run()[0]
+        assert row[0] == 5.0 and row[1] == 25.0
+        assert row[2] == pytest.approx(16.25)
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(OperatorError):
+            AggregateSpec("MEDIAN", "amount", "m")
+
+
+class TestExplain:
+    def test_explain_renders_tree(self, orders, customers):
+        join = HashJoin(
+            TableScan(orders), TableScan(customers), ["orders.customer"], ["customers.name"]
+        )
+        text = Filter(join, Comparison(">", ColumnRef("amount"), Literal(1.0))).explain()
+        assert "Filter" in text and "HashJoin" in text and "TableScan(orders)" in text
+        assert text.count("\n") >= 2
