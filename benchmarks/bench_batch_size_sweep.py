@@ -1,0 +1,183 @@
+"""Batch-size sweep — throughput vs. rows-per-message on the paper's networks.
+
+The batched executor ships ``StrategyConfig.batch_size`` rows per network
+message, amortising the fixed per-message framing overhead
+(:data:`~repro.network.message.MESSAGE_OVERHEAD_BYTES`) and the per-message
+latency share over the whole batch.  This sweep runs the Figure 7 style
+query under the semi-join and client-site join strategies for batch sizes
+1..256 on the paper's symmetric (Figure 8) and asymmetric (Figure 9, N = 100)
+networks and checks:
+
+* batching is *correct*: every (strategy, batch size) cell returns exactly
+  the same result set, and ``batch_size = 1`` reproduces the paper's
+  tuple-at-a-time wire behaviour (one message per shipped tuple);
+* batching is *fast*: on the asymmetric network, where small uplink replies
+  drown in framing overhead, batch sizes >= 64 are at least twice as fast as
+  tuple-at-a-time for both remote strategies;
+* the batch-aware cost model predicts the right direction (speedup > 1 where
+  the measurement shows one).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costmodel import CostModel, CostParameters
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
+from repro.network.message import MESSAGE_OVERHEAD_BYTES
+from repro.network.topology import NetworkConfig
+from repro.workloads.experiments import format_records, run_workload_point
+from repro.workloads.synthetic import SyntheticWorkload
+
+BATCH_SIZES = (1, 4, 16, 64, 256)
+
+#: Small records and results so that the fixed per-message costs dominate —
+#: the regime batching is built for (many cheap UDF calls over narrow rows).
+WORKLOAD = dict(
+    row_count=200,
+    input_record_bytes=16,
+    argument_fraction=0.5,
+    result_bytes=8,
+    selectivity=0.25,
+    udf_cost_seconds=0.0001,
+)
+
+STRATEGIES = {
+    ExecutionStrategy.SEMI_JOIN: StrategyConfig.semi_join,
+    ExecutionStrategy.CLIENT_SITE_JOIN: StrategyConfig.client_site_join,
+}
+
+
+def _sweep(network: NetworkConfig):
+    records = []
+    points = {}
+    for strategy, make_config in STRATEGIES.items():
+        for batch_size in BATCH_SIZES:
+            workload = SyntheticWorkload(**WORKLOAD)
+            point = run_workload_point(workload, network, make_config(batch_size=batch_size))
+            points[(strategy, batch_size)] = point
+            records.append(
+                {
+                    "strategy": strategy.value,
+                    "batch_size": batch_size,
+                    "elapsed_s": point.elapsed_seconds,
+                    "rows_per_s": point.rows / point.elapsed_seconds,
+                    "speedup": (
+                        points[(strategy, 1)].elapsed_seconds / point.elapsed_seconds
+                    ),
+                    "down_msgs": point.downlink_messages,
+                    "up_msgs": point.uplink_messages,
+                    "up_bytes": point.uplink_bytes,
+                }
+            )
+    return records, points
+
+
+def _predicted_speedup(network: NetworkConfig, strategy: ExecutionStrategy, batch_size: int) -> float:
+    parameters = CostParameters.paper_experiment(
+        input_record_bytes=WORKLOAD["input_record_bytes"],
+        argument_fraction=WORKLOAD["argument_fraction"],
+        result_bytes=WORKLOAD["result_bytes"],
+        selectivity=WORKLOAD["selectivity"],
+        asymmetry=network.asymmetry,
+    ).with_message_overhead(MESSAGE_OVERHEAD_BYTES)
+    return CostModel(parameters).batching_speedup(strategy, batch_size)
+
+
+def _assert_equivalence(points) -> None:
+    """Every (strategy, batch size) cell returns the identical result set."""
+    reference = None
+    for point in points.values():
+        if reference is None:
+            reference = point.result_rows
+        assert point.result_rows == reference
+        assert point.rows == len(reference)
+    assert reference  # the sweep produces rows at all
+
+
+@pytest.mark.benchmark(group="batch-size-sweep")
+def test_batch_sweep_asymmetric(benchmark, once):
+    network = NetworkConfig.paper_asymmetric(asymmetry=100.0)
+    records, points = once(benchmark, lambda: _sweep(network))
+
+    print("\nBatch-size sweep — asymmetric network (N = 100)")
+    print(format_records(records, ["strategy", "batch_size", "elapsed_s", "rows_per_s", "speedup", "up_msgs", "up_bytes"]))
+
+    _assert_equivalence(points)
+
+    for strategy in STRATEGIES:
+        single = points[(strategy, 1)].elapsed_seconds
+        for batch_size in (64, 256):
+            batched = points[(strategy, batch_size)].elapsed_seconds
+            # The acceptance bar: batching >= 64 at least halves the
+            # simulated time of both remote strategies on the paper's
+            # asymmetric link.
+            assert single / batched >= 2.0, (strategy, batch_size, single / batched)
+            # The batch-aware cost model predicts a speedup in the same
+            # direction (and of at least the measured order).
+            assert _predicted_speedup(network, strategy, batch_size) > 1.5
+
+    # Batching shrinks message counts by the batch factor (last partial
+    # batches and control traffic aside).
+    semi64 = points[(ExecutionStrategy.SEMI_JOIN, 64)]
+    semi1 = points[(ExecutionStrategy.SEMI_JOIN, 1)]
+    assert semi64.uplink_messages < semi1.uplink_messages / 8
+    assert semi64.uplink_bytes < semi1.uplink_bytes
+
+
+@pytest.mark.benchmark(group="batch-size-sweep")
+def test_batch_sweep_symmetric(benchmark, once):
+    network = NetworkConfig.paper_symmetric()
+    records, points = once(benchmark, lambda: _sweep(network))
+
+    print("\nBatch-size sweep — symmetric modem network (Figure 8 setting)")
+    print(format_records(records, ["strategy", "batch_size", "elapsed_s", "rows_per_s", "speedup", "up_msgs", "up_bytes"]))
+
+    _assert_equivalence(points)
+
+    # Batching is measurably faster than tuple-at-a-time for both strategies
+    # even on the symmetric link, where both directions share the bottleneck.
+    # A batch spanning the whole input (256 > 200 rows) loses the
+    # downlink/client/uplink overlap, so the sweet spot is interior — the
+    # sweep must still beat batch 1 at its largest size, just by less.
+    for strategy in STRATEGIES:
+        elapsed = {b: points[(strategy, b)].elapsed_seconds for b in BATCH_SIZES}
+        assert elapsed[64] <= elapsed[1] / 1.3
+        assert elapsed[256] < elapsed[1]
+        assert min(elapsed, key=elapsed.get) in (16, 64)
+
+
+@pytest.mark.benchmark(group="batch-size-sweep")
+def test_batch_of_one_reproduces_tuple_at_a_time(benchmark, once):
+    """``batch_size = 1`` is the seed's wire protocol, message for message."""
+    network = NetworkConfig.paper_asymmetric(asymmetry=100.0)
+
+    def run():
+        results = {}
+        for strategy, make_config in list(STRATEGIES.items()) + [
+            (ExecutionStrategy.NAIVE, StrategyConfig.naive)
+        ]:
+            workload = SyntheticWorkload(**WORKLOAD)
+            results[strategy] = run_workload_point(workload, network, make_config(batch_size=1))
+        return results
+
+    results = once(benchmark, run)
+    row_count = WORKLOAD["row_count"]
+
+    # All strategies agree on the answer (the seed's row-equivalence invariant).
+    reference = results[ExecutionStrategy.NAIVE].result_rows
+    for point in results.values():
+        assert point.result_rows == reference
+
+    # One downlink message per shipped tuple plus the end-of-stream marker:
+    # every input record for the client-site join, every distinct argument
+    # tuple for the semi-join and the (cached) naive strategy.
+    csj = results[ExecutionStrategy.CLIENT_SITE_JOIN]
+    assert csj.downlink_messages == row_count + 1
+    semi = results[ExecutionStrategy.SEMI_JOIN]
+    assert semi.downlink_messages == row_count + 1  # distinct_fraction = 1
+    naive = results[ExecutionStrategy.NAIVE]
+    assert naive.downlink_messages == row_count + 1
+    # One uplink reply per request message plus the end-of-stream ack.
+    assert semi.uplink_messages == row_count + 1
+    assert csj.uplink_messages == row_count + 1

@@ -27,6 +27,7 @@ from repro.network.events import Event
 from repro.network.message import (
     Message,
     MessageKind,
+    batch_message,
     end_of_stream,
     error_message,
     is_end_of_stream,
@@ -61,6 +62,11 @@ class ClientRuntime:
         self.rows_returned = 0
         self.delivered_rows: List[Tuple[Any, ...]] = []
         self.messages_handled = 0
+        #: Data batches served (argument, record and final-result payloads;
+        #: control/error traffic excluded) and the largest one seen — the
+        #: client-side view of the batching the server actually achieved.
+        self.batches_handled = 0
+        self.largest_batch = 0
 
     # -- lifecycle -------------------------------------------------------------------
 
@@ -78,11 +84,14 @@ class ClientRuntime:
                 yield channel.send_to_server(end_of_stream(sender=self.name))
                 return
             if message.kind is MessageKind.UDF_ARGUMENTS:
+                self._record_batch_size(len(message.payload))
                 yield from self._handle_argument_batch(simulator, channel, message)
             elif message.kind is MessageKind.RECORDS:
+                self._record_batch_size(len(message.payload))
                 yield from self._handle_record_batch(simulator, channel, message)
             elif message.kind is MessageKind.FINAL_RESULTS:
                 batch: FinalResultBatch = message.payload
+                self._record_batch_size(len(batch))
                 self.delivered_rows.extend(batch.rows)
             elif message.kind is MessageKind.CONTROL:
                 continue
@@ -120,10 +129,11 @@ class ClientRuntime:
         if compute > 0:
             yield simulator.timeout(compute)
         self.rows_returned += len(results)
-        reply = Message(
-            kind=MessageKind.UDF_RESULT,
-            payload=ResultBatch(udf_name=udf.name, results=results),
+        reply = batch_message(
+            MessageKind.UDF_RESULT,
+            ResultBatch(udf_name=udf.name, results=results),
             payload_bytes=payload_bytes,
+            row_count=len(results),
             sender=self.name,
             description=f"{len(results)} results",
         )
@@ -161,16 +171,22 @@ class ClientRuntime:
         surviving, origins = self._apply_pushed_operations(batch, extended_rows)
         self.rows_returned += len(surviving)
         payload_bytes = sum(values_size(row) for row in surviving)
-        reply = Message(
-            kind=MessageKind.RECORDS_WITH_RESULTS,
-            payload=RecordResultBatch(rows=surviving, origin_indexes=origins),
+        reply = batch_message(
+            MessageKind.RECORDS_WITH_RESULTS,
+            RecordResultBatch(rows=surviving, origin_indexes=origins),
             payload_bytes=payload_bytes,
+            row_count=len(surviving),
             sender=self.name,
             description=f"{len(surviving)}/{len(batch.rows)} rows",
         )
         yield channel.send_to_server(reply)
 
     # -- helpers ---------------------------------------------------------------------
+
+    def _record_batch_size(self, size: int) -> None:
+        self.batches_handled += 1
+        if size > self.largest_batch:
+            self.largest_batch = size
 
     def _apply_pushed_operations(
         self, batch: RecordBatch, extended_rows: List[Tuple[Any, ...]]

@@ -117,3 +117,50 @@ def recommended_concurrency_factor(
         client_seconds_per_tuple=client_seconds_per_tuple,
     )
     return analysis.recommended_factor()
+
+
+def recommended_batched_concurrency_factor(
+    network: NetworkConfig,
+    request_payload_bytes: float,
+    response_payload_bytes: float,
+    client_seconds_per_tuple: float = 0.0,
+    batch_size: int = 1,
+    per_message_overhead_bytes: float = MESSAGE_OVERHEAD_BYTES,
+) -> int:
+    """The B·T analysis for a batched pipeline.
+
+    Batching changes both sides of ``B * T``: the per-tuple service time
+    shrinks (the fixed message overhead is amortised over ``batch_size``
+    rows), *raising* the throughput ``B``, while a tuple's traversal time
+    ``T`` grows because it waits for its whole batch to serialise on each
+    link and to be computed by the client.  The returned buffer size is the
+    number of tuples that keeps the bottleneck stage busy across batch
+    boundaries — always at least two batches, so the next batch accumulates
+    while the previous one is in flight (double buffering).
+    """
+    if batch_size <= 1:
+        return recommended_concurrency_factor(
+            network,
+            request_payload_bytes=request_payload_bytes,
+            response_payload_bytes=response_payload_bytes,
+            client_seconds_per_tuple=client_seconds_per_tuple,
+        )
+    analysis = analyze_pipeline(
+        network,
+        request_payload_bytes=request_payload_bytes,
+        response_payload_bytes=response_payload_bytes,
+        client_seconds_per_tuple=client_seconds_per_tuple,
+        per_message_overhead_bytes=per_message_overhead_bytes / batch_size,
+    )
+    per_tuple_service = (
+        analysis.downlink_seconds_per_tuple
+        + analysis.client_seconds_per_tuple
+        + analysis.uplink_seconds_per_tuple
+    )
+    batch_round_trip = batch_size * per_tuple_service + 2 * network.latency
+    optimal = analysis.throughput_tuples_per_second * batch_round_trip
+    value = int(math.ceil(optimal))
+    # Double-buffer (two batches) at minimum, but never exceed the same
+    # 10,000-slot cap recommended_factor enforces; the semi-join applies its
+    # own one-batch floor for deadlock freedom if a huge batch size wins.
+    return min(10_000, max(2 * batch_size, value))

@@ -28,6 +28,14 @@ also exposes the analytic crossover points used to check the figures: the
 selectivity at which a client-site join's uplink starts to dominate its
 downlink (the "knee" of Figure 8), and the result size / selectivity at which
 the two strategies break even (the 1.0-crossings of Figures 8-10).
+
+**Batch extension.**  The paper ships one message per tuple; the batched
+executor ships ``batch_size`` rows per message, so each row additionally
+carries an amortised share ``message_overhead_bytes / batch_size`` of the
+fixed per-message framing cost on every link it crosses.  The extension is
+controlled by two extra parameters (``message_overhead_bytes``, default 0,
+and ``batch_size``, default 1); with the defaults every formula reduces to
+the paper's pure bandwidth model.
 """
 
 from __future__ import annotations
@@ -41,7 +49,13 @@ from repro.core.strategies import ExecutionStrategy
 
 @dataclass(frozen=True)
 class CostParameters:
-    """The seven parameters of the Section 3.2 cost model."""
+    """The seven parameters of the Section 3.2 cost model (plus batching).
+
+    ``message_overhead_bytes`` (``H``) is the fixed framing cost of one
+    network message; ``batch_size`` (``b``) is the number of rows shipped per
+    message, so every row is charged ``H / b`` per message it rides in.  The
+    defaults (``H = 0``, ``b = 1``) recover the paper's pure bandwidth model.
+    """
 
     argument_fraction: float  # A
     distinct_fraction: float  # D
@@ -50,8 +64,14 @@ class CostParameters:
     input_record_bytes: float  # I
     result_bytes: float  # R
     asymmetry: float = 1.0  # N
+    message_overhead_bytes: float = 0.0  # H
+    batch_size: float = 1.0  # b
 
     def __post_init__(self) -> None:
+        if self.message_overhead_bytes < 0:
+            raise ValueError("message_overhead_bytes (H) must be non-negative")
+        if self.batch_size < 1:
+            raise ValueError("batch_size (b) must be at least 1")
         if not 0.0 <= self.argument_fraction <= 1.0:
             raise ValueError("argument_fraction (A) must be in [0, 1]")
         if not 0.0 < self.distinct_fraction <= 1.0:
@@ -96,11 +116,22 @@ class CostParameters:
     def N(self) -> float:  # noqa: N802
         return self.asymmetry
 
+    @property
+    def overhead_per_tuple(self) -> float:
+        """Amortised per-message framing bytes charged to each shipped row."""
+        return self.message_overhead_bytes / self.batch_size
+
     def with_selectivity(self, selectivity: float) -> "CostParameters":
         return replace(self, selectivity=selectivity)
 
     def with_result_bytes(self, result_bytes: float) -> "CostParameters":
         return replace(self, result_bytes=result_bytes)
+
+    def with_batch_size(self, batch_size: float) -> "CostParameters":
+        return replace(self, batch_size=batch_size)
+
+    def with_message_overhead(self, message_overhead_bytes: float) -> "CostParameters":
+        return replace(self, message_overhead_bytes=message_overhead_bytes)
 
     @classmethod
     def paper_experiment(
@@ -161,8 +192,9 @@ class CostModel:
 
     def semi_join_cost(self) -> StrategyCost:
         p = self.parameters
-        downlink = p.D * p.A * p.I
-        uplink = p.D * p.R
+        h = p.overhead_per_tuple
+        downlink = p.D * (p.A * p.I + h)
+        uplink = p.D * (p.R + h)
         return StrategyCost(
             strategy=ExecutionStrategy.SEMI_JOIN,
             downlink_bytes=downlink,
@@ -172,8 +204,12 @@ class CostModel:
 
     def client_site_join_cost(self) -> StrategyCost:
         p = self.parameters
-        downlink = p.I
-        uplink = (p.I + p.R) * p.P * p.S
+        h = p.overhead_per_tuple
+        downlink = p.I + h
+        # The client answers every record batch with exactly one reply
+        # message, surviving rows or not, so the reply overhead share is not
+        # scaled by the selectivity.
+        uplink = (p.I + p.R) * p.P * p.S + h
         return StrategyCost(
             strategy=ExecutionStrategy.CLIENT_SITE_JOIN,
             downlink_bytes=downlink,
@@ -186,8 +222,9 @@ class CostModel:
         duplicate elimination; its real penalty (per-tuple latency) is not a
         bandwidth effect and is modelled by the concurrency analysis instead."""
         p = self.parameters
-        downlink = p.A * p.I
-        uplink = p.R
+        h = p.overhead_per_tuple
+        downlink = p.A * p.I + h
+        uplink = p.R + h
         return StrategyCost(
             strategy=ExecutionStrategy.NAIVE,
             downlink_bytes=downlink,
@@ -223,6 +260,20 @@ class CostModel:
 
     def all_costs(self) -> Dict[ExecutionStrategy, StrategyCost]:
         return {strategy: self.cost(strategy) for strategy in ExecutionStrategy}
+
+    def batching_speedup(self, strategy: ExecutionStrategy, batch_size: float) -> float:
+        """Predicted (batch of 1 time) / (batch of ``batch_size`` time).
+
+        Compares the strategy's bottleneck cost at ``batch_size`` 1 against
+        the same strategy at ``batch_size``, holding every other parameter
+        fixed.  Meaningful only when ``message_overhead_bytes`` is non-zero
+        (otherwise the ratio is 1: the paper model has no per-message cost).
+        """
+        single = CostModel(self.parameters.with_batch_size(1.0)).cost(strategy)
+        batched = CostModel(self.parameters.with_batch_size(batch_size)).cost(strategy)
+        if batched.bottleneck_bytes <= 0:
+            return 1.0
+        return single.bottleneck_bytes / batched.bottleneck_bytes
 
     # -- analytic crossover points -------------------------------------------------------
 

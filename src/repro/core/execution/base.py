@@ -61,7 +61,7 @@ class RemoteUdfOperator(Operator):
 
     # -- operator protocol ------------------------------------------------------------
 
-    def execute(self) -> Iterator[Row]:
+    def _execute(self) -> Iterator[Row]:
         input_rows = list(self.child().execute())
         self.input_row_count = len(input_rows)
         output_rows: List[Row] = self.context.run_remote(

@@ -22,7 +22,7 @@ from repro.core.execution.base import RemoteUdfOperator
 from repro.core.execution.context import RemoteExecutionContext
 from repro.core.strategies import StrategyConfig
 from repro.client.udf import UdfDefinition
-from repro.network.message import Message, MessageKind, is_end_of_stream, end_of_stream
+from repro.network.message import MessageKind, is_end_of_stream, end_of_stream
 from repro.relational.expressions import Expression
 from repro.relational.operators.base import Operator
 from repro.relational.tuples import Row
@@ -101,15 +101,18 @@ class ClientSiteJoinOperator(RemoteUdfOperator):
             extended_schema=self.extended_schema,
         )
 
+        batch_size = self.config.batch_size
+
         def sender():
-            for row in rows:
-                message = Message(
-                    kind=MessageKind.RECORDS,
-                    payload=RecordBatch(calls=[call], rows=[tuple(row)], pushed=pushed),
-                    payload_bytes=self.record_bytes(row),
-                    description=f"csj {self.udf.name}",
+            for start in range(0, len(rows), batch_size):
+                chunk = rows[start : start + batch_size]
+                yield channel.send_batch_to_client(
+                    MessageKind.RECORDS,
+                    RecordBatch(calls=[call], rows=[tuple(row) for row in chunk], pushed=pushed),
+                    payload_bytes=sum(self.record_bytes(row) for row in chunk),
+                    row_count=len(chunk),
+                    description=f"csj {self.udf.name} x{len(chunk)}",
                 )
-                yield channel.send_to_client(message)
             yield channel.send_to_client(end_of_stream())
 
         def receiver():

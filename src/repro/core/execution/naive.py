@@ -1,11 +1,13 @@
-"""Naive tuple-at-a-time execution of a client-site UDF (Section 2.1).
+"""Naive blocking execution of a client-site UDF (Section 2.1).
 
 This is the paper's strawman: treating the client-site UDF like an expensive
-server-site UDF that happens to make a remote call.  For each input tuple the
-server ships the argument values, blocks until the client returns the result,
-and only then proceeds to the next tuple — so the full network round-trip
-latency is paid per tuple and the pipeline formed by downlink, client, and
-uplink is never more than one tuple deep.
+server-site UDF that happens to make a remote call.  The server ships a batch
+of argument tuples (``StrategyConfig.batch_size``; the paper's setup is a
+batch of one), blocks until the client returns the results, and only then
+proceeds — so the full network round-trip latency is paid per batch and the
+pipeline formed by downlink, client, and uplink is never more than one batch
+deep.  With ``batch_size=1`` the wire behaviour (one synchronous round trip
+per tuple) matches the paper exactly.
 
 The only optimisation kept from the server-site world is [HN97]-style result
 caching of duplicate argument tuples on the server, controlled by
@@ -14,16 +16,16 @@ caching of duplicate argument tuples on the server, controlled by
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.client.protocol import ArgumentBatch, RemoteCall, ResultBatch
 from repro.core.execution.base import RemoteUdfOperator
-from repro.network.message import Message, MessageKind, end_of_stream
+from repro.network.message import MessageKind, end_of_stream
 from repro.relational.tuples import Row
 
 
 class NaiveUdfOperator(RemoteUdfOperator):
-    """One synchronous client round trip per input tuple."""
+    """One synchronous client round trip per batch of input tuples."""
 
     def _drive(self, rows: List[Row]):
         channel = self.context.channel
@@ -33,30 +35,57 @@ class NaiveUdfOperator(RemoteUdfOperator):
         )
         cache: Dict[Tuple[Any, ...], Any] = {}
         use_cache = self.config.server_result_cache
+        batch_size = self.config.batch_size
         output: List[Row] = []
         distinct_arguments = set()
+
+        # Rows awaiting the next flush, in arrival order.  ``index`` points
+        # into the pending argument batch, or is None for rows resolved from
+        # the server cache.
+        pending_rows: List[Tuple[Row, Tuple[Any, ...], Optional[int]]] = []
+        pending_arguments: List[Tuple[Any, ...]] = []
+        pending_index: Dict[Tuple[Any, ...], int] = {}
+
+        def flush():
+            results: List[Any] = []
+            if pending_arguments:
+                yield channel.send_batch_to_client(
+                    MessageKind.UDF_ARGUMENTS,
+                    ArgumentBatch(call=call, argument_tuples=list(pending_arguments)),
+                    payload_bytes=sum(self.argument_bytes(args) for args in pending_arguments),
+                    row_count=len(pending_arguments),
+                    description=f"naive {self.udf.name} x{len(pending_arguments)}",
+                )
+                reply = yield channel.receive_at_server()
+                self.check_reply(reply)
+                batch: ResultBatch = reply.payload
+                results = batch.results
+            for row, arguments, index in pending_rows:
+                result = cache[arguments] if index is None else results[index]
+                if use_cache:
+                    cache[arguments] = result
+                output.append(row.append(result))
+            pending_rows.clear()
+            pending_arguments.clear()
+            pending_index.clear()
 
         for row in rows:
             arguments = self.argument_tuple(row)
             distinct_arguments.add(arguments)
             if use_cache and arguments in cache:
-                output.append(row.append(cache[arguments]))
+                pending_rows.append((row, arguments, None))
                 continue
-
-            request = Message(
-                kind=MessageKind.UDF_ARGUMENTS,
-                payload=ArgumentBatch(call=call, argument_tuples=[arguments]),
-                payload_bytes=self.argument_bytes(arguments),
-                description=f"naive {self.udf.name}",
-            )
-            yield channel.send_to_client(request)
-            reply = yield channel.receive_at_server()
-            self.check_reply(reply)
-            batch: ResultBatch = reply.payload
-            result = batch.results[0]
+            if use_cache and arguments in pending_index:
+                pending_rows.append((row, arguments, pending_index[arguments]))
+                continue
+            index = len(pending_arguments)
+            pending_arguments.append(arguments)
             if use_cache:
-                cache[arguments] = result
-            output.append(row.append(result))
+                pending_index[arguments] = index
+            pending_rows.append((row, arguments, index))
+            if len(pending_arguments) >= batch_size:
+                yield from flush()
+        yield from flush()
 
         # Terminate the client's serve loop and absorb its acknowledgement.
         yield channel.send_to_client(end_of_stream())

@@ -27,9 +27,9 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.client.protocol import ArgumentBatch, RemoteCall, ResultBatch
-from repro.core.concurrency import recommended_concurrency_factor
+from repro.core.concurrency import recommended_batched_concurrency_factor
 from repro.core.execution.base import RemoteUdfOperator
-from repro.network.message import Message, MessageKind, end_of_stream
+from repro.network.message import MessageKind, batch_message, end_of_stream
 from repro.network.resources import Store
 from repro.relational.tuples import Row
 
@@ -41,11 +41,17 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
     """Pipelined semi-join between the input relation and the virtual UDF table."""
 
     def effective_concurrency_factor(self, sample_row: Optional[Row] = None) -> int:
-        """The configured pipeline concurrency factor, or the analytic B·T choice."""
+        """The configured pipeline concurrency factor, or the analytic B·T choice.
+
+        The analysis is batch-aware: with ``batch_size`` rows per message the
+        per-tuple overhead share shrinks (raising throughput) but a tuple's
+        traversal time includes its whole batch's serialisation, so the
+        window must span at least two batches to keep the bottleneck busy.
+        """
         if self.config.concurrency_factor is not None:
             return self.config.concurrency_factor
         if self.context.network is None or sample_row is None:
-            return 8  # a safe default when the network is not described
+            return max(8, 2 * self.config.batch_size)  # safe default without a network
         arguments = self.argument_tuple(sample_row)
         request_bytes = self.argument_bytes(arguments)
         response_bytes = (
@@ -53,11 +59,12 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
             if self.udf.result_size_bytes is not None
             else max(8, request_bytes)
         )
-        return recommended_concurrency_factor(
+        return recommended_batched_concurrency_factor(
             self.context.network,
             request_payload_bytes=request_bytes,
             response_payload_bytes=response_bytes,
             client_seconds_per_tuple=self.udf.cost_per_call_seconds,
+            batch_size=self.config.batch_size,
         )
 
     def _drive(self, rows: List[Row]):
@@ -70,7 +77,9 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
         factor = self.effective_concurrency_factor(rows[0] if rows else None)
         # A batch only leaves the sender once it is full, so the pipeline must
         # admit at least one whole batch or the sender would block on a slot
-        # while holding an unsent batch (deadlock).
+        # while holding an unsent batch (deadlock).  An explicitly pinned
+        # concurrency factor is otherwise respected as configured; the
+        # analytic path already double-buffers (two batches) on its own.
         factor = max(factor, self.config.batch_size)
         self.concurrency_factor_used = factor
 
@@ -95,10 +104,11 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
             def flush():
                 if not pending_batch:
                     return None
-                message = Message(
-                    kind=MessageKind.UDF_ARGUMENTS,
-                    payload=ArgumentBatch(call=call, argument_tuples=list(pending_batch)),
+                message = batch_message(
+                    MessageKind.UDF_ARGUMENTS,
+                    ArgumentBatch(call=call, argument_tuples=list(pending_batch)),
                     payload_bytes=sum(self.argument_bytes(args) for args in pending_batch),
+                    row_count=len(pending_batch),
                     description=f"semijoin {self.udf.name} x{len(pending_batch)}",
                 )
                 pending_batch.clear()

@@ -35,11 +35,25 @@ class CostSettings:
 
     server_cpu_seconds_per_row: float = 2e-6
     per_message_overhead_bytes: float = MESSAGE_OVERHEAD_BYTES
-    #: Rows per network message assumed for costing (the execution operators
-    #: send one row per message; batching changes only the overhead share).
-    rows_per_message: float = 1.0
+    #: Rows per network message assumed for costing.  The batched executor
+    #: ships ``StrategyConfig.batch_size`` rows per message; batching changes
+    #: only the per-message overhead share of the transfer cost.
+    batch_size: float = 1.0
+    #: Batch sizes the optimizer considers when picking a plan-wide
+    #: ``batch_size`` (see :meth:`Optimizer.optimize`).
+    candidate_batch_sizes: Tuple[int, ...] = (1, 16, 64, 256)
+    #: The optimizer prefers the *smallest* candidate whose cost is within
+    #: this relative tolerance of the cheapest candidate, so fast networks
+    #: (where batching buys nothing) keep the paper's tuple-at-a-time wire
+    #: behaviour instead of buffering for no benefit.
+    batch_choice_tolerance: float = 0.01
     #: Extra latency charged per remote operation for pipeline fill/drain.
     pipeline_fill_penalty_seconds: float = 0.1
+
+    def with_batch_size(self, batch_size: float) -> "CostSettings":
+        from dataclasses import replace
+
+        return replace(self, batch_size=batch_size)
 
 
 class CostEstimator:
@@ -74,7 +88,7 @@ class CostEstimator:
 
     def _transfer_cost(self, downlink_bytes: float, uplink_bytes: float, rows: float) -> float:
         """Bottleneck-link time for a pipelined transfer of ``rows`` rows."""
-        messages = max(1.0, rows / self.settings.rows_per_message)
+        messages = max(1.0, rows / self.settings.batch_size)
         down = self._downlink_seconds(downlink_bytes, messages if downlink_bytes > 0 else 1.0)
         up = self._uplink_seconds(uplink_bytes, messages if uplink_bytes > 0 else 1.0)
         # The pipeline overlaps the two directions; the slower one dominates,

@@ -26,9 +26,11 @@ class OptimizationDecision:
 
     ``table_order`` is the left-deep join order over table aliases;
     ``udf_order`` is the order in which client-site UDFs are applied;
-    ``udf_strategies`` is the per-UDF execution strategy.  ``plan`` keeps the
-    full costed candidate for inspection, ``alternatives`` the costed
-    baseline plans for comparison.
+    ``udf_strategies`` is the per-UDF execution strategy; ``batch_size`` is
+    the plan-wide number of rows per network message the cost-based sweep
+    selected (also folded into ``strategy_config``).  ``plan`` keeps the full
+    costed candidate for inspection, ``alternatives`` the costed baseline
+    plans for comparison.
     """
 
     plan: CandidatePlan
@@ -37,12 +39,14 @@ class OptimizationDecision:
     udf_strategies: Dict[str, ExecutionStrategy]
     strategy_config: StrategyConfig
     estimated_cost: float
+    batch_size: int = 1
     alternatives: Dict[str, CandidatePlan] = field(default_factory=dict)
 
     def describe(self) -> str:
         lines = [
             f"optimizer decision: cost {self.estimated_cost:.3f}s, "
-            f"join order {list(self.table_order)}, UDF order {list(self.udf_order)}",
+            f"join order {list(self.table_order)}, UDF order {list(self.udf_order)}, "
+            f"batch size {self.batch_size}",
         ]
         for name, strategy in self.udf_strategies.items():
             lines.append(f"  UDF {name}: {strategy.value}")
@@ -72,20 +76,28 @@ class Optimizer:
 
     # -- helpers -----------------------------------------------------------------------------
 
-    def _estimator(self, query: BoundQuery, allow_deferred_return: bool = True) -> CostEstimator:
+    def _estimator(
+        self,
+        query: BoundQuery,
+        allow_deferred_return: bool = True,
+        settings: Optional[CostSettings] = None,
+    ) -> CostEstimator:
         return CostEstimator(
             self.network,
             query,
-            settings=self.settings,
+            settings=settings if settings is not None else self.settings,
             allow_deferred_return=allow_deferred_return,
         )
 
     def enumerator(
-        self, query: BoundQuery, allow_deferred_return: bool = True
+        self,
+        query: BoundQuery,
+        allow_deferred_return: bool = True,
+        settings: Optional[CostSettings] = None,
     ) -> SystemREnumerator:
         tables, udfs = operations_for_query(query)
         return SystemREnumerator(
-            self._estimator(query, allow_deferred_return=allow_deferred_return),
+            self._estimator(query, allow_deferred_return=allow_deferred_return, settings=settings),
             tables,
             udfs,
             exhaustive_properties=self.exhaustive_properties,
@@ -94,17 +106,53 @@ class Optimizer:
     # -- main entry points ----------------------------------------------------------------------
 
     def optimize(self, query: BoundQuery, include_baselines: bool = False) -> OptimizationDecision:
-        """Choose join/UDF order and per-UDF strategies for ``query``.
+        """Choose join/UDF order, per-UDF strategies and batch size for ``query``.
+
+        The batch size is a plan-wide physical property: the enumeration runs
+        once per candidate batch size (``CostSettings.candidate_batch_sizes``)
+        and the decision keeps the *smallest* batch whose best plan is within
+        ``batch_choice_tolerance`` of the overall cheapest — on fast networks
+        the per-message overhead is negligible and the sweep collapses to the
+        paper's tuple-at-a-time behaviour, while on slow or asymmetric links
+        it amortises the fixed framing and latency costs over many rows.
 
         Deferred-return client-site joins (fusion with result delivery) are
         excluded here because the executor cannot realise them; use
         :meth:`plan_space` to study the full plan space including them.
         """
-        best = self.enumerator(query, allow_deferred_return=False).best_plan()
+        settings = self.settings if self.settings is not None else CostSettings()
+        # A caller who configured an explicit batch size — through the
+        # strategy config or the cost settings — pinned that tunable; the
+        # sweep then only costs the plan at that size instead of
+        # second-guessing it.
+        if self.default_config.batch_size != 1:
+            candidates: Tuple[int, ...] = (self.default_config.batch_size,)
+        elif settings.batch_size != 1:
+            candidates = (int(settings.batch_size),)
+        elif settings.per_message_overhead_bytes == 0:
+            # Without per-message costs batching cannot change any estimate,
+            # so skip the redundant enumerations.
+            candidates = (1,)
+        else:
+            candidates = tuple(dict.fromkeys(settings.candidate_batch_sizes)) or (1,)
+        costed: List[Tuple[int, CandidatePlan]] = []
+        for batch_size in candidates:
+            plan = self.enumerator(
+                query,
+                allow_deferred_return=False,
+                settings=settings.with_batch_size(float(batch_size)),
+            ).best_plan()
+            costed.append((batch_size, plan))
+        cheapest = min(plan.cost for _, plan in costed)
+        batch_size, best = next(
+            (b, plan)
+            for b, plan in sorted(costed, key=lambda candidate: candidate[0])
+            if plan.cost <= cheapest * (1.0 + settings.batch_choice_tolerance)
+        )
 
         # The primary strategy config: keep the caller's tunables, adopt the
         # strategy the optimizer chose for the first UDF (per-UDF overrides
-        # carry the rest).
+        # carry the rest) and the batch size the sweep selected.
         primary_strategy = None
         for name in best.udf_order:
             primary_strategy = best.udf_strategies.get(name)
@@ -112,6 +160,7 @@ class Optimizer:
         config = self.default_config
         if primary_strategy is not None:
             config = config.with_strategy(primary_strategy)
+        config = config.with_batch_size(batch_size)
 
         alternatives: Dict[str, CandidatePlan] = {}
         if include_baselines:
@@ -124,6 +173,7 @@ class Optimizer:
             udf_strategies=dict(best.udf_strategies),
             strategy_config=config,
             estimated_cost=best.cost,
+            batch_size=batch_size,
             alternatives=alternatives,
         )
 

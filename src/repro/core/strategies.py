@@ -43,9 +43,15 @@ class StrategyConfig:
         the maximum number of argument tuples in flight between sender and
         receiver.  ``None`` lets the engine pick the analytic optimum B·T.
     batch_size:
-        Number of argument tuples per downlink message for the semi-join
-        sender.  The paper pipelines single tuples; batches model the
-        "set-oriented" extension and reduce per-message overhead.
+        Number of rows per network message for every strategy: argument
+        tuples per downlink message for the semi-join and naive strategies,
+        whole records per downlink message for the client-site join.  The
+        client mirrors the batching on the uplink (one result/record batch
+        per request message).  The paper pipelines single tuples; batches
+        model the "set-oriented" extension and amortise the fixed
+        per-message overhead (latency share and framing bytes) over
+        ``batch_size`` rows.  A value of 1 reproduces the paper's
+        tuple-at-a-time wire behaviour exactly.
     eliminate_duplicates:
         Whether the semi-join sender suppresses argument duplicates
         (Section 3.2.2).  Disabling this is an ablation knob.
@@ -83,8 +89,12 @@ class StrategyConfig:
     # -- convenience constructors --------------------------------------------------
 
     @classmethod
-    def naive(cls, server_result_cache: bool = True) -> "StrategyConfig":
-        return cls(strategy=ExecutionStrategy.NAIVE, server_result_cache=server_result_cache)
+    def naive(cls, server_result_cache: bool = True, batch_size: int = 1) -> "StrategyConfig":
+        return cls(
+            strategy=ExecutionStrategy.NAIVE,
+            server_result_cache=server_result_cache,
+            batch_size=batch_size,
+        )
 
     @classmethod
     def semi_join(
@@ -108,12 +118,14 @@ class StrategyConfig:
         push_predicates: bool = True,
         push_projections: bool = True,
         sort_by_arguments: bool = True,
+        batch_size: int = 1,
     ) -> "StrategyConfig":
         return cls(
             strategy=ExecutionStrategy.CLIENT_SITE_JOIN,
             push_predicates=push_predicates,
             push_projections=push_projections,
             sort_by_arguments=sort_by_arguments,
+            batch_size=batch_size,
         )
 
     def with_strategy(self, strategy: ExecutionStrategy) -> "StrategyConfig":
@@ -121,3 +133,6 @@ class StrategyConfig:
 
     def with_concurrency(self, concurrency_factor: int) -> "StrategyConfig":
         return replace(self, concurrency_factor=concurrency_factor)
+
+    def with_batch_size(self, batch_size: int) -> "StrategyConfig":
+        return replace(self, batch_size=batch_size)

@@ -9,12 +9,12 @@ fall out naturally.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any
 
 from repro.errors import ChannelClosedError
 from repro.network.events import Event
 from repro.network.link import Link
-from repro.network.message import Message
+from repro.network.message import Message, MessageKind, batch_message
 from repro.network.resources import Store
 from repro.network.simulator import Simulator
 from repro.network.stats import ChannelStats
@@ -66,6 +66,32 @@ class Channel:
         self._ensure_open()
         message.sender = message.sender or "client"
         return self.uplink.send(message)
+
+    def send_batch_to_client(
+        self,
+        kind: MessageKind,
+        payload: Any,
+        payload_bytes: int,
+        row_count: int,
+        description: str = "",
+    ) -> Event:
+        """Server → client shipment of ``row_count`` rows in one frame."""
+        return self.send_to_client(
+            batch_message(kind, payload, payload_bytes, row_count, description=description)
+        )
+
+    def send_batch_to_server(
+        self,
+        kind: MessageKind,
+        payload: Any,
+        payload_bytes: int,
+        row_count: int,
+        description: str = "",
+    ) -> Event:
+        """Client → server shipment of ``row_count`` rows in one frame."""
+        return self.send_to_server(
+            batch_message(kind, payload, payload_bytes, row_count, description=description)
+        )
 
     # -- receiving --------------------------------------------------------------------
 

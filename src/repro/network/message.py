@@ -36,7 +36,13 @@ class MessageKind(enum.Enum):
 
 @dataclass
 class Message:
-    """A single unit of transfer over a link."""
+    """A single unit of transfer over a link.
+
+    ``row_count`` records how many logical rows (argument tuples, records or
+    results) the payload carries; batch-sized messages amortise the fixed
+    :data:`MESSAGE_OVERHEAD_BYTES` over all of them.  Control and error
+    messages carry zero rows.
+    """
 
     kind: MessageKind
     payload: Any
@@ -44,17 +50,44 @@ class Message:
     sequence: int = field(default_factory=lambda: next(_sequence))
     sender: str = ""
     description: str = ""
+    row_count: int = 0
 
     @property
     def size_bytes(self) -> int:
         """Total wire size, including framing overhead."""
         return self.payload_bytes + MESSAGE_OVERHEAD_BYTES
 
+    @property
+    def overhead_bytes_per_row(self) -> float:
+        """The framing overhead share charged to each row of the payload."""
+        return MESSAGE_OVERHEAD_BYTES / self.row_count if self.row_count else float(
+            MESSAGE_OVERHEAD_BYTES
+        )
+
     def __repr__(self) -> str:
         return (
             f"Message(#{self.sequence} {self.kind.value}, {self.size_bytes}B"
             f"{', ' + self.description if self.description else ''})"
         )
+
+
+def batch_message(
+    kind: MessageKind,
+    payload: Any,
+    payload_bytes: int,
+    row_count: int,
+    sender: str = "",
+    description: str = "",
+) -> Message:
+    """A batch-sized message carrying ``row_count`` rows in one frame."""
+    return Message(
+        kind=kind,
+        payload=payload,
+        payload_bytes=payload_bytes,
+        sender=sender,
+        description=description or f"{row_count} rows",
+        row_count=row_count,
+    )
 
 
 def control_message(description: str, sender: str = "") -> Message:

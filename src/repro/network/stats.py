@@ -15,26 +15,41 @@ class LinkStats:
 
     name: str
     message_count: int = 0
+    data_message_count: int = 0
     total_bytes: int = 0
     payload_bytes: int = 0
+    rows_transferred: int = 0
     busy_seconds: float = 0.0
     queueing_seconds: float = 0.0
     bytes_by_kind: Dict[str, int] = field(default_factory=dict)
 
     def record(self, message: "Message", queued_for: float, transmission: float) -> None:
         self.message_count += 1
+        if message.kind.value not in ("control", "error"):
+            self.data_message_count += 1
         self.total_bytes += message.size_bytes
         self.payload_bytes += message.payload_bytes
+        self.rows_transferred += message.row_count
         self.busy_seconds += transmission
         self.queueing_seconds += queued_for
         kind = message.kind.value
         self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + message.size_bytes
 
+    @property
+    def rows_per_message(self) -> float:
+        """Average batching achieved on this link: rows per *data* message
+        (control and error frames carry no rows and are excluded)."""
+        return (
+            self.rows_transferred / self.data_message_count if self.data_message_count else 0.0
+        )
+
     def merge(self, other: "LinkStats") -> "LinkStats":
         merged = LinkStats(name=self.name)
         merged.message_count = self.message_count + other.message_count
+        merged.data_message_count = self.data_message_count + other.data_message_count
         merged.total_bytes = self.total_bytes + other.total_bytes
         merged.payload_bytes = self.payload_bytes + other.payload_bytes
+        merged.rows_transferred = self.rows_transferred + other.rows_transferred
         merged.busy_seconds = self.busy_seconds + other.busy_seconds
         merged.queueing_seconds = self.queueing_seconds + other.queueing_seconds
         for kind, value in list(self.bytes_by_kind.items()) + list(other.bytes_by_kind.items()):

@@ -1,10 +1,14 @@
-"""Iterator-model physical operators.
+"""Batch-at-a-time (vectorized) physical operators.
 
 Each operator exposes a :class:`~repro.relational.operators.base.Operator`
 interface: an output :class:`~repro.relational.schema.Schema` plus an
-``execute()`` generator yielding rows.  Operators compose into trees; the
-root's ``execute()`` drives the whole pipeline lazily, as in the classical
-Volcano/iterator execution model the paper assumes.
+``execute_batches()`` generator yielding
+:class:`~repro.relational.tuples.RowBatch` es (with ``execute()`` kept as a
+row-iterator view for compatibility with the classical Volcano model).
+Operators compose into trees; the root's ``execute_batches()`` drives the
+whole pipeline lazily, one batch at a time.  Scans, filters, projections,
+hash joins and aggregation are batch-native; the remaining operators are
+row-oriented and chunked by the base class.
 """
 
 from repro.relational.operators.base import Operator, CollectingOperator

@@ -8,7 +8,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.errors import OperatorError
 from repro.relational.operators.base import Operator
 from repro.relational.schema import Column, Schema
-from repro.relational.tuples import Row
+from repro.relational.tuples import Row, RowBatch, batches_of
 from repro.relational.types import FLOAT, INTEGER, DataType
 
 
@@ -86,31 +86,35 @@ class Aggregate(Operator):
             columns.append(Column(spec.output_name, dtype))
         self.schema = Schema(columns)
 
-    def execute(self) -> Iterator[Row]:
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
         groups: Dict[Tuple, List[Row]] = {}
         order: List[Tuple] = []
-        for row in self.child().execute():
-            key = tuple(row[position] for position in self._group_positions)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(row)
+        for batch in self.child().execute_batches(batch_size):
+            for row in batch:
+                key = tuple(row[position] for position in self._group_positions)
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(row)
 
         if not groups and not self.group_by:
             groups[()] = []
             order.append(())
 
-        for key in order:
-            rows = groups[key]
-            outputs = list(key)
-            for spec, position in zip(self.aggregates, self._input_positions):
-                function, _ = _AGGREGATES[spec.function.upper()]
-                if position is None:
-                    values = [1] * len(rows)  # COUNT(*)
-                else:
-                    values = [row[position] for row in rows]
-                outputs.append(function(values))
-            yield Row(outputs)
+        def result_rows() -> Iterator[Row]:
+            for key in order:
+                rows = groups[key]
+                outputs = list(key)
+                for spec, position in zip(self.aggregates, self._input_positions):
+                    function, _ = _AGGREGATES[spec.function.upper()]
+                    if position is None:
+                        values = [1] * len(rows)  # COUNT(*)
+                    else:
+                        values = [row[position] for row in rows]
+                    outputs.append(function(values))
+                yield Row(outputs)
+
+        yield from batches_of(result_rows(), batch_size)
 
     def describe(self) -> str:
         aggs = ", ".join(

@@ -1,4 +1,29 @@
-"""Operator base classes for the iterator execution model."""
+"""Operator base classes for the batch-at-a-time execution model.
+
+Operators expose two public entry points that the rest of the system drives:
+
+* :meth:`Operator.execute_batches` — the vectorized protocol: a stream of
+  :class:`~repro.relational.tuples.RowBatch` es of (at most) ``batch_size``
+  rows.
+* :meth:`Operator.execute` — the classical row iterator, kept as a thin
+  flattening view over the batch stream for callers that want rows.
+
+Subclasses implement exactly one of the protected hooks:
+
+* ``_execute_batches(batch_size)`` for batch-native operators (scans,
+  filters, projections, hash joins, aggregation), or
+* ``_execute()`` for row-oriented operators; the base class chunks their
+  row stream into batches automatically.
+
+Operators written against the pre-batching API (overriding the public
+``execute()`` directly) keep working: the batch protocol falls back to
+chunking their row stream.
+
+Instrumentation (``rows_produced`` / ``batches_produced``) is updated in
+exactly one place — the public :meth:`execute_batches` — so no combination
+of ``run()``, executor metrics collection, and direct iteration can double
+count.
+"""
 
 from __future__ import annotations
 
@@ -6,27 +31,65 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.errors import OperatorError
 from repro.relational.schema import Schema
-from repro.relational.tuples import Row
+from repro.relational.tuples import DEFAULT_BATCH_SIZE, Row, RowBatch, batches_of
 
 
 class Operator:
-    """A physical operator producing a stream of rows.
+    """A physical operator producing a stream of row batches (or rows).
 
     Subclasses must set :attr:`schema` before execution and implement
-    :meth:`execute`.  ``rows_produced`` is updated by :meth:`run` and by the
-    executor for instrumentation.
+    :meth:`_execute` (row-at-a-time) or :meth:`_execute_batches`
+    (batch-native).  ``rows_produced`` counts the rows this operator has
+    handed to its consumer, maintained solely by :meth:`execute_batches`.
     """
 
     def __init__(self, children: Sequence["Operator"] = ()) -> None:
         self.children: List[Operator] = list(children)
         self.schema: Optional[Schema] = None
+        self.batch_size: int = DEFAULT_BATCH_SIZE
         self.rows_produced = 0
+        self.batches_produced = 0
 
-    # -- interface -------------------------------------------------------------
+    # -- subclass hooks ---------------------------------------------------------
+
+    def _execute(self) -> Iterator[Row]:
+        """Yield output rows.  Row-oriented subclasses implement this."""
+        raise NotImplementedError
+
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
+        """Yield output batches.  Batch-native subclasses override this."""
+        yield from batches_of(self._execute(), batch_size)
+
+    # -- public protocol --------------------------------------------------------
 
     def execute(self) -> Iterator[Row]:
-        """Yield output rows.  Must be implemented by subclasses."""
-        raise NotImplementedError
+        """Yield output rows (a flattening view over :meth:`execute_batches`)."""
+        for batch in self.execute_batches():
+            yield from batch.rows
+
+    def execute_batches(self, batch_size: Optional[int] = None) -> Iterator[RowBatch]:
+        """Yield output batches of at most ``batch_size`` rows.
+
+        This is the single instrumentation path: every row an operator
+        produces is counted here, exactly once, no matter how the operator
+        is driven (``run()``, ``execute()``, or batch iteration).
+        """
+        size = batch_size if batch_size is not None else self.batch_size
+        if size < 1:
+            raise OperatorError("batch_size must be at least 1")
+        for batch in self._source_batches(size):
+            if not batch:
+                continue
+            self.rows_produced += len(batch)
+            self.batches_produced += 1
+            yield batch
+
+    def _source_batches(self, batch_size: int) -> Iterator[RowBatch]:
+        if type(self).execute is not Operator.execute:
+            # Pre-batching subclass overriding the public execute() directly:
+            # chunk its row stream so batch consumers still work.
+            return batches_of(self.execute(), batch_size)
+        return self._execute_batches(batch_size)
 
     def output_schema(self) -> Schema:
         if self.schema is None:
@@ -37,10 +100,9 @@ class Operator:
 
     def run(self) -> List[Row]:
         """Execute to completion and collect all rows (for tests and tools)."""
-        result = []
-        for row in self.execute():
-            self.rows_produced += 1
-            result.append(row)
+        result: List[Row] = []
+        for batch in self.execute_batches():
+            result.extend(batch.rows)
         return result
 
     def child(self) -> "Operator":
@@ -73,8 +135,8 @@ class CollectingOperator(Operator):
         self.schema = schema
         self._rows = list(rows)
 
-    def execute(self) -> Iterator[Row]:
-        yield from self._rows
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
+        yield from batches_of(iter(self._rows), batch_size)
 
     def describe(self) -> str:
         return f"Collected({len(self._rows)} rows)"

@@ -23,7 +23,7 @@ class Distinct(Operator):
         super().__init__([child])
         self.schema = child.output_schema()
 
-    def execute(self) -> Iterator[Row]:
+    def _execute(self) -> Iterator[Row]:
         seen: Set[Tuple] = set()
         for row in self.child().execute():
             key = tuple(row)
@@ -45,7 +45,7 @@ class DistinctOn(Operator):
         self.key_columns = list(key_columns)
         self._positions = tuple(self.schema.index_of(name) for name in self.key_columns)
 
-    def execute(self) -> Iterator[Row]:
+    def _execute(self) -> Iterator[Row]:
         positions = self._positions
         seen: Set[Tuple] = set()
         for row in self.child().execute():

@@ -6,7 +6,7 @@ from typing import Dict, Iterator, Optional
 
 from repro.relational.expressions import Expression, ScalarFunction
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row
+from repro.relational.tuples import RowBatch
 
 
 class Filter(Operator):
@@ -27,11 +27,10 @@ class Filter(Operator):
         self.functions = functions or {}
         self.schema = child.output_schema()
 
-    def execute(self) -> Iterator[Row]:
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
         bound = self.predicate.bind(self.schema, self.functions)
-        for row in self.child().execute():
-            if bound(row):
-                yield row
+        for batch in self.child().execute_batches(batch_size):
+            yield batch.filter(bound)
 
     def describe(self) -> str:
         return f"Filter({self.predicate})"

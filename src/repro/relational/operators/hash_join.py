@@ -6,7 +6,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import OperatorError
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row
+from repro.relational.tuples import Row, RowBatch
 
 
 class HashJoin(Operator):
@@ -34,20 +34,27 @@ class HashJoin(Operator):
         self._right_positions = tuple(right_schema.index_of(name) for name in self.right_keys)
         self.schema = left_schema.concat(right_schema)
 
-    def execute(self) -> Iterator[Row]:
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
         left, right = self.children
         table: Dict[Tuple, List[Row]] = {}
-        for row in right.execute():
-            key = tuple(row[position] for position in self._right_positions)
-            if any(value is None for value in key):
-                continue
-            table.setdefault(key, []).append(row)
-        for left_row in left.execute():
-            key = tuple(left_row[position] for position in self._left_positions)
-            if any(value is None for value in key):
-                continue
-            for right_row in table.get(key, ()):
-                yield left_row.concat(right_row)
+        for batch in right.execute_batches(batch_size):
+            for row in batch:
+                key = tuple(row[position] for position in self._right_positions)
+                if any(value is None for value in key):
+                    continue
+                table.setdefault(key, []).append(row)
+        # Probe one input batch at a time; an output batch holds the matches
+        # of one probe batch (it may be smaller or larger than batch_size
+        # depending on the join fan-out).
+        for batch in left.execute_batches(batch_size):
+            matches: List[Row] = []
+            for left_row in batch:
+                key = tuple(left_row[position] for position in self._left_positions)
+                if any(value is None for value in key):
+                    continue
+                for right_row in table.get(key, ()):
+                    matches.append(left_row.concat(right_row))
+            yield RowBatch(matches)
 
     def describe(self) -> str:
         pairs = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))

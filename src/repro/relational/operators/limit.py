@@ -2,15 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, List
 
 from repro.errors import OperatorError
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row
+from repro.relational.tuples import Row, RowBatch
 
 
 class Limit(Operator):
-    """Yields at most ``count`` rows after skipping ``offset`` rows."""
+    """Yields at most ``count`` rows after skipping ``offset`` rows.
+
+    Batch-native so the requested batch size propagates to the child:
+    the overshoot of a small LIMIT over an expensive child pipeline is
+    bounded by one child batch, not the child's default batch size.
+    """
 
     def __init__(self, child: Operator, count: int, offset: int = 0) -> None:
         super().__init__([child])
@@ -20,17 +25,23 @@ class Limit(Operator):
         self.offset = offset
         self.schema = child.output_schema()
 
-    def execute(self) -> Iterator[Row]:
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
         produced = 0
         skipped = 0
-        for row in self.child().execute():
-            if skipped < self.offset:
-                skipped += 1
-                continue
+        for batch in self.child().execute_batches(batch_size):
+            kept: List[Row] = []
+            for row in batch:
+                if skipped < self.offset:
+                    skipped += 1
+                    continue
+                if produced >= self.count:
+                    break
+                produced += 1
+                kept.append(row)
+            if kept:
+                yield RowBatch(kept)
             if produced >= self.count:
                 return
-            produced += 1
-            yield row
 
     def describe(self) -> str:
         offset = f" OFFSET {self.offset}" if self.offset else ""

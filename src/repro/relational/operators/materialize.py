@@ -20,7 +20,7 @@ class Materialize(Operator):
         self.schema = child.output_schema()
         self._cache: Optional[List[Row]] = None
 
-    def execute(self) -> Iterator[Row]:
+    def _execute(self) -> Iterator[Row]:
         if self._cache is None:
             self._cache = list(self.child().execute())
         yield from self._cache

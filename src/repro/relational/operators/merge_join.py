@@ -62,7 +62,7 @@ class MergeJoin(Operator):
         if previous is not None and _key_less_than(current, previous):
             raise OperatorError(f"MergeJoin {side} input is not sorted on its keys")
 
-    def execute(self) -> Iterator[Row]:
+    def _execute(self) -> Iterator[Row]:
         left_rows = list(self.children[0].execute())
         right_rows = list(self.children[1].execute())
 

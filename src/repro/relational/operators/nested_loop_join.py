@@ -28,7 +28,7 @@ class NestedLoopJoin(Operator):
         self.functions = functions or {}
         self.schema = outer.output_schema().concat(inner.output_schema())
 
-    def execute(self) -> Iterator[Row]:
+    def _execute(self) -> Iterator[Row]:
         outer, inner = self.children
         inner_rows = list(inner.execute())
         bound = (

@@ -7,7 +7,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.relational.expressions import ColumnRef, Expression, ScalarFunction
 from repro.relational.operators.base import Operator
 from repro.relational.schema import Column, Schema
-from repro.relational.tuples import Row
+from repro.relational.tuples import Row, RowBatch
 from repro.relational.types import DataType, FLOAT
 
 
@@ -21,10 +21,10 @@ class Project(Operator):
         self._positions = tuple(child_schema.index_of(name) for name in self.column_names)
         self.schema = child_schema.select_positions(self._positions)
 
-    def execute(self) -> Iterator[Row]:
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
         positions = self._positions
-        for row in self.child().execute():
-            yield row.project(positions)
+        for batch in self.child().execute_batches(batch_size):
+            yield batch.project(positions)
 
     def describe(self) -> str:
         return f"Project({', '.join(self.column_names)})"
@@ -58,14 +58,14 @@ class ProjectExpressions(Operator):
             columns.append(Column(name, dtype))
         self.schema = Schema(columns)
 
-    def execute(self) -> Iterator[Row]:
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
         child_schema = self.child().output_schema()
         bound = [
             expression.bind(child_schema, self.functions)
             for _, expression, _ in self.outputs
         ]
-        for row in self.child().execute():
-            yield Row(evaluate(row) for evaluate in bound)
+        for batch in self.child().execute_batches(batch_size):
+            yield RowBatch([Row(evaluate(row) for evaluate in bound) for row in batch])
 
     def describe(self) -> str:
         parts = ", ".join(f"{expr} AS {name}" for name, expr, _ in self.outputs)

@@ -7,7 +7,7 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro.relational.operators.base import Operator
 from repro.relational.schema import Schema
 from repro.relational.table import Table
-from repro.relational.tuples import Row
+from repro.relational.tuples import Row, RowBatch, batches_of
 
 
 class TableScan(Operator):
@@ -26,8 +26,8 @@ class TableScan(Operator):
         )
         self.schema = base.qualify(self.alias)
 
-    def execute(self) -> Iterator[Row]:
-        yield from self.table.scan()
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
+        yield from batches_of(self.table.scan(), batch_size)
 
     def describe(self) -> str:
         if self.alias != self.table.name:
@@ -47,7 +47,7 @@ class RowSource(Operator):
         self.schema = schema
         self._source = source
 
-    def execute(self) -> Iterator[Row]:
+    def _execute(self) -> Iterator[Row]:
         for row in self._source():
             yield row if isinstance(row, Row) else Row(row)
 

@@ -44,7 +44,7 @@ class Sort(Operator):
         self.schema = child.output_schema()
         self._positions = tuple(self.schema.index_of(name) for name in self.column_names)
 
-    def execute(self) -> Iterator[Row]:
+    def _execute(self) -> Iterator[Row]:
         positions = self._positions
         rows = list(self.child().execute())
         rows.sort(

@@ -1,17 +1,28 @@
-"""Row representation and byte-accurate row sizing.
+"""Row and row-batch representations and byte-accurate row sizing.
 
 Rows are plain immutable tuples wrapped in a tiny :class:`Row` subclass so
 they stay cheap to create and hashable, while still reading clearly in
 operator code.  All positional access goes through schema lookups performed
 once per operator (not once per row).
+
+:class:`RowBatch` is the unit of the vectorized (batch-at-a-time) execution
+protocol: an ordered slice of rows that operators hand to each other and that
+the execution strategies ship over the network in a single message.  Batches
+carry no schema of their own — like rows, they are aligned with the producing
+operator's schema.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.relational.schema import Schema
 from repro.relational.types import value_size
+
+#: Default number of rows per batch in batch-at-a-time operator execution.
+#: Large enough to amortise per-batch overhead, small enough that partially
+#: consumed pipelines (LIMIT) do not overshoot badly.
+DEFAULT_BATCH_SIZE = 1024
 
 
 class Row(tuple):
@@ -42,6 +53,60 @@ class Row(tuple):
     def as_dict(self, schema: Schema) -> Dict[str, Any]:
         """Map qualified column names to values (for display and tests)."""
         return dict(zip(schema.qualified_names(), self))
+
+
+class RowBatch:
+    """An ordered run of rows processed as one unit by batch operators."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: Iterable[Row]) -> None:
+        self.rows: List[Row] = rows if isinstance(rows, list) else list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self.rows[index]
+
+    def project(self, positions: Sequence[int]) -> "RowBatch":
+        """A new batch with every row projected onto ``positions``."""
+        return RowBatch([row.project(positions) for row in self.rows])
+
+    def filter(self, keep: Callable[[Row], Any]) -> "RowBatch":
+        """A new batch containing only the rows for which ``keep`` is truthy."""
+        return RowBatch([row for row in self.rows if keep(row)])
+
+    def size_bytes(self, schema: Schema) -> int:
+        """Total wire size of the batch's rows under ``schema``."""
+        return sum(row_size(row, schema) for row in self.rows)
+
+    def __repr__(self) -> str:
+        return f"RowBatch({len(self.rows)} rows)"
+
+
+def batches_of(rows: Iterable[Row], batch_size: int) -> Iterator[RowBatch]:
+    """Chunk a row stream into :class:`RowBatch` es of at most ``batch_size``.
+
+    The chunker pulls lazily: it never draws more than one batch ahead of the
+    consumer, so partially consumed pipelines stop early.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    pending: List[Row] = []
+    for row in rows:
+        pending.append(row)
+        if len(pending) >= batch_size:
+            yield RowBatch(pending)
+            pending = []
+    if pending:
+        yield RowBatch(pending)
 
 
 def row_size(row: Sequence[Any], schema: Schema) -> int:

@@ -9,7 +9,7 @@ from repro.core.execution.base import RemoteUdfOperator
 from repro.core.execution.context import RemoteExecutionContext
 from repro.core.strategies import StrategyConfig
 from repro.client.protocol import FinalResultBatch
-from repro.network.message import Message, MessageKind
+from repro.network.message import MessageKind
 from repro.relational.operators.base import Operator
 from repro.relational.tuples import Row, row_size
 from repro.server.metrics import ExecutionMetrics
@@ -90,13 +90,13 @@ class Executor:
         simulator = self.context.simulator
 
         def deliver():
-            message = Message(
-                kind=MessageKind.FINAL_RESULTS,
-                payload=FinalResultBatch(rows=[tuple(row) for row in rows]),
+            yield channel.send_batch_to_client(
+                MessageKind.FINAL_RESULTS,
+                FinalResultBatch(rows=[tuple(row) for row in rows]),
                 payload_bytes=payload_bytes,
+                row_count=len(rows),
                 description=f"final results ({len(rows)} rows)",
             )
-            yield channel.send_to_client(message)
             from repro.network.message import end_of_stream
 
             yield channel.send_to_client(end_of_stream())
@@ -137,5 +137,6 @@ class Executor:
             remote_operations=self.context.remote_operations,
             strategy=(config.strategy if config is not None else plan.strategy),
             concurrency_factor=concurrency,
+            batch_size=(config.batch_size if config is not None else None),
             plan_description=plan.explain(),
         )

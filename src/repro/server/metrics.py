@@ -34,6 +34,7 @@ class ExecutionMetrics:
     remote_operations: int = 0
     strategy: Optional[ExecutionStrategy] = None
     concurrency_factor: Optional[int] = None
+    batch_size: Optional[int] = None
     plan_description: str = ""
 
     @classmethod
@@ -49,6 +50,7 @@ class ExecutionMetrics:
         remote_operations: int = 0,
         strategy: Optional[ExecutionStrategy] = None,
         concurrency_factor: Optional[int] = None,
+        batch_size: Optional[int] = None,
         plan_description: str = "",
     ) -> "ExecutionMetrics":
         return cls(
@@ -67,6 +69,7 @@ class ExecutionMetrics:
             remote_operations=remote_operations,
             strategy=strategy,
             concurrency_factor=concurrency_factor,
+            batch_size=batch_size,
             plan_description=plan_description,
         )
 
@@ -81,12 +84,13 @@ class ExecutionMetrics:
     def summary(self) -> str:
         """A one-paragraph human-readable summary."""
         strategy = self.strategy.value if self.strategy else "n/a"
+        batching = f" | batch size {self.batch_size}" if self.batch_size else ""
         return (
             f"elapsed {self.elapsed_seconds:.3f}s | strategy {strategy} | "
             f"downlink {self.downlink_bytes} B in {self.downlink_messages} msgs | "
             f"uplink {self.uplink_bytes} B in {self.uplink_messages} msgs | "
             f"UDF invocations {self.udf_invocations} (cache hits {self.client_cache_hits}) | "
-            f"rows {self.rows_returned}"
+            f"rows {self.rows_returned}{batching}"
         )
 
     def __str__(self) -> str:

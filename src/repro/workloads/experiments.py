@@ -48,6 +48,9 @@ class ExperimentPoint:
     uplink_bytes: int
     rows: int
     udf_invocations: int
+    downlink_messages: int = 0
+    uplink_messages: int = 0
+    result_rows: Tuple[Tuple, ...] = ()
     parameters: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -97,6 +100,11 @@ def run_workload_point(
         uplink_bytes=context.uplink_bytes,
         rows=len(rows),
         udf_invocations=context.client.udf_invocations,
+        downlink_messages=context.channel.downlink.stats.message_count,
+        uplink_messages=context.channel.uplink.stats.message_count,
+        # repr is a total order over mixed-type (and None-valued) rows, which
+        # plain tuple comparison is not; equal multisets still sort equally.
+        result_rows=tuple(sorted((tuple(row) for row in rows), key=repr)),
         parameters={
             "input_record_bytes": workload.input_record_bytes,
             "argument_fraction": workload.argument_fraction,
