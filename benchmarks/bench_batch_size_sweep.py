@@ -20,6 +20,8 @@ networks and checks:
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.costmodel import CostModel, CostParameters
@@ -29,12 +31,15 @@ from repro.network.topology import NetworkConfig
 from repro.workloads.experiments import format_records, run_workload_point
 from repro.workloads.synthetic import SyntheticWorkload
 
-BATCH_SIZES = (1, 4, 16, 64, 256)
+#: Reduced configuration for the CI smoke job (fewer rows, smaller sweep).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+BATCH_SIZES = (1, 4, 16, 64) if SMOKE else (1, 4, 16, 64, 256)
 
 #: Small records and results so that the fixed per-message costs dominate —
 #: the regime batching is built for (many cheap UDF calls over narrow rows).
 WORKLOAD = dict(
-    row_count=200,
+    row_count=120 if SMOKE else 200,
     input_record_bytes=16,
     argument_fraction=0.5,
     result_bytes=8,
@@ -107,7 +112,7 @@ def test_batch_sweep_asymmetric(benchmark, once):
 
     for strategy in STRATEGIES:
         single = points[(strategy, 1)].elapsed_seconds
-        for batch_size in (64, 256):
+        for batch_size in (size for size in (64, 256) if size in BATCH_SIZES):
             batched = points[(strategy, batch_size)].elapsed_seconds
             # The acceptance bar: batching >= 64 at least halves the
             # simulated time of both remote strategies on the paper's
@@ -143,7 +148,8 @@ def test_batch_sweep_symmetric(benchmark, once):
     for strategy in STRATEGIES:
         elapsed = {b: points[(strategy, b)].elapsed_seconds for b in BATCH_SIZES}
         assert elapsed[64] <= elapsed[1] / 1.3
-        assert elapsed[256] < elapsed[1]
+        if 256 in BATCH_SIZES:
+            assert elapsed[256] < elapsed[1]
         assert min(elapsed, key=elapsed.get) in (16, 64)
 
 

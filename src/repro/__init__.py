@@ -13,8 +13,12 @@ The package implements, from scratch and in pure Python:
   pipeline-concurrency analysis, and an extended System-R optimizer
   (:mod:`repro.core`);
 * the server engine facade tying everything together (:mod:`repro.server`);
-* workload generators reproducing the paper's experiments
-  (:mod:`repro.workloads`).
+* an adaptive runtime subsystem closing the observe → calibrate → adapt
+  loop: runtime observation of link/UDF behaviour, a cross-query statistics
+  store calibrating the optimizer, and mid-query adaptive batch sizing
+  (:mod:`repro.adaptive`);
+* workload generators reproducing the paper's experiments, plus
+  drifting-bandwidth scenarios (:mod:`repro.workloads`).
 
 Quick start::
 
@@ -69,8 +73,14 @@ from repro.core import (
     recommended_concurrency_factor,
 )
 from repro.server import Database, QueryResult, ExecutionMetrics
+from repro.adaptive import (
+    BatchSizeController,
+    QueryObservation,
+    RuntimeObserver,
+    StatisticsStore,
+)
 
-__version__ = "0.1.0"
+__version__ = "0.3.0"
 
 __all__ = [
     # errors
@@ -121,5 +131,10 @@ __all__ = [
     "Database",
     "QueryResult",
     "ExecutionMetrics",
+    # adaptive runtime
+    "BatchSizeController",
+    "QueryObservation",
+    "RuntimeObserver",
+    "StatisticsStore",
     "__version__",
 ]

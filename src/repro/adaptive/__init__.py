@@ -1,0 +1,42 @@
+"""The adaptive runtime subsystem: observe → calibrate → adapt.
+
+The paper's cost model assumes the optimizer knows link bandwidth, UDF cost,
+and selectivity up front.  In a production client-server system serving
+heterogeneous clients those numbers are wrong until observed.  This package
+closes the loop:
+
+* :mod:`repro.adaptive.observer` — :class:`RuntimeObserver` derives per-link
+  effective bandwidth, per-UDF measured cost, and observed selectivities from
+  the accounting the runtime already keeps (:class:`LinkStats`, client
+  counters, operator row counts);
+* :mod:`repro.adaptive.store` — :class:`StatisticsStore` persists those
+  observations across queries (EWMA-blended) and exposes calibrated planning
+  inputs, so the optimizer's second query on a network plans with measured —
+  not configured — parameters;
+* :mod:`repro.adaptive.controller` — :class:`BatchSizeController`
+  hill-climbs the per-message batch size on observed rows/second *while a
+  query runs*, replacing the static plan-wide ``StrategyConfig.batch_size``.
+
+``Database.execute(..., adaptive=True)`` wires all three together.
+"""
+
+from repro.adaptive.controller import BatchDecision, BatchSizeController
+from repro.adaptive.observer import (
+    LinkObservation,
+    PredicateObservation,
+    QueryObservation,
+    RuntimeObserver,
+    UdfObservation,
+)
+from repro.adaptive.store import StatisticsStore
+
+__all__ = [
+    "BatchDecision",
+    "BatchSizeController",
+    "LinkObservation",
+    "PredicateObservation",
+    "QueryObservation",
+    "RuntimeObserver",
+    "UdfObservation",
+    "StatisticsStore",
+]

@@ -1,0 +1,243 @@
+"""Mid-query adaptive batch sizing.
+
+The batched executor (PR 1) ships ``StrategyConfig.batch_size`` rows per
+network message — a *static*, plan-wide knob the optimizer picks from
+configured network parameters.  The :class:`BatchSizeController` replaces it
+with a closed feedback loop: the execution strategies ask the controller for
+the batch size *before forming each batch* and report the observed progress
+(rows acknowledged, simulated seconds elapsed) *after each reply*, so the
+batch size hill-climbs on measured rows/second while the query runs.
+
+The climber works on a multiplicative ladder (…, b/2, b, 2b, …):
+
+* measurements are aggregated into *windows* of at least
+  ``window_batches`` batches and ``window_rows`` rows, so one noisy
+  round trip cannot flip a decision;
+* each window's throughput updates an exponentially weighted estimate for
+  the batch size it ran at; the next size is whichever of {b/2, b, 2b} has
+  the best estimate, probing unexplored neighbours in the current climb
+  direction first;
+* once settled, the controller periodically re-probes a neighbour
+  (``reprobe_after`` stable windows, alternating up/down) so an optimum that
+  *moved* — a link whose bandwidth drifted mid-query — is rediscovered;
+* a throughput *collapse* at the current size (a window under
+  ``collapse_fraction`` of its previous estimate) discards all estimates:
+  the network has visibly changed, so remembered throughputs are stale.
+
+The controller is deliberately transport-agnostic: it never touches the
+simulator.  Strategies feed it observations via :meth:`observe_rows` with
+the current simulated clock, and it tracks inter-arrival times itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """One completed measurement window and the size chosen after it."""
+
+    batch_size: int
+    rows: int
+    seconds: float
+    next_batch_size: int
+
+    @property
+    def rows_per_second(self) -> float:
+        return self.rows / self.seconds if self.seconds > 0 else 0.0
+
+
+class BatchSizeController:
+    """Hill-climbs the per-message batch size on observed rows/second."""
+
+    def __init__(
+        self,
+        initial_batch_size: int = 8,
+        min_batch_size: int = 1,
+        max_batch_size: int = 256,
+        window_batches: int = 2,
+        window_rows: int = 32,
+        smoothing: float = 0.5,
+        reprobe_after: int = 6,
+        collapse_fraction: float = 0.5,
+    ) -> None:
+        if min_batch_size < 1:
+            raise ValueError("min_batch_size must be at least 1")
+        if max_batch_size < min_batch_size:
+            raise ValueError("max_batch_size must be >= min_batch_size")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.min_batch_size = min_batch_size
+        self.max_batch_size = max_batch_size
+        self.window_batches = max(1, window_batches)
+        self.window_rows = max(1, window_rows)
+        self.smoothing = smoothing
+        self.reprobe_after = max(2, reprobe_after)
+        self.collapse_fraction = collapse_fraction
+
+        self._size = self._clamp(initial_batch_size)
+        self._direction = 1  # +1 probing upward, -1 probing downward
+        self._throughput: Dict[int, float] = {}
+        self._stable_windows = 0
+        self._reprobe_up_next = True
+
+        # Current measurement window.
+        self._window_rows_seen = 0
+        self._window_seconds = 0.0
+        self._window_batch_count = 0
+        self._last_observation_at: Optional[float] = None
+
+        #: Completed windows, in order — the convergence trace benchmarks plot.
+        self.decisions: List[BatchDecision] = []
+        #: Total rows/batches the controller has been told about.
+        self.rows_observed = 0
+        self.batches_observed = 0
+
+    # -- the two calls strategies make -------------------------------------------------
+
+    def current(self) -> int:
+        """The batch size to use for the next batch."""
+        return self._size
+
+    def observe_rows(self, rows: int, now: float) -> None:
+        """Report that a batch of ``rows`` input rows was acknowledged at ``now``.
+
+        ``now`` is the simulated (or wall) clock; the controller measures the
+        time between consecutive observations, which at steady state is the
+        pipeline's per-batch service time regardless of how many batches are
+        in flight.
+        """
+        if rows <= 0:
+            return
+        self.rows_observed += rows
+        self.batches_observed += 1
+        if self._last_observation_at is None:
+            # First reply of an operator: no baseline to measure against.
+            self._last_observation_at = now
+            return
+        elapsed = now - self._last_observation_at
+        self._last_observation_at = now
+        if elapsed < 0:
+            return
+        self._window_rows_seen += rows
+        self._window_seconds += elapsed
+        self._window_batch_count += 1
+        if (
+            self._window_batch_count >= self.window_batches
+            and self._window_rows_seen >= min(self.window_rows, 2 * self._size)
+            and self._window_seconds > 0
+        ):
+            self._decide()
+
+    def begin_operation(self, now: float) -> None:
+        """Reset the inter-arrival clock at the start of a remote operation.
+
+        Without this, the idle gap between two remote operators on the same
+        connection would be charged to the first batch of the second one.
+        """
+        self._last_observation_at = now
+
+    # -- decision logic ---------------------------------------------------------------
+
+    def _decide(self) -> None:
+        throughput = self._window_rows_seen / self._window_seconds
+        previous = self._throughput.get(self._size)
+        if (
+            previous is not None
+            and previous > 0
+            and throughput < previous * self.collapse_fraction
+        ):
+            # The same batch size suddenly runs far slower than it used to:
+            # the link drifted, every remembered estimate is stale.
+            self._throughput = {self._size: throughput}
+            self._stable_windows = 0
+        elif previous is None:
+            self._throughput[self._size] = throughput
+        else:
+            alpha = self.smoothing
+            self._throughput[self._size] = (1.0 - alpha) * previous + alpha * throughput
+
+        next_size = self._choose_next()
+        self.decisions.append(
+            BatchDecision(
+                batch_size=self._size,
+                rows=self._window_rows_seen,
+                seconds=self._window_seconds,
+                next_batch_size=next_size,
+            )
+        )
+        if next_size == self._size:
+            self._stable_windows += 1
+        else:
+            self._direction = 1 if next_size > self._size else -1
+            self._stable_windows = 0
+        self._size = next_size
+        self._window_rows_seen = 0
+        self._window_seconds = 0.0
+        self._window_batch_count = 0
+
+    def _choose_next(self) -> int:
+        size = self._size
+        up = self._clamp(size * 2)
+        down = self._clamp(max(1, size // 2))
+
+        # Probe unexplored territory in the direction we were climbing.
+        if self._direction > 0 and up != size and up not in self._throughput:
+            return up
+        if self._direction < 0 and down != size and down not in self._throughput:
+            return down
+        # Then any unexplored neighbour at all.
+        if up != size and up not in self._throughput:
+            return up
+        if down != size and down not in self._throughput:
+            return down
+
+        # All neighbours known: move to the best estimate.
+        candidates = {down, size, up}
+        best = max(candidates, key=lambda candidate: self._throughput.get(candidate, 0.0))
+        if best != size:
+            return best
+
+        # Settled.  Re-probe a neighbour now and then so a drifted optimum is
+        # rediscovered; alternate directions to watch both sides.
+        if self._stable_windows >= self.reprobe_after:
+            self._stable_windows = 0
+            probe = up if self._reprobe_up_next and up != size else down
+            self._reprobe_up_next = not self._reprobe_up_next
+            if probe != size:
+                self._throughput.pop(probe, None)
+                return probe
+        return size
+
+    def _clamp(self, value: int) -> int:
+        return max(self.min_batch_size, min(self.max_batch_size, int(value)))
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def converged_batch_size(self) -> int:
+        """The best-performing size seen so far (current size before any data)."""
+        if not self._throughput:
+            return self._size
+        return max(self._throughput, key=lambda size: self._throughput[size])
+
+    def throughput_estimate(self, batch_size: int) -> Optional[float]:
+        return self._throughput.get(batch_size)
+
+    def size_trace(self) -> Tuple[int, ...]:
+        """The sequence of batch sizes the controller moved through."""
+        trace: List[int] = []
+        for decision in self.decisions:
+            if not trace or trace[-1] != decision.batch_size:
+                trace.append(decision.batch_size)
+        if not trace or trace[-1] != self._size:
+            trace.append(self._size)
+        return tuple(trace)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSizeController(size={self._size}, windows={len(self.decisions)}, "
+            f"rows={self.rows_observed})"
+        )

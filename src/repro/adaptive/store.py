@@ -1,0 +1,207 @@
+"""The feedback store: calibrated statistics that persist across queries.
+
+A :class:`StatisticsStore` lives on the :class:`~repro.server.engine.Database`
+and accumulates :class:`~repro.adaptive.observer.QueryObservation` records.
+From them it maintains exponentially weighted estimates of
+
+* per-link effective bandwidth (and queueing delay),
+* per-UDF measured cost per call, observed predicate selectivity, and
+  observed distinct-argument fraction,
+* the batch size adaptive executions converged to,
+
+and exposes them in the vocabulary the planning layer speaks: a *calibrated*
+:class:`~repro.network.topology.NetworkConfig`, calibrated
+:class:`~repro.core.optimizer.cost.CostSettings`, and ``udf_cost`` /
+``udf_selectivity`` lookups the cost estimator consults.  The optimizer's
+second query on a network therefore plans with measured — not configured —
+parameters, in the spirit of statistics-driven plan estimates
+(``StatInfo``-style feedback in classical systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.adaptive.observer import QueryObservation
+from repro.network.topology import NetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.optimizer.cost import CostSettings
+
+
+class _Ewma:
+    """A tiny exponentially weighted moving average."""
+
+    __slots__ = ("value", "samples", "alpha")
+
+    def __init__(self, alpha: float) -> None:
+        self.value: Optional[float] = None
+        self.samples = 0
+        self.alpha = alpha
+
+    def update(self, sample: float) -> None:
+        self.samples += 1
+        if self.value is None:
+            self.value = sample
+        else:
+            self.value = (1.0 - self.alpha) * self.value + self.alpha * sample
+
+
+class StatisticsStore:
+    """Observed-statistics feedback shared by every query on a database.
+
+    ``smoothing`` is the EWMA weight of the newest observation: 1.0 keeps
+    only the latest query's numbers, small values change estimates slowly.
+    """
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        self.smoothing = smoothing
+        self.queries_observed = 0
+
+        self._downlink_bandwidth = _Ewma(smoothing)
+        self._uplink_bandwidth = _Ewma(smoothing)
+        self._downlink_queueing = _Ewma(smoothing)
+        self._uplink_queueing = _Ewma(smoothing)
+        self._udf_cost: Dict[str, _Ewma] = {}
+        self._udf_selectivity: Dict[str, _Ewma] = {}
+        self._udf_distinct_fraction: Dict[str, _Ewma] = {}
+        self._predicate_selectivity: Dict[str, _Ewma] = {}
+        self._batch_size = _Ewma(smoothing)
+
+    # -- recording ---------------------------------------------------------------------
+
+    def record(self, observation: QueryObservation) -> None:
+        """Fold one query's observation into the running estimates."""
+        self.queries_observed += 1
+        for link, bandwidth, queueing in (
+            (observation.downlink, self._downlink_bandwidth, self._downlink_queueing),
+            (observation.uplink, self._uplink_bandwidth, self._uplink_queueing),
+        ):
+            if link is None:
+                continue
+            if link.effective_bandwidth is not None:
+                bandwidth.update(link.effective_bandwidth)
+            if link.message_count > 0:
+                queueing.update(link.mean_queueing_seconds)
+
+        for name, udf in observation.udfs.items():
+            key = name.lower()
+            cost = udf.measured_cost_per_call
+            if cost is not None:
+                self._udf_cost.setdefault(key, _Ewma(self.smoothing)).update(cost)
+            selectivity = udf.observed_selectivity
+            if selectivity is not None:
+                self._udf_selectivity.setdefault(key, _Ewma(self.smoothing)).update(selectivity)
+            distinct = udf.observed_distinct_fraction
+            if distinct is not None:
+                self._udf_distinct_fraction.setdefault(key, _Ewma(self.smoothing)).update(
+                    distinct
+                )
+
+        for predicate in observation.predicates:
+            selectivity = predicate.observed_selectivity
+            if selectivity is not None:
+                self._predicate_selectivity.setdefault(
+                    predicate.predicate, _Ewma(self.smoothing)
+                ).update(selectivity)
+
+        if observation.converged_batch_size is not None:
+            self._batch_size.update(float(observation.converged_batch_size))
+
+    # -- calibrated lookups (the protocol the cost estimator speaks) -------------------
+
+    def udf_cost(self, name: str, default: float) -> float:
+        """Measured seconds per call for ``name``, or ``default`` if unobserved."""
+        estimate = self._udf_cost.get(name.lower())
+        if estimate is None or estimate.value is None:
+            return default
+        return estimate.value
+
+    def udf_selectivity(self, name: str, default: float) -> float:
+        """Observed predicate selectivity for ``name``, or ``default``."""
+        estimate = self._udf_selectivity.get(name.lower())
+        if estimate is None or estimate.value is None:
+            return default
+        return min(1.0, max(0.0, estimate.value))
+
+    def udf_distinct_fraction(self, name: str, default: float) -> float:
+        estimate = self._udf_distinct_fraction.get(name.lower())
+        if estimate is None or estimate.value is None:
+            return default
+        return min(1.0, max(0.0, estimate.value))
+
+    def predicate_selectivity(self, predicate: str, default: float) -> float:
+        estimate = self._predicate_selectivity.get(predicate)
+        if estimate is None or estimate.value is None:
+            return default
+        return min(1.0, max(0.0, estimate.value))
+
+    # -- calibrated planning inputs -----------------------------------------------------
+
+    @property
+    def observed_downlink_bandwidth(self) -> Optional[float]:
+        return self._downlink_bandwidth.value
+
+    @property
+    def observed_uplink_bandwidth(self) -> Optional[float]:
+        return self._uplink_bandwidth.value
+
+    def calibrated_network(self, configured: NetworkConfig) -> NetworkConfig:
+        """``configured`` with bandwidths replaced by observed effective values."""
+        downlink = self._downlink_bandwidth.value
+        uplink = self._uplink_bandwidth.value
+        if downlink is None and uplink is None:
+            return configured
+        return replace(
+            configured,
+            downlink_bandwidth=downlink if downlink else configured.downlink_bandwidth,
+            uplink_bandwidth=uplink if uplink else configured.uplink_bandwidth,
+            name=f"{configured.name}+observed",
+        )
+
+    def calibrated_cost_settings(self, settings: "CostSettings") -> "CostSettings":
+        """``settings`` seeded with the converged batch size, once one is known.
+
+        Pinning ``batch_size`` makes the optimizer cost plans at the batch
+        size adaptive execution converged to (and skip the candidate sweep),
+        which is exactly the "second query plans with measured parameters"
+        behaviour the feedback loop is for.
+        """
+        preferred = self.preferred_batch_size()
+        if preferred is None or settings.batch_size != 1.0:
+            return settings
+        return settings.with_batch_size(float(preferred))
+
+    def preferred_batch_size(self, default: Optional[int] = None) -> Optional[int]:
+        """The batch size adaptive runs converged to (rounded), if any."""
+        if self._batch_size.value is None:
+            return default
+        return max(1, int(round(self._batch_size.value)))
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def summary(self) -> str:
+        lines: List[str] = [f"statistics over {self.queries_observed} queries:"]
+        if self._downlink_bandwidth.value is not None:
+            lines.append(f"  downlink ~{self._downlink_bandwidth.value:.0f} B/s")
+        if self._uplink_bandwidth.value is not None:
+            lines.append(f"  uplink ~{self._uplink_bandwidth.value:.0f} B/s")
+        for key in sorted(set(self._udf_cost) | set(self._udf_selectivity)):
+            bits = []
+            cost = self._udf_cost.get(key)
+            if cost is not None and cost.value is not None:
+                bits.append(f"{cost.value * 1000:.3f} ms/call")
+            selectivity = self._udf_selectivity.get(key)
+            if selectivity is not None and selectivity.value is not None:
+                bits.append(f"selectivity {selectivity.value:.2f}")
+            lines.append(f"  udf {key}: " + ", ".join(bits))
+        preferred = self.preferred_batch_size()
+        if preferred is not None:
+            lines.append(f"  preferred batch size {preferred}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"StatisticsStore(queries={self.queries_observed})"

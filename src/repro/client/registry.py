@@ -37,6 +37,7 @@ class UdfRegistry:
         selectivity: float = 0.5,
         description: str = "",
         replace: bool = False,
+        actual_cost_per_call_seconds: Optional[float] = None,
     ) -> UdfDefinition:
         """Register a plain Python callable as a UDF."""
         definition = UdfDefinition(
@@ -46,6 +47,7 @@ class UdfRegistry:
             result_dtype=result_dtype,
             result_size_bytes=result_size_bytes,
             cost_per_call_seconds=cost_per_call_seconds,
+            actual_cost_per_call_seconds=actual_cost_per_call_seconds,
             selectivity=selectivity,
             description=description,
         )

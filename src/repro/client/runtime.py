@@ -58,6 +58,10 @@ class ClientRuntime:
         self.udf_invocations = 0
         self.cache_hits = 0
         self.compute_seconds = 0.0
+        #: Per-UDF breakdown of the two counters above (keys lower-cased) —
+        #: what the adaptive runtime observes measured per-call costs from.
+        self.invocations_by_udf: dict = {}
+        self.compute_seconds_by_udf: dict = {}
         self.rows_received = 0
         self.rows_returned = 0
         self.delivered_rows: List[Tuple[Any, ...]] = []
@@ -229,11 +233,26 @@ class ClientRuntime:
         if self.fail_on_invocation is not None and self.udf_invocations >= self.fail_on_invocation:
             raise UdfExecutionError(udf.name, RuntimeError("injected client failure"))
         result = udf.invoke(arguments)
-        cost = udf.cost_per_call_seconds
+        # The client charges the *actual* per-call cost, which may differ
+        # from the declared one the planner believes.
+        cost = udf.runtime_cost_per_call_seconds
         self.compute_seconds += cost
+        udf_key = udf.name.lower()
+        self.invocations_by_udf[udf_key] = self.invocations_by_udf.get(udf_key, 0) + 1
+        self.compute_seconds_by_udf[udf_key] = (
+            self.compute_seconds_by_udf.get(udf_key, 0.0) + cost
+        )
         if key is not None:
             self.cache.put(key, result)
         return result, cost
+
+    def invocations_of(self, udf_name: str) -> int:
+        """Invocations of the named UDF this runtime has performed."""
+        return self.invocations_by_udf.get(udf_name.lower(), 0)
+
+    def compute_seconds_of(self, udf_name: str) -> float:
+        """Simulated CPU seconds the named UDF has consumed on this client."""
+        return self.compute_seconds_by_udf.get(udf_name.lower(), 0.0)
 
     def __repr__(self) -> str:
         return (

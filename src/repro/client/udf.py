@@ -42,7 +42,14 @@ class UdfDefinition:
         Declared wire size of one result (the paper's ``R`` parameter).  When
         omitted, the size of each actual result value is measured instead.
     cost_per_call_seconds:
-        Simulated client (or server) CPU time charged per invocation.
+        *Declared* client (or server) CPU time per invocation — what the
+        planner believes before anything has run.
+    actual_cost_per_call_seconds:
+        The CPU time the client runtime *actually* charges per invocation,
+        when it differs from the declaration (a mis-estimated registration, a
+        slower client device).  ``None`` means the declaration is accurate.
+        The adaptive runtime observes the actual cost and calibrates the
+        planner's estimate from it.
     selectivity:
         When the UDF (or a comparison on its result) is used as a predicate,
         the fraction of rows expected to pass.  Used by the optimizer and the
@@ -55,6 +62,7 @@ class UdfDefinition:
     result_dtype: DataType = FLOAT
     result_size_bytes: Optional[int] = None
     cost_per_call_seconds: float = 0.0005
+    actual_cost_per_call_seconds: Optional[float] = None
     selectivity: float = 0.5
     description: str = ""
     invocation_count: int = field(default=0, init=False, repr=False)
@@ -64,8 +72,17 @@ class UdfDefinition:
             raise UdfError(f"UDF {self.name!r} must wrap a callable")
         if self.cost_per_call_seconds < 0:
             raise UdfError(f"UDF {self.name!r} cost must be non-negative")
+        if self.actual_cost_per_call_seconds is not None and self.actual_cost_per_call_seconds < 0:
+            raise UdfError(f"UDF {self.name!r} actual cost must be non-negative")
         if not 0.0 <= self.selectivity <= 1.0:
             raise UdfError(f"UDF {self.name!r} selectivity must be within [0, 1]")
+
+    @property
+    def runtime_cost_per_call_seconds(self) -> float:
+        """The per-call CPU time the client runtime charges (actual wins)."""
+        if self.actual_cost_per_call_seconds is not None:
+            return self.actual_cost_per_call_seconds
+        return self.cost_per_call_seconds
 
     @property
     def is_client_site(self) -> bool:

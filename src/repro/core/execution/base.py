@@ -64,6 +64,12 @@ class RemoteUdfOperator(Operator):
     def _execute(self) -> Iterator[Row]:
         input_rows = list(self.child().execute())
         self.input_row_count = len(input_rows)
+        controller = self.config.batch_controller
+        if controller is not None:
+            # Start the controller's inter-arrival clock at this operator's
+            # first simulated instant, so idle time between remote operators
+            # is not charged to the first batch.
+            controller.begin_operation(self.context.simulator.now)
         output_rows: List[Row] = self.context.run_remote(
             self._drive(input_rows), name=self.describe()
         )
@@ -73,6 +79,18 @@ class RemoteUdfOperator(Operator):
     def _drive(self, rows: List[Row]):
         """Strategy-specific coordination coroutine (a simulation process)."""
         raise NotImplementedError
+
+    # -- adaptive batch sizing ---------------------------------------------------------
+
+    def next_batch_size(self) -> int:
+        """Rows the next network message should carry (adaptive-aware)."""
+        return self.config.next_batch_size(self.udf.name)
+
+    def observe_batch(self, rows: int) -> None:
+        """Report ``rows`` acknowledged input rows to the adaptive controller."""
+        controller = self.config.batch_controller
+        if controller is not None and not self.config.has_batch_override(self.udf.name):
+            controller.observe_rows(rows, self.context.simulator.now)
 
     # -- shared helpers ----------------------------------------------------------------
 

@@ -15,7 +15,8 @@ tradeoff measured in Figures 8-10.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.client.protocol import PushedOperations, RecordBatch, RemoteCall
 from repro.core.execution.base import RemoteUdfOperator
@@ -101,11 +102,20 @@ class ClientSiteJoinOperator(RemoteUdfOperator):
             extended_schema=self.extended_schema,
         )
 
-        batch_size = self.config.batch_size
+        # The client answers record batches in arrival order, so pairing the
+        # sent batch sizes FIFO with the replies attributes each reply to the
+        # *input* rows it acknowledges — surviving-row counts would confound
+        # the throughput signal with the predicate's selectivity.
+        sent_sizes: Deque[int] = deque()
 
         def sender():
-            for start in range(0, len(rows), batch_size):
-                chunk = rows[start : start + batch_size]
+            start = 0
+            while start < len(rows):
+                # Re-read the target at every batch boundary: an adaptive
+                # controller may have changed it since the last send.
+                chunk = rows[start : start + self.next_batch_size()]
+                start += len(chunk)
+                sent_sizes.append(len(chunk))
                 yield channel.send_batch_to_client(
                     MessageKind.RECORDS,
                     RecordBatch(calls=[call], rows=[tuple(row) for row in chunk], pushed=pushed),
@@ -124,6 +134,8 @@ class ClientSiteJoinOperator(RemoteUdfOperator):
                 self.check_reply(reply)
                 for values in reply.payload.rows:
                     output.append(Row(values))
+                if sent_sizes:
+                    self.observe_batch(sent_sizes.popleft())
             return output
 
         sender_process = simulator.process(sender(), name="clientjoin.sender")

@@ -35,7 +35,6 @@ class NaiveUdfOperator(RemoteUdfOperator):
         )
         cache: Dict[Tuple[Any, ...], Any] = {}
         use_cache = self.config.server_result_cache
-        batch_size = self.config.batch_size
         output: List[Row] = []
         distinct_arguments = set()
 
@@ -48,6 +47,7 @@ class NaiveUdfOperator(RemoteUdfOperator):
 
         def flush():
             results: List[Any] = []
+            flushed_rows = len(pending_rows)
             if pending_arguments:
                 yield channel.send_batch_to_client(
                     MessageKind.UDF_ARGUMENTS,
@@ -60,6 +60,7 @@ class NaiveUdfOperator(RemoteUdfOperator):
                 self.check_reply(reply)
                 batch: ResultBatch = reply.payload
                 results = batch.results
+                self.observe_batch(flushed_rows)
             for row, arguments, index in pending_rows:
                 result = cache[arguments] if index is None else results[index]
                 if use_cache:
@@ -83,7 +84,9 @@ class NaiveUdfOperator(RemoteUdfOperator):
             if use_cache:
                 pending_index[arguments] = index
             pending_rows.append((row, arguments, index))
-            if len(pending_arguments) >= batch_size:
+            # Re-read the target each time: an adaptive controller may have
+            # changed the batch size since the last round trip.
+            if len(pending_arguments) >= self.next_batch_size():
                 yield from flush()
         yield from flush()
 

@@ -80,7 +80,17 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
         # while holding an unsent batch (deadlock).  An explicitly pinned
         # concurrency factor is otherwise respected as configured; the
         # analytic path already double-buffers (two batches) on its own.
-        factor = max(factor, self.config.batch_size)
+        # Under adaptive control the window instead *tracks* the controller:
+        # it starts double-buffered at the current batch size and grows with
+        # it (see the sender), so a run converged at batch 8 is not simulated
+        # with the buffering of the controller's maximum.
+        adaptive = self.config.batch_controller is not None and not self.config.has_batch_override(
+            self.udf.name
+        )
+        if adaptive:
+            factor = max(factor, 2 * self.next_batch_size())
+        else:
+            factor = max(factor, self.config.batch_size_for(self.udf.name))
         self.concurrency_factor_used = factor
 
         call = RemoteCall(
@@ -95,7 +105,6 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
         records = Store(simulator, name="semijoin.records")
 
         eliminate = self.config.eliminate_duplicates
-        batch_size = self.config.batch_size
 
         def sender():
             seen: set = set()
@@ -123,9 +132,17 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
                         seen.add(arguments)
                 yield records.put((row, arguments, is_new))
                 if is_new:
+                    # Re-read the target at every batch boundary: an adaptive
+                    # controller may have changed it since the last flush.
+                    # The window must stay double-buffered at the current
+                    # target *before* the put, or a grown batch could block
+                    # on a slot while holding an unsent batch (deadlock).
+                    target = self.next_batch_size()
+                    if adaptive:
+                        in_flight.grow_capacity(2 * target)
                     yield in_flight.put(arguments)
                     pending_batch.append(arguments)
-                    if len(pending_batch) >= batch_size:
+                    if len(pending_batch) >= target:
                         yield channel.send_to_client(flush())
             message = flush()
             if message is not None:
@@ -151,6 +168,7 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
                         self.check_reply(reply)
                         batch: ResultBatch = reply.payload
                         pending_results.extend(batch.results)
+                        self.observe_batch(len(batch.results))
                     result = pending_results.popleft()
                     result_cache[arguments] = result
                     yield in_flight.get()
@@ -171,4 +189,6 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
         output = yield receiver_process
         yield sender_process
         self.peak_pipeline_occupancy = in_flight.peak_occupancy
+        # The window may have grown with the controller; report what it ended at.
+        self.concurrency_factor_used = int(in_flight.capacity)
         return output

@@ -57,7 +57,15 @@ class CostSettings:
 
 
 class CostEstimator:
-    """Estimates costs of plan operations for a given network configuration."""
+    """Estimates costs of plan operations for a given network configuration.
+
+    ``statistics`` is an optional observed-statistics source (duck-typed, in
+    practice a :class:`~repro.adaptive.store.StatisticsStore`) providing
+    ``udf_cost(name, default)``, ``udf_selectivity(name, default)`` and
+    ``udf_distinct_fraction(name, default)``.  When present, measured values
+    replace the declared ones, so a second query plans with calibrated — not
+    configured — UDF parameters.
+    """
 
     def __init__(
         self,
@@ -65,6 +73,7 @@ class CostEstimator:
         query: BoundQuery,
         settings: Optional[CostSettings] = None,
         allow_deferred_return: bool = True,
+        statistics: Optional[object] = None,
     ) -> None:
         self.network = network
         self.query = query
@@ -75,25 +84,90 @@ class CostEstimator:
         #: server, so the engine's optimize() path disables the variant to keep
         #: cost estimates aligned with what it can actually execute.
         self.allow_deferred_return = allow_deferred_return
+        self.statistics = statistics
 
     # -- link time helpers ----------------------------------------------------------------
 
-    def _downlink_seconds(self, total_bytes: float, messages: float) -> float:
-        overhead = messages * self.settings.per_message_overhead_bytes
+    def _downlink_seconds(
+        self, total_bytes: float, messages: float, settings: CostSettings
+    ) -> float:
+        overhead = messages * settings.per_message_overhead_bytes
         return (total_bytes + overhead) / self.network.downlink_bandwidth
 
-    def _uplink_seconds(self, total_bytes: float, messages: float) -> float:
-        overhead = messages * self.settings.per_message_overhead_bytes
+    def _uplink_seconds(
+        self, total_bytes: float, messages: float, settings: CostSettings
+    ) -> float:
+        overhead = messages * settings.per_message_overhead_bytes
         return (total_bytes + overhead) / self.network.uplink_bandwidth
 
-    def _transfer_cost(self, downlink_bytes: float, uplink_bytes: float, rows: float) -> float:
+    def _transfer_cost(
+        self,
+        downlink_bytes: float,
+        uplink_bytes: float,
+        rows: float,
+        settings: Optional[CostSettings] = None,
+    ) -> float:
         """Bottleneck-link time for a pipelined transfer of ``rows`` rows."""
-        messages = max(1.0, rows / self.settings.batch_size)
-        down = self._downlink_seconds(downlink_bytes, messages if downlink_bytes > 0 else 1.0)
-        up = self._uplink_seconds(uplink_bytes, messages if uplink_bytes > 0 else 1.0)
+        settings = settings if settings is not None else self.settings
+        messages = max(1.0, rows / settings.batch_size)
+        down = self._downlink_seconds(
+            downlink_bytes, messages if downlink_bytes > 0 else 1.0, settings
+        )
+        up = self._uplink_seconds(uplink_bytes, messages if uplink_bytes > 0 else 1.0, settings)
         # The pipeline overlaps the two directions; the slower one dominates,
         # plus one round-trip latency and a fill penalty.
-        return max(down, up) + 2 * self.network.latency + self.settings.pipeline_fill_penalty_seconds
+        return max(down, up) + 2 * self.network.latency + settings.pipeline_fill_penalty_seconds
+
+    # -- re-costing (the incremental batch-size sweep) -------------------------------------
+
+    def recost(self, plan: CandidatePlan, settings: CostSettings) -> CandidatePlan:
+        """``plan`` with every recorded transfer re-costed under ``settings``.
+
+        Each shipping step carries its transfer profile (bytes and rows), so
+        changing a transfer-affecting setting — the batch size, above all —
+        only requires recomputing those steps' transfer times.  CPU charges
+        and the plan structure are untouched; the enumeration is not re-run.
+        """
+        from dataclasses import replace as replace_step
+
+        delta = 0.0
+        steps = []
+        for step in plan.steps:
+            if step.transfer is None:
+                steps.append(step)
+                continue
+            downlink_bytes, uplink_bytes, rows = step.transfer
+            new_transfer = self._transfer_cost(
+                downlink_bytes, uplink_bytes, rows, settings=settings
+            )
+            delta += new_transfer - step.transfer_cost
+            steps.append(
+                replace_step(
+                    step,
+                    cost=step.cost - step.transfer_cost + new_transfer,
+                    transfer_cost=new_transfer,
+                )
+            )
+        if delta == 0.0:
+            return plan
+        return plan.extended(cost=plan.cost + delta, steps=tuple(steps))
+
+    # -- calibrated UDF parameters ----------------------------------------------------------
+
+    def _udf_cost_per_call(self, udf) -> float:
+        if self.statistics is None:
+            return udf.cost_per_call_seconds
+        return self.statistics.udf_cost(udf.name, udf.cost_per_call_seconds)
+
+    def _udf_selectivity(self, operation: UdfOperation) -> float:
+        # Observed selectivities are keyed by UDF name, so they only apply
+        # where the query actually filters on this UDF — a predicate-free use
+        # of the same UDF keeps every row regardless of what was observed.
+        if self.statistics is None or not operation.has_predicate:
+            return operation.predicate_selectivity
+        return self.statistics.udf_selectivity(
+            operation.call.udf.name, operation.predicate_selectivity
+        )
 
     # -- scans -------------------------------------------------------------------------------
 
@@ -145,12 +219,14 @@ class CostEstimator:
             column_distinct[name] = min(column_distinct[name], max(1.0, cardinality))
 
         cpu = (plan.cardinality + inner.cardinality + cardinality) * self.settings.server_cpu_seconds_per_row
-        cost = plan.cost + inner.cost + cpu + return_cost
+        # ``plan.cost`` already includes the return shipment charged (and
+        # recorded as its own profiled "ship" step) by _return_to_server.
+        cost = plan.cost + inner.cost + cpu
         step = PlanStep(
             kind="join",
             name=f"{'+'.join(sorted(plan.operations))} ⋈ {operation.alias}",
             detail=f"selectivity {selectivity:.3g}" + (", shipped back from client" if return_cost else ""),
-            cost=cpu + return_cost,
+            cost=cpu,
             cardinality=cardinality,
         )
         return plan.extended(
@@ -204,6 +280,8 @@ class CostEstimator:
             detail=f"{uplink_bytes:.0f} bytes on the uplink",
             cost=cost,
             cardinality=plan.cardinality,
+            transfer=(0.0, uplink_bytes, plan.cardinality),
+            transfer_cost=cost,
         )
         updated = plan.extended(
             cost=plan.cost + cost,
@@ -232,8 +310,12 @@ class CostEstimator:
         argument_bytes = plan.columns_size(operation.argument_columns)
         result_bytes = float(udf.result_size_bytes if udf.result_size_bytes is not None else 8)
         distinct_fraction = plan.distinct_fraction(operation.argument_columns)
+        if self.statistics is not None:
+            distinct_fraction = self.statistics.udf_distinct_fraction(
+                udf.name, distinct_fraction
+            )
         invocations = plan.cardinality * distinct_fraction
-        client_cpu = invocations * udf.cost_per_call_seconds
+        client_cpu = invocations * self._udf_cost_per_call(udf)
         return argument_bytes, result_bytes, distinct_fraction, client_cpu
 
     def _apply_semi_join(self, plan: CandidatePlan, operation: UdfOperation) -> CandidatePlan:
@@ -248,9 +330,11 @@ class CostEstimator:
         )
         downlink_bytes = 0.0 if arguments_resident else plan.cardinality * distinct_fraction * argument_bytes
         uplink_bytes = plan.cardinality * distinct_fraction * result_bytes
-        transfer = self._transfer_cost(downlink_bytes, uplink_bytes, plan.cardinality * distinct_fraction)
+        transfer_rows = plan.cardinality * distinct_fraction
+        transfer = self._transfer_cost(downlink_bytes, uplink_bytes, transfer_rows)
 
-        cardinality = plan.cardinality * operation.predicate_selectivity
+        selectivity = self._udf_selectivity(operation)
+        cardinality = plan.cardinality * selectivity
         column_sizes = dict(plan.column_sizes)
         column_sizes[udf.result_column_name] = result_bytes
         column_distinct = dict(plan.column_distinct)
@@ -267,10 +351,12 @@ class CostEstimator:
             strategy=ExecutionStrategy.SEMI_JOIN,
             detail=(
                 f"D={distinct_fraction:.2f}, args {'resident' if arguments_resident else 'shipped'}, "
-                f"selectivity {operation.predicate_selectivity:.3g}"
+                f"selectivity {selectivity:.3g}"
             ),
             cost=transfer + client_cpu,
             cardinality=cardinality,
+            transfer=(downlink_bytes, uplink_bytes, transfer_rows),
+            transfer_cost=transfer,
         )
         return plan.extended(
             operations=plan.operations | {operation.key},
@@ -299,7 +385,7 @@ class CostEstimator:
         already_at_client = plan.properties.site is PlanSite.CLIENT
         downlink_bytes = 0.0 if already_at_client else plan.cardinality * plan.row_bytes
 
-        selectivity = operation.predicate_selectivity
+        selectivity = self._udf_selectivity(operation)
         cardinality = plan.cardinality * selectivity
         returned_row_bytes = self._returned_row_bytes(plan, operation, result_bytes)
 
@@ -330,6 +416,8 @@ class CostEstimator:
             ),
             cost=transfer + client_cpu,
             cardinality=cardinality,
+            transfer=(downlink_bytes, uplink_bytes, plan.cardinality),
+            transfer_cost=transfer,
         )
         return plan.extended(
             operations=plan.operations | {operation.key},
@@ -388,6 +476,7 @@ class CostEstimator:
             else:
                 output_columns.extend(output.expression.columns())
         output_bytes = plan.columns_size(output_columns) if output_columns else plan.row_bytes
+        transfer_profile = None
         if plan.properties.site is PlanSite.CLIENT:
             cost = 0.0
             detail = "results already at the client"
@@ -395,12 +484,15 @@ class CostEstimator:
             downlink_bytes = plan.cardinality * output_bytes
             cost = self._transfer_cost(downlink_bytes, 0.0, plan.cardinality)
             detail = f"{downlink_bytes:.0f} bytes shipped to the client"
+            transfer_profile = (downlink_bytes, 0.0, plan.cardinality)
         step = PlanStep(
             kind="final",
             name="deliver results",
             detail=detail,
             cost=cost,
             cardinality=plan.cardinality,
+            transfer=transfer_profile,
+            transfer_cost=cost if transfer_profile is not None else 0.0,
         )
         return plan.extended(
             cost=plan.cost + cost,

@@ -60,7 +60,15 @@ class OptimizationDecision:
 
 
 class Optimizer:
-    """The extended System-R optimizer plus the baseline optimizers."""
+    """The extended System-R optimizer plus the baseline optimizers.
+
+    ``statistics`` is an optional observed-statistics feedback source (a
+    :class:`~repro.adaptive.store.StatisticsStore`): when provided, the
+    optimizer plans against the *calibrated* network (observed effective
+    bandwidths), measured per-UDF costs and observed selectivities, and the
+    batch size adaptive executions converged to — instead of the configured
+    and declared values.
+    """
 
     def __init__(
         self,
@@ -68,8 +76,12 @@ class Optimizer:
         default_config: Optional[StrategyConfig] = None,
         settings: Optional[CostSettings] = None,
         exhaustive_properties: bool = True,
+        statistics: Optional[object] = None,
     ) -> None:
-        self.network = network
+        self.statistics = statistics
+        self.network = (
+            statistics.calibrated_network(network) if statistics is not None else network
+        )
         self.default_config = default_config if default_config is not None else StrategyConfig()
         self.settings = settings
         self.exhaustive_properties = exhaustive_properties
@@ -87,6 +99,7 @@ class Optimizer:
             query,
             settings=settings if settings is not None else self.settings,
             allow_deferred_return=allow_deferred_return,
+            statistics=self.statistics,
         )
 
     def enumerator(
@@ -95,7 +108,7 @@ class Optimizer:
         allow_deferred_return: bool = True,
         settings: Optional[CostSettings] = None,
     ) -> SystemREnumerator:
-        tables, udfs = operations_for_query(query)
+        tables, udfs = operations_for_query(query, statistics=self.statistics)
         return SystemREnumerator(
             self._estimator(query, allow_deferred_return=allow_deferred_return, settings=settings),
             tables,
@@ -108,19 +121,25 @@ class Optimizer:
     def optimize(self, query: BoundQuery, include_baselines: bool = False) -> OptimizationDecision:
         """Choose join/UDF order, per-UDF strategies and batch size for ``query``.
 
-        The batch size is a plan-wide physical property: the enumeration runs
-        once per candidate batch size (``CostSettings.candidate_batch_sizes``)
-        and the decision keeps the *smallest* batch whose best plan is within
+        The batch size is a plan-wide physical property: every kept plan is
+        costed at each candidate batch size
+        (``CostSettings.candidate_batch_sizes``) and the decision keeps the
+        *smallest* batch whose best plan is within
         ``batch_choice_tolerance`` of the overall cheapest — on fast networks
         the per-message overhead is negligible and the sweep collapses to the
         paper's tuple-at-a-time behaviour, while on slow or asymmetric links
         it amortises the fixed framing and latency costs over many rows.
+        The sweep is incremental: the plan space is enumerated at the two
+        endpoint candidate sizes and re-costed per candidate from recorded
+        transfer profiles instead of re-enumerating per candidate.
 
         Deferred-return client-site joins (fusion with result delivery) are
         excluded here because the executor cannot realise them; use
         :meth:`plan_space` to study the full plan space including them.
         """
         settings = self.settings if self.settings is not None else CostSettings()
+        if self.statistics is not None:
+            settings = self.statistics.calibrated_cost_settings(settings)
         # A caller who configured an explicit batch size — through the
         # strategy config or the cost settings — pinned that tunable; the
         # sweep then only costs the plan at that size instead of
@@ -135,14 +154,37 @@ class Optimizer:
             candidates = (1,)
         else:
             candidates = tuple(dict.fromkeys(settings.candidate_batch_sizes)) or (1,)
-        costed: List[Tuple[int, CandidatePlan]] = []
-        for batch_size in candidates:
-            plan = self.enumerator(
+
+        # The sweep is *incremental*: instead of one full enumeration per
+        # candidate, the plan space is enumerated at the two endpoint batch
+        # sizes only and every kept complete plan is re-costed per candidate
+        # from its recorded transfer profiles.  DP pruning is batch-size
+        # dependent (per-message overhead shifts which plan wins a property
+        # class), so enumerating at both extremes keeps the plans favoured by
+        # tuple-at-a-time *and* by heavy batching; interior candidates are
+        # pure re-costing arithmetic.  Plans pruned at both endpoints but
+        # optimal strictly in the interior can still be missed — an accepted
+        # approximation of the incremental sweep.
+        kept: List[CandidatePlan] = []
+        seen_shapes = set()
+        estimator = None
+        for endpoint in dict.fromkeys((min(candidates), max(candidates))):
+            enumerator = self.enumerator(
                 query,
                 allow_deferred_return=False,
-                settings=settings.with_batch_size(float(batch_size)),
-            ).best_plan()
-            costed.append((batch_size, plan))
+                settings=settings.with_batch_size(float(endpoint)),
+            )
+            estimator = enumerator.estimator
+            for plan in enumerator.all_complete_plans():
+                shape = tuple((step.kind, step.name, step.strategy) for step in plan.steps)
+                if shape not in seen_shapes:
+                    seen_shapes.add(shape)
+                    kept.append(plan)
+        costed: List[Tuple[int, CandidatePlan]] = []
+        for batch_size in candidates:
+            candidate_settings = settings.with_batch_size(float(batch_size))
+            recosted = [estimator.recost(plan, candidate_settings) for plan in kept]
+            costed.append((batch_size, min(recosted, key=lambda plan: plan.cost)))
         cheapest = min(plan.cost for _, plan in costed)
         batch_size, best = next(
             (b, plan)
@@ -180,7 +222,7 @@ class Optimizer:
     def baseline_plans(self, query: BoundQuery) -> Dict[str, CandidatePlan]:
         """Costed plans of the baseline optimizers, for comparison benchmarks."""
         estimator = self._estimator(query)
-        tables, udfs = operations_for_query(query)
+        tables, udfs = operations_for_query(query, statistics=self.statistics)
         baselines: Dict[str, CandidatePlan] = {}
         if udfs:
             baselines["rank-order (naive execution)"] = RankOrderOptimizer(

@@ -39,10 +39,16 @@ class TableOperation:
 
 @dataclass(frozen=True)
 class UdfOperation:
-    """A client-site UDF call treated as a virtual join."""
+    """A client-site UDF call treated as a virtual join.
+
+    ``has_predicate`` records whether any query predicate was credited to
+    this UDF — only then does an *observed* selectivity from the statistics
+    store apply; a predicate-free use of the same UDF keeps every row.
+    """
 
     call: ClientUdfCall
     predicate_selectivity: float = 1.0
+    has_predicate: bool = False
 
     @property
     def key(self) -> str:
@@ -62,7 +68,15 @@ class UdfOperation:
 
 @dataclass(frozen=True)
 class PlanStep:
-    """One applied operation in a candidate plan."""
+    """One applied operation in a candidate plan.
+
+    Steps that ship data record their *transfer profile* — the
+    ``(downlink_bytes, uplink_bytes, rows)`` triple the transfer cost was
+    computed from — together with the seconds charged for it.  The profile
+    lets the optimizer *re-cost* a kept plan under different cost settings
+    (a new batch size, a calibrated bandwidth) without re-enumerating the
+    plan space.
+    """
 
     kind: str  # "scan", "join", "udf", "final"
     name: str
@@ -70,6 +84,8 @@ class PlanStep:
     detail: str = ""
     cost: float = 0.0
     cardinality: float = 0.0
+    transfer: Optional[Tuple[float, float, float]] = None
+    transfer_cost: float = 0.0
 
     def describe(self) -> str:
         strategy = f" [{self.strategy.value}]" if self.strategy else ""
@@ -157,13 +173,28 @@ class CandidatePlan:
         return replace(self, **changes)
 
 
-def operations_for_query(query: BoundQuery) -> Tuple[List[TableOperation], List[UdfOperation]]:
-    """Derive the operation set (real joins + UDF joins) from a bound query."""
+def operations_for_query(
+    query: BoundQuery, statistics: Optional[object] = None
+) -> Tuple[List[TableOperation], List[UdfOperation]]:
+    """Derive the operation set (real joins + UDF joins) from a bound query.
+
+    ``statistics`` (duck-typed, in practice a
+    :class:`~repro.adaptive.store.StatisticsStore`) supplies *observed*
+    selectivities for single-table predicates, keyed by the predicate's
+    string form — the key the runtime observer records server-side filters
+    under — falling back to the declared estimate when unobserved.
+    """
     tables: List[TableOperation] = []
     for bound in query.tables:
         selectivity = 1.0
         for predicate in query.single_table_predicates(bound.alias):
-            selectivity *= max(predicate.selectivity, 1e-6)
+            estimate = max(predicate.selectivity, 1e-6)
+            if statistics is not None:
+                estimate = max(
+                    statistics.predicate_selectivity(str(predicate.expression), estimate),
+                    1e-6,
+                )
+            selectivity *= estimate
         tables.append(TableOperation(alias=bound.alias, bound=bound, local_selectivity=selectivity))
 
     udfs: List[UdfOperation] = []
@@ -173,11 +204,17 @@ def operations_for_query(query: BoundQuery) -> Tuple[List[TableOperation], List[
         # exists (and reference no other, not-yet-applied UDF).  Predicates
         # over several UDFs are credited to the lexically last one.
         selectivity = 1.0
+        has_predicate = False
         for predicate in query.udf_predicates():
             names = {name.lower() for name in predicate.udf_names}
             if call.udf.name.lower() in names:
                 ordered = [c.udf.name.lower() for c in query.client_udf_calls if c.udf.name.lower() in names]
                 if ordered and ordered[-1] == call.udf.name.lower():
                     selectivity *= max(predicate.selectivity, 1e-6)
-        udfs.append(UdfOperation(call=call, predicate_selectivity=selectivity))
+                    has_predicate = True
+        udfs.append(
+            UdfOperation(
+                call=call, predicate_selectivity=selectivity, has_predicate=has_predicate
+            )
+        )
     return tables, udfs

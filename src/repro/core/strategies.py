@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Mapping, Optional, Tuple, Union, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adaptive.controller import BatchSizeController
 
 
 class ExecutionStrategy(enum.Enum):
@@ -52,6 +55,19 @@ class StrategyConfig:
         per-message overhead (latency share and framing bytes) over
         ``batch_size`` rows.  A value of 1 reproduces the paper's
         tuple-at-a-time wire behaviour exactly.
+    batch_size_overrides:
+        Per-UDF batch sizes overriding the plan-wide ``batch_size``: a
+        mapping from UDF name (case-insensitive) to rows per message,
+        normalised internally to a sorted tuple so configs stay hashable.
+        An explicit override also pins that UDF's batch size against the
+        adaptive controller.
+    batch_controller:
+        A :class:`~repro.adaptive.controller.BatchSizeController` consulted
+        *between batches* instead of the static ``batch_size``: each strategy
+        asks it for the size of the next batch and reports observed progress,
+        so the batch size adapts mid-query to measured throughput.  ``None``
+        (the default) keeps the static behaviour.  The controller is runtime
+        state, excluded from equality and hashing.
     eliminate_duplicates:
         Whether the semi-join sender suppresses argument duplicates
         (Section 3.2.2).  Disabling this is an ablation knob.
@@ -74,6 +90,10 @@ class StrategyConfig:
     strategy: ExecutionStrategy = ExecutionStrategy.SEMI_JOIN
     concurrency_factor: Optional[int] = None
     batch_size: int = 1
+    batch_size_overrides: Union[
+        Mapping[str, int], Tuple[Tuple[str, int], ...]
+    ] = ()
+    batch_controller: Optional["BatchSizeController"] = field(default=None, compare=False)
     eliminate_duplicates: bool = True
     sort_by_arguments: bool = True
     server_result_cache: bool = True
@@ -85,6 +105,50 @@ class StrategyConfig:
             raise ValueError("concurrency_factor must be at least 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        # Normalise the overrides (possibly a dict) to a sorted tuple of
+        # (lower-case name, size) pairs so the frozen config stays hashable.
+        normalised = tuple(
+            sorted(
+                (name.lower(), int(size))
+                for name, size in (
+                    self.batch_size_overrides.items()
+                    if isinstance(self.batch_size_overrides, Mapping)
+                    else self.batch_size_overrides
+                )
+            )
+        )
+        for name, size in normalised:
+            if size < 1:
+                raise ValueError(f"batch size override for {name!r} must be at least 1")
+        object.__setattr__(self, "batch_size_overrides", normalised)
+
+    # -- batch sizing --------------------------------------------------------------
+
+    def batch_size_for(self, udf_name: Optional[str] = None) -> int:
+        """The *static* batch size for ``udf_name`` (override, else plan-wide)."""
+        if udf_name is not None:
+            key = udf_name.lower()
+            for name, size in self.batch_size_overrides:
+                if name == key:
+                    return size
+        return self.batch_size
+
+    def has_batch_override(self, udf_name: str) -> bool:
+        key = udf_name.lower()
+        return any(name == key for name, _ in self.batch_size_overrides)
+
+    def next_batch_size(self, udf_name: Optional[str] = None) -> int:
+        """The batch size to use for the *next* batch.
+
+        An explicit per-UDF override is pinned; otherwise an attached
+        adaptive controller decides; otherwise the static plan-wide size.
+        Strategies call this at every batch boundary.
+        """
+        if udf_name is not None and self.has_batch_override(udf_name):
+            return self.batch_size_for(udf_name)
+        if self.batch_controller is not None:
+            return self.batch_controller.current()
+        return self.batch_size
 
     # -- convenience constructors --------------------------------------------------
 
@@ -136,3 +200,11 @@ class StrategyConfig:
 
     def with_batch_size(self, batch_size: int) -> "StrategyConfig":
         return replace(self, batch_size=batch_size)
+
+    def with_batch_overrides(self, overrides: Mapping[str, int]) -> "StrategyConfig":
+        return replace(self, batch_size_overrides=dict(overrides))
+
+    def with_batch_controller(
+        self, controller: Optional["BatchSizeController"]
+    ) -> "StrategyConfig":
+        return replace(self, batch_controller=controller)

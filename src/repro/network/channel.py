@@ -30,6 +30,8 @@ class Channel:
         uplink_bandwidth: float,
         latency: float = 0.0,
         name: str = "channel",
+        downlink_schedule=None,
+        uplink_schedule=None,
     ) -> None:
         self.simulator = simulator
         self.name = name
@@ -43,6 +45,7 @@ class Channel:
             bandwidth_bytes_per_sec=downlink_bandwidth,
             latency_seconds=latency,
             destination=self.client_inbox,
+            bandwidth_schedule=downlink_schedule,
         )
         self.uplink = Link(
             simulator,
@@ -50,6 +53,7 @@ class Channel:
             bandwidth_bytes_per_sec=uplink_bandwidth,
             latency_seconds=latency,
             destination=self.server_inbox,
+            bandwidth_schedule=uplink_schedule,
         )
         self._closed = False
 

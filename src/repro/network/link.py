@@ -7,11 +7,16 @@ propagation does not, multiple messages can be "in flight" concurrently —
 exactly the behaviour that makes pipeline concurrency worthwhile in the paper
 (Figure 2b): while one message propagates, the next is already being
 transmitted.
+
+A link's bandwidth may *drift* over simulated time via a piecewise-constant
+``bandwidth_schedule`` — the mechanism behind the adaptive-runtime drift
+scenarios, where the effective bandwidth a query observes differs from the
+configured one and only runtime feedback can recover it.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.errors import ChannelClosedError, SimulationError
 from repro.network.events import Event
@@ -30,6 +35,7 @@ class Link:
         bandwidth_bytes_per_sec: float,
         latency_seconds: float = 0.0,
         destination: Optional[Store] = None,
+        bandwidth_schedule: Optional[Sequence[Tuple[float, float]]] = None,
     ) -> None:
         if bandwidth_bytes_per_sec <= 0:
             raise SimulationError("link bandwidth must be positive")
@@ -43,12 +49,30 @@ class Link:
         self.stats = LinkStats(name=name)
         self._free_at = 0.0
         self._closed = False
+        #: Piecewise-constant drift: sorted ``(start_time, bandwidth)`` steps.
+        #: Before the first step the base ``bandwidth`` applies.
+        schedule = sorted(bandwidth_schedule) if bandwidth_schedule else []
+        for _, value in schedule:
+            if value <= 0:
+                raise SimulationError("scheduled bandwidths must be positive")
+        self._schedule: Tuple[Tuple[float, float], ...] = tuple(schedule)
 
     # -- transfer -----------------------------------------------------------------
 
-    def transmission_time(self, message: Message) -> float:
+    def bandwidth_at(self, time: float) -> float:
+        """The link's bandwidth in effect at simulation time ``time``."""
+        bandwidth = self.bandwidth
+        for start, value in self._schedule:
+            if time >= start:
+                bandwidth = value
+            else:
+                break
+        return bandwidth
+
+    def transmission_time(self, message: Message, at_time: Optional[float] = None) -> float:
         """Seconds the link is occupied serialising ``message``."""
-        return message.size_bytes / self.bandwidth
+        time = at_time if at_time is not None else self.simulator.now
+        return message.size_bytes / self.bandwidth_at(time)
 
     def send(self, message: Message) -> Event:
         """Ship ``message``; returns an event that fires when serialisation ends.
@@ -62,7 +86,7 @@ class Link:
             raise ChannelClosedError(f"link {self.name!r} is closed")
         now = self.simulator.now
         start = max(now, self._free_at)
-        transmission = self.transmission_time(message)
+        transmission = self.transmission_time(message, at_time=start)
         finish_tx = start + transmission
         self._free_at = finish_tx
 

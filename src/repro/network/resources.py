@@ -63,6 +63,16 @@ class Store:
         self.put(item)
         return True
 
+    def grow_capacity(self, capacity: float) -> None:
+        """Raise the capacity to ``capacity`` (never shrinks), waking putters.
+
+        Used by adaptive executions whose batch size — and hence the pipeline
+        window needed for deadlock freedom — grows mid-run.
+        """
+        if capacity > self.capacity:
+            self.capacity = capacity
+            self._dispatch()
+
     # -- introspection ----------------------------------------------------------------
 
     @property

@@ -8,7 +8,7 @@ paper ("28.8KBit phone connection", "10Mbit Ethernet", "N = 100").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.network.channel import Channel
 from repro.network.simulator import Simulator
@@ -32,18 +32,52 @@ class NetworkConfig:
 
     ``asymmetry`` (the paper's ``N``) is derived, not stored: it is the ratio
     of downlink to uplink bandwidth.
+
+    ``downlink_schedule`` / ``uplink_schedule`` describe *bandwidth drift*:
+    sorted ``(start_time_seconds, bandwidth_bytes_per_sec)`` steps applied
+    piecewise-constantly during the simulation, with the base bandwidth in
+    effect before the first step.  The base fields remain what a planner
+    *believes* about the link; the schedule is what the link actually does —
+    the gap the adaptive runtime subsystem exists to close.
     """
 
     downlink_bandwidth: float  # bytes per second, server -> client
     uplink_bandwidth: float  # bytes per second, client -> server
     latency: float = 0.05  # one-way propagation delay in seconds
     name: str = "custom"
+    downlink_schedule: Tuple[Tuple[float, float], ...] = ()
+    uplink_schedule: Tuple[Tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.downlink_bandwidth <= 0 or self.uplink_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
         if self.latency < 0:
             raise ValueError("latency must be non-negative")
+        for schedule in (self.downlink_schedule, self.uplink_schedule):
+            for _, bandwidth in schedule:
+                if bandwidth <= 0:
+                    raise ValueError("scheduled bandwidths must be positive")
+
+    @property
+    def drifts(self) -> bool:
+        """Whether either direction's bandwidth changes over time."""
+        return bool(self.downlink_schedule or self.uplink_schedule)
+
+    def with_drift(
+        self,
+        downlink_schedule: Optional[Tuple[Tuple[float, float], ...]] = None,
+        uplink_schedule: Optional[Tuple[Tuple[float, float], ...]] = None,
+        name: Optional[str] = None,
+    ) -> "NetworkConfig":
+        """A copy of this configuration with bandwidth-drift schedules."""
+        from dataclasses import replace
+
+        return replace(
+            self,
+            downlink_schedule=tuple(sorted(downlink_schedule or ())),
+            uplink_schedule=tuple(sorted(uplink_schedule or ())),
+            name=name if name is not None else f"{self.name}+drift",
+        )
 
     @property
     def asymmetry(self) -> float:
@@ -62,6 +96,8 @@ class NetworkConfig:
             uplink_bandwidth=self.uplink_bandwidth,
             latency=self.latency,
             name=name,
+            downlink_schedule=self.downlink_schedule or None,
+            uplink_schedule=self.uplink_schedule or None,
         )
 
     # -- presets -----------------------------------------------------------------------

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import OptimizerError
+from repro.adaptive import BatchSizeController, RuntimeObserver, StatisticsStore
 from repro.client.registry import UdfRegistry
 from repro.client.udf import UdfDefinition, UdfSite
 from repro.core.strategies import ExecutionStrategy, StrategyConfig
@@ -42,6 +43,7 @@ class Database:
         network: Optional[NetworkConfig] = None,
         default_config: Optional[StrategyConfig] = None,
         use_client_result_cache: bool = True,
+        statistics: Optional[StatisticsStore] = None,
     ) -> None:
         self.catalog = Catalog()
         self.udfs = UdfRegistry()
@@ -50,6 +52,11 @@ class Database:
         self.session = ClientSession(
             self.network, registry=self.udfs, use_result_cache=use_client_result_cache
         )
+        #: Observed-statistics feedback shared by every query on this
+        #: database: the observer measures each run, the store blends the
+        #: measurements, and the optimizer consults them on later queries.
+        self.statistics = statistics if statistics is not None else StatisticsStore()
+        self.observer = RuntimeObserver(self.statistics)
 
     # -- schema management --------------------------------------------------------------
 
@@ -83,8 +90,15 @@ class Database:
         selectivity: float = 0.5,
         description: str = "",
         replace: bool = False,
+        actual_cost_per_call_seconds: Optional[float] = None,
     ) -> UdfDefinition:
-        """Register a client-site UDF (executed only at the client)."""
+        """Register a client-site UDF (executed only at the client).
+
+        ``cost_per_call_seconds`` is the *declared* cost the planner starts
+        from; ``actual_cost_per_call_seconds``, when given, is what the
+        client really charges — the adaptive runtime observes the difference
+        and calibrates later plans.
+        """
         return self.udfs.register_function(
             name,
             function,
@@ -92,6 +106,7 @@ class Database:
             result_dtype=result_dtype,
             result_size_bytes=result_size_bytes,
             cost_per_call_seconds=cost_per_call_seconds,
+            actual_cost_per_call_seconds=actual_cost_per_call_seconds,
             selectivity=selectivity,
             description=description,
             replace=replace,
@@ -162,6 +177,9 @@ class Database:
         deliver_results: bool = False,
         optimize: bool = False,
         udf_order: Optional[Sequence[str]] = None,
+        adaptive: bool = False,
+        observe: bool = True,
+        calibrated: Optional[bool] = None,
     ) -> QueryResult:
         """Execute ``query`` (SQL text or a bound query) and return the result.
 
@@ -170,20 +188,50 @@ class Database:
         With ``optimize=True`` the extended System-R optimizer chooses the
         join/UDF order and per-UDF strategy instead (``config`` then only
         supplies the tunables such as the concurrency factor).
+
+        ``adaptive=True`` attaches a fresh
+        :class:`~repro.adaptive.controller.BatchSizeController` so the batch
+        size hill-climbs on observed throughput *while the query runs*,
+        warm-started from the batch size earlier adaptive queries converged
+        to.  ``observe=False`` disables the post-run observation (and thus
+        the feedback into :attr:`statistics`) for this query.
+
+        ``calibrated`` controls whether the optimizer plans with the
+        statistics store's *measured* network/UDF parameters instead of the
+        configured/declared ones.  The default (``None``) calibrates exactly
+        when the caller opted into the adaptive runtime (``adaptive=True``),
+        so plain ``optimize=True`` runs stay reproducible and independent of
+        what ran before; pass ``True``/``False`` to force either way.
         """
         bound = self.bind(query) if isinstance(query, str) else query
         if config is None:
             config = self.default_config
         if strategy is not None:
             config = config.with_strategy(strategy)
+        if adaptive:
+            config = config.with_batch_controller(self.new_batch_controller(config))
+        if calibrated is None:
+            calibrated = adaptive
 
         context = self.session.new_context()
-        executor = Executor(context, server_functions=self._server_functions())
+        executor = Executor(
+            context,
+            server_functions=self._server_functions(),
+            observer=self.observer if observe else None,
+        )
 
         if optimize:
             from repro.core.optimizer import Optimizer
 
-            optimizer = Optimizer(self.network, default_config=config)
+            optimizer = Optimizer(
+                self.network,
+                default_config=config,
+                statistics=(
+                    self.statistics
+                    if calibrated and self.statistics.queries_observed
+                    else None
+                ),
+            )
             decision = optimizer.optimize(bound)
             return executor.execute_query(
                 bound,
@@ -196,13 +244,33 @@ class Database:
             bound, config=config, deliver_results=deliver_results, udf_order=udf_order
         )
 
+    def new_batch_controller(
+        self, config: Optional[StrategyConfig] = None
+    ) -> BatchSizeController:
+        """A fresh mid-query batch-size controller, warm-started from feedback.
+
+        The first adaptive query starts from the configured batch size (or a
+        small default); later ones start where earlier adaptive executions
+        converged, so convergence cost is paid once per environment.
+        """
+        config = config if config is not None else self.default_config
+        fallback = config.batch_size if config.batch_size > 1 else 8
+        initial = self.statistics.preferred_batch_size(default=fallback)
+        return BatchSizeController(initial_batch_size=initial)
+
     def explain(
         self,
         query: Union[str, BoundQuery],
         config: Optional[StrategyConfig] = None,
         optimize: bool = False,
+        calibrated: bool = False,
     ) -> str:
-        """The physical plan (and, with ``optimize=True``, the optimizer's choice)."""
+        """The physical plan (and, with ``optimize=True``, the optimizer's choice).
+
+        ``calibrated=True`` makes the optimizer plan with the statistics
+        store's measured parameters, as ``execute(..., adaptive=True,
+        optimize=True)`` would.
+        """
         from repro.server.planner import build_plan
 
         bound = self.bind(query) if isinstance(query, str) else query
@@ -214,7 +282,15 @@ class Database:
         if optimize:
             from repro.core.optimizer import Optimizer
 
-            optimizer = Optimizer(self.network, default_config=config)
+            optimizer = Optimizer(
+                self.network,
+                default_config=config,
+                statistics=(
+                    self.statistics
+                    if calibrated and self.statistics.queries_observed
+                    else None
+                ),
+            )
             decision = optimizer.optimize(bound)
             config = decision.strategy_config
             udf_order = decision.udf_order

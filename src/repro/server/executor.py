@@ -19,15 +19,24 @@ from repro.sql.logical import BoundQuery
 
 
 class Executor:
-    """Executes bound queries (or pre-built plans) on a remote execution context."""
+    """Executes bound queries (or pre-built plans) on a remote execution context.
+
+    With an ``observer`` (a :class:`~repro.adaptive.observer.RuntimeObserver`)
+    attached, every executed plan is measured after the fact — link stats,
+    per-UDF costs, observed selectivities — and the resulting observation is
+    recorded in the observer's statistics store and returned on the
+    :class:`~repro.server.result.QueryResult`.
+    """
 
     def __init__(
         self,
         context: RemoteExecutionContext,
         server_functions: Optional[Dict[str, Callable[..., Any]]] = None,
+        observer: Optional[object] = None,
     ) -> None:
         self.context = context
         self.server_functions = server_functions or {}
+        self.observer = observer
 
     # -- query execution ------------------------------------------------------------------
 
@@ -67,11 +76,22 @@ class Executor:
             self._deliver_results(root, rows)
 
         metrics = self._collect_metrics(plan, rows, config)
+        observation = None
+        if self.observer is not None:
+            controller = config.batch_controller if config is not None else None
+            observation = self.observer.observe(
+                self.context,
+                remote_operators=plan.remote_operators,
+                rows_returned=len(rows),
+                controller=controller,
+                filter_operators=self._find_filters(root),
+            )
         return QueryResult(
             schema=root.output_schema(),
             rows=rows,
             metrics=metrics,
             plan_text=root.explain(),
+            observation=observation,
         )
 
     # -- result delivery --------------------------------------------------------------------
@@ -110,6 +130,24 @@ class Executor:
         if serve.triggered and serve._exception is not None:
             raise ExecutionError("client runtime failed during result delivery")
 
+    # -- observation ------------------------------------------------------------------------
+
+    @staticmethod
+    def _find_filters(root: Operator) -> List[Operator]:
+        """All Filter operators in the tree (for observed predicate selectivities)."""
+        from repro.relational.operators import Filter
+
+        found: List[Operator] = []
+
+        def visit(operator: Operator) -> None:
+            for child in operator.children:
+                visit(child)
+            if isinstance(operator, Filter):
+                found.append(operator)
+
+        visit(root)
+        return found
+
     # -- metrics ------------------------------------------------------------------------------
 
     def _collect_metrics(
@@ -126,6 +164,7 @@ class Executor:
             factor = getattr(operator, "concurrency_factor_used", None)
             if factor is not None:
                 concurrency = factor
+        controller = config.batch_controller if config is not None else None
         return ExecutionMetrics.from_run(
             elapsed_seconds=self.context.elapsed_seconds,
             channel_stats=self.context.channel_stats,
@@ -138,5 +177,15 @@ class Executor:
             strategy=(config.strategy if config is not None else plan.strategy),
             concurrency_factor=concurrency,
             batch_size=(config.batch_size if config is not None else None),
+            batch_size_trace=(
+                controller.size_trace()
+                if controller is not None and controller.batches_observed > 0
+                else None
+            ),
+            converged_batch_size=(
+                controller.converged_batch_size
+                if controller is not None and controller.batches_observed > 0
+                else None
+            ),
             plan_description=plan.explain(),
         )

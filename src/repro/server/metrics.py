@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.strategies import ExecutionStrategy
 from repro.network.stats import ChannelStats
@@ -35,6 +35,10 @@ class ExecutionMetrics:
     strategy: Optional[ExecutionStrategy] = None
     concurrency_factor: Optional[int] = None
     batch_size: Optional[int] = None
+    #: With adaptive batch sizing: the sizes the controller moved through
+    #: and the size it judged best, ``None`` for static executions.
+    batch_size_trace: Optional[Tuple[int, ...]] = None
+    converged_batch_size: Optional[int] = None
     plan_description: str = ""
 
     @classmethod
@@ -51,6 +55,8 @@ class ExecutionMetrics:
         strategy: Optional[ExecutionStrategy] = None,
         concurrency_factor: Optional[int] = None,
         batch_size: Optional[int] = None,
+        batch_size_trace: Optional[Tuple[int, ...]] = None,
+        converged_batch_size: Optional[int] = None,
         plan_description: str = "",
     ) -> "ExecutionMetrics":
         return cls(
@@ -70,6 +76,8 @@ class ExecutionMetrics:
             strategy=strategy,
             concurrency_factor=concurrency_factor,
             batch_size=batch_size,
+            batch_size_trace=batch_size_trace,
+            converged_batch_size=converged_batch_size,
             plan_description=plan_description,
         )
 
@@ -85,6 +93,8 @@ class ExecutionMetrics:
         """A one-paragraph human-readable summary."""
         strategy = self.strategy.value if self.strategy else "n/a"
         batching = f" | batch size {self.batch_size}" if self.batch_size else ""
+        if self.converged_batch_size is not None:
+            batching = f" | adaptive batch -> {self.converged_batch_size}"
         return (
             f"elapsed {self.elapsed_seconds:.3f}s | strategy {strategy} | "
             f"downlink {self.downlink_bytes} B in {self.downlink_messages} msgs | "

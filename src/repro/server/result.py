@@ -19,11 +19,15 @@ class QueryResult:
         rows: Sequence[Row],
         metrics: Optional[ExecutionMetrics] = None,
         plan_text: str = "",
+        observation: Optional[object] = None,
     ) -> None:
         self.schema = schema
         self.rows: List[Row] = [row if isinstance(row, Row) else Row(row) for row in rows]
         self.metrics = metrics if metrics is not None else ExecutionMetrics()
         self.plan_text = plan_text
+        #: The :class:`~repro.adaptive.observer.QueryObservation` derived from
+        #: this run, when an observer was attached to the executor.
+        self.observation = observation
 
     # -- row access --------------------------------------------------------------------
 

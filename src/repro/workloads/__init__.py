@@ -24,8 +24,16 @@ from repro.workloads.experiments import (
     ResultSizeSweep,
     ExperimentPoint,
 )
+from repro.workloads.drift import (
+    drifting_bandwidth_network,
+    fading_uplink_scenario,
+    stepped_bandwidth_network,
+)
 
 __all__ = [
+    "drifting_bandwidth_network",
+    "fading_uplink_scenario",
+    "stepped_bandwidth_network",
     "SyntheticWorkload",
     "make_object_relation",
     "make_udf_relation",

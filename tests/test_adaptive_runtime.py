@@ -1,0 +1,429 @@
+"""Tests for the adaptive runtime subsystem (observe → calibrate → adapt)."""
+
+import pytest
+
+from repro.adaptive import (
+    BatchSizeController,
+    RuntimeObserver,
+    StatisticsStore,
+)
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
+from repro.network.link import Link
+from repro.network.message import Message, MessageKind
+from repro.network.simulator import Simulator
+from repro.network.topology import NetworkConfig
+from repro.relational.types import FLOAT, INTEGER
+from repro.server.engine import Database
+from repro.workloads.drift import drifting_bandwidth_network, fading_uplink_scenario
+from repro.workloads.experiments import run_workload_point
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+# ---------------------------------------------------------------------------
+# BatchSizeController
+# ---------------------------------------------------------------------------
+
+
+def feed_windows(controller, throughput_of, windows=40, rows_per_batch=None):
+    """Drive the controller with synthetic observations.
+
+    ``throughput_of(batch_size)`` gives the simulated rows/second; each
+    observation reports one batch of the controller's current size.
+    """
+    now = 0.0
+    for _ in range(windows):
+        size = controller.current()
+        rows = rows_per_batch or size
+        now += rows / throughput_of(size)
+        controller.observe_rows(rows, now)
+    return now
+
+
+class TestBatchSizeController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchSizeController(min_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchSizeController(min_batch_size=8, max_batch_size=4)
+        with pytest.raises(ValueError):
+            BatchSizeController(smoothing=0.0)
+
+    def test_climbs_to_larger_batches_when_throughput_rises(self):
+        controller = BatchSizeController(initial_batch_size=4, max_batch_size=128)
+        # Bigger batches amortise a fixed per-message overhead: throughput
+        # strictly increases with size.
+        feed_windows(controller, lambda size: 100.0 * size / (size + 4), windows=60)
+        assert controller.current() >= 64
+        assert controller.converged_batch_size >= 64
+
+    def test_climbs_down_when_small_batches_win(self):
+        controller = BatchSizeController(initial_batch_size=64, min_batch_size=1)
+        feed_windows(controller, lambda size: 100.0 / size, windows=60)
+        assert controller.current() <= 2
+
+    def test_respects_bounds(self):
+        controller = BatchSizeController(
+            initial_batch_size=8, min_batch_size=2, max_batch_size=32
+        )
+        feed_windows(controller, lambda size: float(size), windows=60)
+        assert controller.current() <= 32
+        controller = BatchSizeController(
+            initial_batch_size=8, min_batch_size=2, max_batch_size=32
+        )
+        feed_windows(controller, lambda size: 1.0 / size, windows=60)
+        assert controller.current() >= 2
+
+    def test_finds_interior_optimum(self):
+        controller = BatchSizeController(initial_batch_size=1, max_batch_size=256)
+        # Throughput peaks at 16: overhead amortisation vs. lost overlap.
+        feed_windows(
+            controller,
+            lambda size: 100.0 * size / (size + 4) * (1.0 / (1.0 + size / 32.0)),
+            windows=80,
+        )
+        assert controller.converged_batch_size in (8, 16, 32)
+
+    def test_collapse_resets_estimates_and_readapts(self):
+        controller = BatchSizeController(initial_batch_size=4, max_batch_size=256)
+        now = feed_windows(controller, lambda size: 100.0 * size / (size + 4), windows=40)
+        before_drift = controller.current()
+        assert before_drift >= 64
+        # The link collapses: every batch now takes 10x longer, and small
+        # batches suddenly win.  The controller must notice and re-explore.
+        def after_drift(size):
+            return 2.0 / size
+
+        for _ in range(60):
+            size = controller.current()
+            now += size / after_drift(size)
+            controller.observe_rows(size, now)
+        assert controller.current() < before_drift
+
+    def test_reprobe_after_stability(self):
+        controller = BatchSizeController(
+            initial_batch_size=8, max_batch_size=32, reprobe_after=3
+        )
+        feed_windows(controller, lambda size: 100.0 * size / (size + 4), windows=80)
+        sizes = {decision.batch_size for decision in controller.decisions[-20:]}
+        # The settled controller still probes neighbours now and then.
+        assert len(sizes) >= 2
+
+    def test_first_observation_only_sets_baseline(self):
+        controller = BatchSizeController()
+        controller.observe_rows(10, 1.0)
+        assert not controller.decisions
+        assert controller.rows_observed == 10
+
+    def test_size_trace_records_moves(self):
+        controller = BatchSizeController(initial_batch_size=4)
+        feed_windows(controller, lambda size: float(size), windows=30)
+        trace = controller.size_trace()
+        assert trace[0] == 4
+        assert trace[1] > trace[0]  # the first move climbs on this feed
+        assert max(trace) >= 64
+
+
+# ---------------------------------------------------------------------------
+# StrategyConfig: per-UDF overrides and controller plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestStrategyConfigBatching:
+    def test_overrides_normalised_and_hashable(self):
+        config = StrategyConfig(batch_size=4, batch_size_overrides={"Analyze": 32, "Other": 2})
+        assert config.batch_size_overrides == (("analyze", 32), ("other", 2))
+        assert hash(config) == hash(
+            StrategyConfig(batch_size=4, batch_size_overrides={"other": 2, "ANALYZE": 32})
+        )
+
+    def test_batch_size_for_prefers_override(self):
+        config = StrategyConfig(batch_size=4, batch_size_overrides={"Analyze": 32})
+        assert config.batch_size_for("analyze") == 32
+        assert config.batch_size_for("unknown") == 4
+        assert config.batch_size_for() == 4
+
+    def test_invalid_override_rejected(self):
+        with pytest.raises(ValueError):
+            StrategyConfig(batch_size_overrides={"x": 0})
+
+    def test_controller_wins_unless_pinned(self):
+        controller = BatchSizeController(initial_batch_size=16)
+        config = StrategyConfig(
+            batch_size=2, batch_size_overrides={"pinned": 5}
+        ).with_batch_controller(controller)
+        assert config.next_batch_size("pinned") == 5
+        assert config.next_batch_size("free") == 16
+
+    def test_controller_excluded_from_equality(self):
+        config = StrategyConfig(batch_size=4)
+        assert config.with_batch_controller(BatchSizeController()) == config
+
+    @pytest.mark.parametrize(
+        "make_config",
+        [StrategyConfig.naive, StrategyConfig.semi_join, StrategyConfig.client_site_join],
+        ids=["naive", "semi_join", "client_site_join"],
+    )
+    def test_overrides_honoured_on_the_wire(self, make_config, asymmetric_network):
+        """All three strategies batch at the per-UDF override, not batch_size."""
+        workload = SyntheticWorkload(row_count=60, input_record_bytes=40, result_bytes=16)
+        plain = run_workload_point(
+            workload, asymmetric_network, make_config(batch_size=1)
+        )
+        overridden = run_workload_point(
+            SyntheticWorkload(row_count=60, input_record_bytes=40, result_bytes=16),
+            asymmetric_network,
+            make_config(batch_size=1).with_batch_overrides({workload.udf_name: 20}),
+        )
+        assert overridden.result_rows == plain.result_rows
+        # 60 rows at 20 rows/message is far fewer frames than tuple-at-a-time.
+        assert overridden.downlink_messages < plain.downlink_messages / 4
+
+    def test_adaptive_execution_matches_static_results(self, asymmetric_network):
+        for make_config in (
+            StrategyConfig.naive,
+            StrategyConfig.semi_join,
+            StrategyConfig.client_site_join,
+        ):
+            static = run_workload_point(
+                SyntheticWorkload(row_count=80), asymmetric_network, make_config()
+            )
+            controller = BatchSizeController()
+            adaptive = run_workload_point(
+                SyntheticWorkload(row_count=80),
+                asymmetric_network,
+                make_config().with_batch_controller(controller),
+            )
+            assert adaptive.result_rows == static.result_rows
+            assert controller.rows_observed > 0
+
+
+# ---------------------------------------------------------------------------
+# Drifting links
+# ---------------------------------------------------------------------------
+
+
+class TestBandwidthDrift:
+    def test_link_bandwidth_schedule(self):
+        sim = Simulator()
+        link = Link(
+            sim,
+            "l",
+            bandwidth_bytes_per_sec=1000.0,
+            bandwidth_schedule=[(10.0, 100.0), (5.0, 500.0)],
+        )
+        assert link.bandwidth_at(0.0) == 1000.0
+        assert link.bandwidth_at(5.0) == 500.0
+        assert link.bandwidth_at(10.0) == 100.0
+        message = Message(MessageKind.RECORDS, None, payload_bytes=984)  # 1000 wire bytes
+        assert link.transmission_time(message, at_time=0.0) == pytest.approx(1.0)
+        assert link.transmission_time(message, at_time=12.0) == pytest.approx(10.0)
+
+    def test_invalid_schedule_rejected(self):
+        sim = Simulator()
+        with pytest.raises(Exception):
+            Link(sim, "l", 100.0, bandwidth_schedule=[(1.0, 0.0)])
+        with pytest.raises(ValueError):
+            NetworkConfig(100.0, 100.0, downlink_schedule=((1.0, -5.0),))
+
+    def test_network_config_drift_builds_scheduled_channel(self):
+        base = NetworkConfig.symmetric(1000.0, latency=0.0, name="base")
+        drifting = drifting_bandwidth_network(base, drift_at_seconds=2.0, uplink_factor=0.1)
+        assert drifting.drifts
+        assert not base.drifts
+        sim = Simulator()
+        channel = drifting.build_channel(sim)
+        assert channel.uplink.bandwidth_at(0.0) == pytest.approx(1000.0)
+        assert channel.uplink.bandwidth_at(3.0) == pytest.approx(100.0)
+        assert channel.downlink.bandwidth_at(3.0) == pytest.approx(1000.0)
+
+    def test_drift_slows_execution_and_observation_sees_it(self):
+        stable = NetworkConfig.paper_asymmetric(asymmetry=100.0)
+        drifting = fading_uplink_scenario(drift_at_seconds=0.1, fade_factor=0.1)
+        workload = dict(row_count=120, input_record_bytes=16, result_bytes=8)
+        fast = run_workload_point(
+            SyntheticWorkload(**workload), stable, StrategyConfig.semi_join(batch_size=16)
+        )
+        slow = run_workload_point(
+            SyntheticWorkload(**workload), drifting, StrategyConfig.semi_join(batch_size=16)
+        )
+        assert slow.elapsed_seconds > fast.elapsed_seconds
+
+
+# ---------------------------------------------------------------------------
+# Observer and statistics store
+# ---------------------------------------------------------------------------
+
+
+class TestObservationAndStore:
+    def make_db(self, network=None, **udf_kwargs):
+        db = Database(network=network or NetworkConfig.paper_asymmetric(asymmetry=100.0))
+        db.create_table(
+            "T", [("K", INTEGER), ("V", FLOAT)], rows=[[i, float(i)] for i in range(100)]
+        )
+        kwargs = dict(cost_per_call_seconds=0.0005, selectivity=0.5)
+        kwargs.update(udf_kwargs)
+        db.register_client_udf("Score", lambda v: v * 2.0, **kwargs)
+        return db
+
+    def test_execute_records_observation(self):
+        db = self.make_db()
+        result = db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) > 50", config=StrategyConfig.semi_join()
+        )
+        assert result.observation is not None
+        assert db.statistics.queries_observed == 1
+        observation = result.observation
+        assert observation.downlink.effective_bandwidth == pytest.approx(
+            db.network.downlink_bandwidth, rel=1e-6
+        )
+        assert "Score" in observation.udfs
+        assert observation.udfs["Score"].invocations == 100
+
+    def test_observe_false_skips_feedback(self):
+        db = self.make_db()
+        result = db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) > 50",
+            config=StrategyConfig.semi_join(),
+            observe=False,
+        )
+        assert result.observation is None
+        assert db.statistics.queries_observed == 0
+
+    def test_measured_udf_cost_calibrates_planner(self):
+        db = self.make_db(cost_per_call_seconds=0.0001, actual_cost_per_call_seconds=0.004)
+        db.execute("SELECT T.K FROM T WHERE Score(T.V) > 50", config=StrategyConfig.semi_join())
+        assert db.statistics.udf_cost("Score", 0.0) == pytest.approx(0.004)
+        # The calibrated estimator charges the measured cost, so its estimate
+        # exceeds the one planned from the (10x too cheap) declaration.
+        from repro.core.optimizer import Optimizer
+
+        bound = db.bind("SELECT T.K FROM T WHERE Score(T.V) > 50")
+        declared = Optimizer(db.network).optimize(bound).estimated_cost
+        calibrated = Optimizer(db.network, statistics=db.statistics).optimize(bound).estimated_cost
+        assert calibrated > declared
+
+    def test_client_site_join_observes_selectivity(self):
+        db = self.make_db()
+        db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) >= 100",  # passes for V >= 50: S = 0.5
+            config=StrategyConfig.client_site_join(),
+        )
+        observed = db.statistics.udf_selectivity("Score", -1.0)
+        assert observed == pytest.approx(0.5, abs=0.02)
+
+    def test_calibrated_network_reflects_observed_bandwidth(self):
+        base = NetworkConfig.symmetric(10_000.0, latency=0.01, name="believed")
+        # The link actually runs at a tenth of the configured bandwidth from t=0.
+        lying = base.with_drift(
+            downlink_schedule=((0.0, 1_000.0),), uplink_schedule=((0.0, 1_000.0),)
+        )
+        db = self.make_db(network=lying)
+        db.execute("SELECT T.K FROM T WHERE Score(T.V) > 50", config=StrategyConfig.semi_join())
+        calibrated = db.statistics.calibrated_network(base)
+        assert calibrated.downlink_bandwidth == pytest.approx(1_000.0, rel=0.01)
+        assert calibrated.uplink_bandwidth == pytest.approx(1_000.0, rel=0.01)
+        assert calibrated.name.endswith("+observed")
+
+    def test_store_blends_with_ewma(self):
+        store = StatisticsStore(smoothing=0.5)
+        observer = RuntimeObserver(store)
+        assert observer.store is store
+        from repro.adaptive.observer import QueryObservation, UdfObservation
+
+        for cost in (0.001, 0.003):
+            store.record(
+                QueryObservation(
+                    elapsed_seconds=1.0,
+                    udfs={
+                        "F": UdfObservation(
+                            name="F",
+                            invocations=10,
+                            compute_seconds=cost * 10,
+                            input_rows=10,
+                            output_rows=10,
+                            distinct_arguments=10,
+                        )
+                    },
+                )
+            )
+        assert store.udf_cost("f", 0.0) == pytest.approx(0.002)
+        assert store.udf_cost("unknown", 42.0) == 42.0
+
+    def test_adaptive_execution_feeds_preferred_batch_size(self):
+        db = self.make_db()
+        first = db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) > 50",
+            config=StrategyConfig.semi_join(),
+            adaptive=True,
+        )
+        assert first.metrics.converged_batch_size is not None
+        assert first.metrics.batch_size_trace
+        preferred = db.statistics.preferred_batch_size()
+        assert preferred is not None
+        # The next adaptive query warm-starts at the learned size.
+        controller = db.new_batch_controller()
+        assert controller.current() == preferred
+
+    def test_adaptive_rows_match_static(self):
+        db = self.make_db()
+        static = db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) > 50", config=StrategyConfig.semi_join()
+        )
+        adaptive = db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) > 50",
+            config=StrategyConfig.semi_join(),
+            adaptive=True,
+        )
+        assert adaptive.row_set() == static.row_set()
+
+    def test_observed_selectivity_not_applied_to_predicate_free_use(self):
+        db = self.make_db()
+        # Observe Score's predicate selectivity (~0.5) through a CSJ query ...
+        db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) >= 100",
+            config=StrategyConfig.client_site_join(),
+        )
+        assert db.statistics.udf_selectivity("Score", -1.0) == pytest.approx(0.5, abs=0.02)
+        # ... then plan a query that merely *computes* Score: every row
+        # survives, so the calibrated estimator must not shrink cardinality.
+        from repro.core.optimizer import CostEstimator, operations_for_query
+
+        bound = db.bind("SELECT Score(T.V) FROM T")
+        _, udfs = operations_for_query(bound)
+        assert not udfs[0].has_predicate
+        estimator = CostEstimator(db.network, bound, statistics=db.statistics)
+        scan = estimator.scan(operations_for_query(bound)[0][0])
+        plan = estimator.udf_variants(scan, udfs[0])[0]
+        assert plan.cardinality == pytest.approx(scan.cardinality)
+
+    def test_observed_filter_selectivity_calibrates_table_operations(self):
+        db = self.make_db()
+        # The server-side filter passes 30 of 100 rows; the declared estimate
+        # for an inequality is the generic default, not 0.3.
+        db.execute(
+            "SELECT T.K FROM T WHERE T.V < 30 AND Score(T.V) > 0",
+            config=StrategyConfig.semi_join(),
+        )
+        bound = db.bind("SELECT T.K FROM T WHERE T.V < 30 AND Score(T.V) > 0")
+        from repro.core.optimizer import operations_for_query
+
+        declared_tables, _ = operations_for_query(bound)
+        observed_tables, _ = operations_for_query(bound, statistics=db.statistics)
+        assert observed_tables[0].local_selectivity == pytest.approx(0.3)
+        assert observed_tables[0].local_selectivity != declared_tables[0].local_selectivity
+
+    def test_optimize_plans_with_learned_batch_size(self):
+        db = self.make_db()
+        db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) > 50",
+            config=StrategyConfig.semi_join(),
+            adaptive=True,
+        )
+        preferred = db.statistics.preferred_batch_size()
+        query = "SELECT T.K FROM T WHERE Score(T.V) > 50"
+        explanation = db.explain(query, optimize=True, calibrated=True)
+        assert f"batch size {preferred}" in explanation
+        # Without opting in, planning ignores the feedback — plain
+        # optimize=True runs stay reproducible regardless of prior queries.
+        uncalibrated = db.explain(query, optimize=True)
+        assert f"batch size {preferred}" not in uncalibrated

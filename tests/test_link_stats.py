@@ -1,0 +1,180 @@
+"""Tests for LinkStats accounting: rows/message, merge(), executor consistency."""
+
+import pytest
+
+from repro.core.strategies import StrategyConfig
+from repro.network.link import Link
+from repro.network.message import (
+    Message,
+    MessageKind,
+    batch_message,
+    end_of_stream,
+    error_message,
+)
+from repro.network.simulator import Simulator
+from repro.network.stats import LinkStats
+from repro.workloads.experiments import run_workload_point
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def data_message(rows, payload_bytes=100):
+    return batch_message(MessageKind.RECORDS, None, payload_bytes, row_count=rows)
+
+
+class TestRowsPerMessage:
+    def test_counts_only_data_messages(self):
+        stats = LinkStats(name="l")
+        stats.record(data_message(10), queued_for=0.0, transmission=0.1)
+        stats.record(data_message(30), queued_for=0.0, transmission=0.1)
+        # Control and error frames carry no rows and must not dilute the mean.
+        stats.record(end_of_stream(), queued_for=0.0, transmission=0.01)
+        stats.record(error_message(ValueError("x")), queued_for=0.0, transmission=0.01)
+        assert stats.message_count == 4
+        assert stats.data_message_count == 2
+        assert stats.rows_transferred == 40
+        assert stats.rows_per_message == pytest.approx(20.0)
+
+    def test_zero_data_messages_yields_zero(self):
+        stats = LinkStats(name="l")
+        assert stats.rows_per_message == 0.0
+        stats.record(end_of_stream(), queued_for=0.0, transmission=0.01)
+        assert stats.rows_per_message == 0.0
+
+    def test_link_send_records_rows(self):
+        sim = Simulator()
+        link = Link(sim, "l", bandwidth_bytes_per_sec=1000.0)
+        link.send(data_message(7))
+        link.send(end_of_stream())
+        sim.run()
+        assert link.stats.rows_transferred == 7
+        assert link.stats.data_message_count == 1
+        assert link.stats.rows_per_message == pytest.approx(7.0)
+
+
+class TestMerge:
+    def make_stats(self, name, rows, kinds):
+        stats = LinkStats(name=name)
+        for row_count in rows:
+            stats.record(data_message(row_count), queued_for=0.5, transmission=0.25)
+        for kind in kinds:
+            if kind == "control":
+                stats.record(end_of_stream(), queued_for=0.1, transmission=0.05)
+            else:
+                stats.record(
+                    error_message(RuntimeError("boom")), queued_for=0.1, transmission=0.05
+                )
+        return stats
+
+    def test_merge_adds_every_counter(self):
+        left = self.make_stats("l", rows=[10, 20], kinds=["control"])
+        right = self.make_stats("l", rows=[5], kinds=["control", "error"])
+        merged = left.merge(right)
+
+        assert merged.name == "l"
+        assert merged.message_count == left.message_count + right.message_count
+        assert merged.data_message_count == 3
+        assert merged.rows_transferred == 35
+        assert merged.total_bytes == left.total_bytes + right.total_bytes
+        assert merged.payload_bytes == left.payload_bytes + right.payload_bytes
+        assert merged.busy_seconds == pytest.approx(left.busy_seconds + right.busy_seconds)
+        assert merged.queueing_seconds == pytest.approx(
+            left.queueing_seconds + right.queueing_seconds
+        )
+        for kind in set(left.bytes_by_kind) | set(right.bytes_by_kind):
+            assert merged.bytes_by_kind[kind] == left.bytes_by_kind.get(
+                kind, 0
+            ) + right.bytes_by_kind.get(kind, 0)
+
+    def test_merge_does_not_mutate_inputs(self):
+        left = self.make_stats("l", rows=[10], kinds=[])
+        right = self.make_stats("l", rows=[20], kinds=[])
+        before = (left.message_count, left.rows_transferred, dict(left.bytes_by_kind))
+        left.merge(right)
+        assert (left.message_count, left.rows_transferred, dict(left.bytes_by_kind)) == before
+
+    def test_merged_rows_per_message_is_weighted(self):
+        left = self.make_stats("l", rows=[10] * 3, kinds=[])
+        right = self.make_stats("l", rows=[40], kinds=["control"])
+        merged = left.merge(right)
+        assert merged.rows_per_message == pytest.approx(70 / 4)
+
+
+class TestExecutorConsistency:
+    """Link row accounting must agree with what the operators actually shipped."""
+
+    @pytest.mark.parametrize("batch_size", [1, 16])
+    def test_semi_join_rows_transferred(self, asymmetric_network, batch_size):
+        workload = SyntheticWorkload(row_count=50, distinct_fraction=1.0)
+        point = run_workload_point(
+            workload, asymmetric_network, StrategyConfig.semi_join(batch_size=batch_size)
+        )
+        # Every distinct argument tuple crosses the downlink exactly once,
+        # and every result crosses the uplink exactly once, whatever the
+        # batching; control frames contribute no rows.
+        assert point.parameters["row_count"] == 50
+
+    def test_rows_match_operator_counts(self, asymmetric_network):
+        from repro.client.runtime import ClientRuntime
+        from repro.core.execution.context import RemoteExecutionContext
+        from repro.core.execution.rewrite import build_operator
+        from repro.relational.operators.scan import TableScan
+
+        workload = SyntheticWorkload(row_count=40, distinct_fraction=0.5)
+        table = workload.build_table()
+        registry = workload.build_registry()
+        context = RemoteExecutionContext.create(
+            asymmetric_network, client=ClientRuntime(registry=registry)
+        )
+        operator = build_operator(
+            child=TableScan(table),
+            udf=registry.get(workload.udf_name),
+            argument_columns=[f"{workload.relation_name}.Argument"],
+            context=context,
+            config=StrategyConfig.semi_join(batch_size=8),
+        )
+        operator.run()
+
+        downlink = context.channel.downlink.stats
+        uplink = context.channel.uplink.stats
+        # The semi-join ships each *distinct* argument tuple down once and
+        # receives one result per shipped tuple.
+        assert downlink.rows_transferred == operator.distinct_argument_count
+        assert uplink.rows_transferred == operator.distinct_argument_count
+        assert operator.input_row_count == 40
+        assert operator.distinct_argument_count == 20
+        # Data-message framing: rows per message never exceeds the batch size.
+        assert downlink.rows_per_message <= 8
+
+    def test_client_site_join_uplink_rows_are_survivors(self, asymmetric_network):
+        workload = SyntheticWorkload(row_count=40, selectivity=0.25)
+        point = run_workload_point(
+            workload, asymmetric_network, StrategyConfig.client_site_join(batch_size=4)
+        )
+        assert point.rows == 10  # 0.25 * 40 survive the pushed predicate
+
+    def test_tuple_at_a_time_one_row_per_data_message(self, asymmetric_network):
+        from repro.client.runtime import ClientRuntime
+        from repro.core.execution.context import RemoteExecutionContext
+        from repro.core.execution.rewrite import build_operator
+        from repro.relational.operators.scan import TableScan
+
+        workload = SyntheticWorkload(row_count=25)
+        table = workload.build_table()
+        registry = workload.build_registry()
+        context = RemoteExecutionContext.create(
+            asymmetric_network, client=ClientRuntime(registry=registry)
+        )
+        operator = build_operator(
+            child=TableScan(table),
+            udf=registry.get(workload.udf_name),
+            argument_columns=[f"{workload.relation_name}.Argument"],
+            context=context,
+            config=StrategyConfig.semi_join(batch_size=1),
+        )
+        operator.run()
+        downlink = context.channel.downlink.stats
+        assert downlink.rows_transferred == 25
+        assert downlink.data_message_count == 25
+        assert downlink.rows_per_message == pytest.approx(1.0)
+        # The end-of-stream control frame is counted as a message but not a row.
+        assert downlink.message_count == 26
