@@ -15,12 +15,23 @@ closes the loop:
   not configured — parameters;
 * :mod:`repro.adaptive.controller` — :class:`BatchSizeController`
   hill-climbs the per-message batch size on observed rows/second *while a
-  query runs*, replacing the static plan-wide ``StrategyConfig.batch_size``.
+  query runs*; a :class:`BatchControllerBank` gives every UDF its own
+  controller with an independent ladder and warm start;
+* :mod:`repro.adaptive.switcher` — :class:`StrategySwitcher` re-costs the
+  *remaining* rows under every strategy at segment boundaries from observed
+  selectivity and bandwidth and — with hysteresis — hands the unprocessed
+  tail of the input to a different strategy executor mid-query.
 
-``Database.execute(..., adaptive=True)`` wires all three together.
+``Database.execute(..., adaptive=True)`` wires the observe → calibrate →
+adapt loop together; ``switch_strategies=True`` additionally arms mid-query
+strategy switching.
 """
 
-from repro.adaptive.controller import BatchDecision, BatchSizeController
+from repro.adaptive.controller import (
+    BatchControllerBank,
+    BatchDecision,
+    BatchSizeController,
+)
 from repro.adaptive.observer import (
     LinkObservation,
     PredicateObservation,
@@ -29,8 +40,15 @@ from repro.adaptive.observer import (
     UdfObservation,
 )
 from repro.adaptive.store import StatisticsStore
+from repro.adaptive.switcher import (
+    SegmentObservation,
+    StrategySwitcher,
+    SwitchDecision,
+    SwitchPolicy,
+)
 
 __all__ = [
+    "BatchControllerBank",
     "BatchDecision",
     "BatchSizeController",
     "LinkObservation",
@@ -38,5 +56,9 @@ __all__ = [
     "QueryObservation",
     "RuntimeObserver",
     "UdfObservation",
+    "SegmentObservation",
     "StatisticsStore",
+    "StrategySwitcher",
+    "SwitchDecision",
+    "SwitchPolicy",
 ]

@@ -32,7 +32,7 @@ the current simulated clock, and it tracks inter-arrival times itself.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -94,6 +94,8 @@ class BatchSizeController:
         #: Total rows/batches the controller has been told about.
         self.rows_observed = 0
         self.batches_observed = 0
+        #: Collapse resets performed (a drifted link invalidated all estimates).
+        self.collapse_count = 0
 
     # -- the two calls strategies make -------------------------------------------------
 
@@ -153,6 +155,7 @@ class BatchSizeController:
             # the link drifted, every remembered estimate is stale.
             self._throughput = {self._size: throughput}
             self._stable_windows = 0
+            self.collapse_count += 1
         elif previous is None:
             self._throughput[self._size] = throughput
         else:
@@ -241,3 +244,79 @@ class BatchSizeController:
             f"BatchSizeController(size={self._size}, windows={len(self.decisions)}, "
             f"rows={self.rows_observed})"
         )
+
+
+class BatchControllerBank:
+    """Per-UDF adaptive batch-size controllers with independent ladders.
+
+    A plan-wide :class:`BatchSizeController` blends every remote UDF's
+    throughput signal into one ladder: a drift seen by one UDF collapses the
+    estimates of all of them, and two UDFs with different per-row byte costs
+    fight over a single batch size.  The bank gives each UDF its *own*
+    controller, created lazily on first use by ``factory`` (which is where
+    per-UDF warm starts from the statistics store come from), so one UDF's
+    collapse-reset or climb never disturbs another's ladder.
+
+    The bank mirrors the aggregate introspection surface of a single
+    controller (``batches_observed``, ``converged_batch_size``,
+    ``size_trace``), so the executor's metrics and the runtime observer work
+    unchanged whether a config carries a controller or a bank.
+    """
+
+    def __init__(self, factory: Optional[Callable[[str], "BatchSizeController"]] = None) -> None:
+        self._factory = factory if factory is not None else (lambda name: BatchSizeController())
+        #: Controllers by lower-cased UDF name, in creation order.
+        self.controllers: Dict[str, BatchSizeController] = {}
+
+    def controller_for(self, udf_name: Optional[str] = None) -> BatchSizeController:
+        """The named UDF's controller, created on first use."""
+        key = (udf_name or "").lower()
+        controller = self.controllers.get(key)
+        if controller is None:
+            controller = self._factory(key)
+            self.controllers[key] = controller
+        return controller
+
+    # -- aggregate introspection (the single-controller protocol) ----------------------
+
+    @property
+    def batches_observed(self) -> int:
+        return sum(controller.batches_observed for controller in self.controllers.values())
+
+    @property
+    def rows_observed(self) -> int:
+        return sum(controller.rows_observed for controller in self.controllers.values())
+
+    @property
+    def converged_batch_size(self) -> int:
+        """The converged size of the controller that saw the most rows.
+
+        For the common single-UDF query this is exactly that UDF's converged
+        size; for multi-UDF plans it is the dominant operator's, which is what
+        a plan-wide warm start should begin from.
+        """
+        best: Optional[BatchSizeController] = None
+        for controller in self.controllers.values():
+            if best is None or controller.rows_observed > best.rows_observed:
+                best = controller
+        if best is None:
+            return BatchSizeController().current()
+        return best.converged_batch_size
+
+    def converged_sizes(self) -> Dict[str, int]:
+        """Per-UDF converged batch sizes, for UDFs that observed any batch."""
+        return {
+            name: controller.converged_batch_size
+            for name, controller in self.controllers.items()
+            if controller.batches_observed > 0
+        }
+
+    def size_trace(self) -> Tuple[int, ...]:
+        """Concatenated per-UDF traces, in controller creation order."""
+        trace: List[int] = []
+        for controller in self.controllers.values():
+            trace.extend(controller.size_trace())
+        return tuple(trace)
+
+    def __repr__(self) -> str:
+        return f"BatchControllerBank(udfs={sorted(self.controllers)})"

@@ -94,6 +94,10 @@ class UdfObservation:
     #: (a client-site join with a pushed predicate) — only then does the
     #: output/input ratio measure a predicate selectivity.
     filtered: bool = False
+    #: The applied predicate's rewritten (result column) text, when filtered.
+    #: Observed selectivities are stored under (UDF, predicate), so different
+    #: predicates over the same UDF keep separate estimates.
+    predicate: Optional[str] = None
 
     @property
     def measured_cost_per_call(self) -> Optional[float]:
@@ -144,6 +148,9 @@ class QueryObservation:
     rows_returned: int = 0
     converged_batch_size: Optional[int] = None
     batch_size_trace: Tuple[int, ...] = ()
+    #: Per-UDF converged batch sizes, when execution used a per-UDF
+    #: controller bank (keys lower-cased).
+    udf_batch_sizes: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
         parts: List[str] = [f"elapsed {self.elapsed_seconds:.3f}s"]
@@ -209,6 +216,9 @@ class RuntimeObserver:
             filtered = self._operator_filtered(operator) or (
                 previous.filtered if previous else False
             )
+            predicate = self._operator_predicate(operator) or (
+                previous.predicate if previous else None
+            )
             udfs[name] = UdfObservation(
                 name=name,
                 invocations=client.invocations_of(name),
@@ -217,6 +227,7 @@ class RuntimeObserver:
                 output_rows=output_rows,
                 distinct_arguments=distinct,
                 filtered=filtered,
+                predicate=predicate,
             )
 
         predicates: List[PredicateObservation] = []
@@ -246,6 +257,11 @@ class RuntimeObserver:
                 else None
             ),
             batch_size_trace=controller.size_trace() if controller is not None else (),
+            udf_batch_sizes=(
+                controller.converged_sizes()
+                if controller is not None and hasattr(controller, "converged_sizes")
+                else {}
+            ),
         )
         self.observations.append(observation)
         if self.store is not None:
@@ -257,3 +273,9 @@ class RuntimeObserver:
         """Whether the operator's output/input ratio reflects a predicate."""
         predicate = getattr(operator, "pushable_predicate", None)
         return predicate is not None
+
+    @staticmethod
+    def _operator_predicate(operator: "RemoteUdfOperator") -> Optional[str]:
+        """The applied predicate's text — the (UDF, predicate) selectivity key."""
+        predicate = getattr(operator, "pushable_predicate", None)
+        return str(predicate) if predicate is not None else None

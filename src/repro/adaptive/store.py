@@ -21,7 +21,7 @@ parameters, in the spirit of statistics-driven plan estimates
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.adaptive.observer import QueryObservation
 from repro.network.topology import NetworkConfig
@@ -66,10 +66,15 @@ class StatisticsStore:
         self._downlink_queueing = _Ewma(smoothing)
         self._uplink_queueing = _Ewma(smoothing)
         self._udf_cost: Dict[str, _Ewma] = {}
-        self._udf_selectivity: Dict[str, _Ewma] = {}
+        # Observed UDF selectivities are keyed by (UDF, predicate text):
+        # ``Score(V) >= 100`` and ``Score(V) >= 160`` select different
+        # fractions of the same UDF's results, and blending them under the
+        # UDF's name would miscalibrate both.
+        self._udf_selectivity: Dict[Tuple[str, str], _Ewma] = {}
         self._udf_distinct_fraction: Dict[str, _Ewma] = {}
         self._predicate_selectivity: Dict[str, _Ewma] = {}
         self._batch_size = _Ewma(smoothing)
+        self._udf_batch_size: Dict[str, _Ewma] = {}
 
     # -- recording ---------------------------------------------------------------------
 
@@ -94,7 +99,10 @@ class StatisticsStore:
                 self._udf_cost.setdefault(key, _Ewma(self.smoothing)).update(cost)
             selectivity = udf.observed_selectivity
             if selectivity is not None:
-                self._udf_selectivity.setdefault(key, _Ewma(self.smoothing)).update(selectivity)
+                selectivity_key = (key, udf.predicate or "")
+                self._udf_selectivity.setdefault(
+                    selectivity_key, _Ewma(self.smoothing)
+                ).update(selectivity)
             distinct = udf.observed_distinct_fraction
             if distinct is not None:
                 self._udf_distinct_fraction.setdefault(key, _Ewma(self.smoothing)).update(
@@ -110,6 +118,10 @@ class StatisticsStore:
 
         if observation.converged_batch_size is not None:
             self._batch_size.update(float(observation.converged_batch_size))
+        for name, size in observation.udf_batch_sizes.items():
+            self._udf_batch_size.setdefault(name.lower(), _Ewma(self.smoothing)).update(
+                float(size)
+            )
 
     # -- calibrated lookups (the protocol the cost estimator speaks) -------------------
 
@@ -120,12 +132,41 @@ class StatisticsStore:
             return default
         return estimate.value
 
-    def udf_selectivity(self, name: str, default: float) -> float:
-        """Observed predicate selectivity for ``name``, or ``default``."""
-        estimate = self._udf_selectivity.get(name.lower())
-        if estimate is None or estimate.value is None:
+    def udf_selectivity(
+        self, name: str, default: float, predicate: Optional[str] = None
+    ) -> float:
+        """Observed selectivity of ``name`` filtered by ``predicate``, or ``default``.
+
+        With ``predicate`` the lookup is exact: only an observation of the
+        same predicate over the same UDF applies.  Without it (legacy callers
+        and reporting), the estimate is returned only when the UDF has been
+        observed under exactly one predicate — when several have been seen,
+        picking any of them would silently blend unrelated filters, so the
+        declared default wins.
+        """
+        key = name.lower()
+        if predicate is not None:
+            estimate = self._udf_selectivity.get((key, predicate))
+            if estimate is None or estimate.value is None:
+                return default
+            return min(1.0, max(0.0, estimate.value))
+        matches = [
+            estimate
+            for (udf, _), estimate in self._udf_selectivity.items()
+            if udf == key and estimate.value is not None
+        ]
+        if len(matches) != 1:
             return default
-        return min(1.0, max(0.0, estimate.value))
+        return min(1.0, max(0.0, matches[0].value))
+
+    def udf_selectivities(self, name: str) -> Dict[str, float]:
+        """All observed selectivities of ``name``, keyed by predicate text."""
+        key = name.lower()
+        return {
+            predicate: min(1.0, max(0.0, estimate.value))
+            for (udf, predicate), estimate in self._udf_selectivity.items()
+            if udf == key and estimate.value is not None
+        }
 
     def udf_distinct_fraction(self, name: str, default: float) -> float:
         estimate = self._udf_distinct_fraction.get(name.lower())
@@ -181,6 +222,20 @@ class StatisticsStore:
             return default
         return max(1, int(round(self._batch_size.value)))
 
+    def preferred_batch_size_for(
+        self, udf_name: str, default: Optional[int] = None
+    ) -> Optional[int]:
+        """The batch size adaptive runs of the named UDF converged to.
+
+        Falls back to the plan-wide preferred size (then ``default``) when
+        this particular UDF has never run under a per-UDF controller — a new
+        UDF still warm-starts from what the environment taught us.
+        """
+        estimate = self._udf_batch_size.get(udf_name.lower())
+        if estimate is None or estimate.value is None:
+            return self.preferred_batch_size(default)
+        return max(1, int(round(estimate.value)))
+
     # -- reporting ---------------------------------------------------------------------
 
     def summary(self) -> str:
@@ -189,14 +244,15 @@ class StatisticsStore:
             lines.append(f"  downlink ~{self._downlink_bandwidth.value:.0f} B/s")
         if self._uplink_bandwidth.value is not None:
             lines.append(f"  uplink ~{self._uplink_bandwidth.value:.0f} B/s")
-        for key in sorted(set(self._udf_cost) | set(self._udf_selectivity)):
+        selectivity_udfs = {udf for udf, _ in self._udf_selectivity}
+        for key in sorted(set(self._udf_cost) | selectivity_udfs):
             bits = []
             cost = self._udf_cost.get(key)
             if cost is not None and cost.value is not None:
                 bits.append(f"{cost.value * 1000:.3f} ms/call")
-            selectivity = self._udf_selectivity.get(key)
-            if selectivity is not None and selectivity.value is not None:
-                bits.append(f"selectivity {selectivity.value:.2f}")
+            for predicate, value in sorted(self.udf_selectivities(key).items()):
+                label = f" [{predicate}]" if predicate else ""
+                bits.append(f"selectivity{label} {value:.2f}")
             lines.append(f"  udf {key}: " + ", ".join(bits))
         preferred = self.preferred_batch_size()
         if preferred is not None:

@@ -12,7 +12,12 @@ that drive the network simulator:
   records shipped to the client, pushable predicates and projections applied
   there.
 
-All three share :class:`~repro.core.execution.context.RemoteExecutionContext`,
+A fourth, adaptive executor —
+:class:`~repro.core.execution.adaptive.AdaptiveStrategyOperator` — runs the
+input in segments and may hand the unprocessed tail to a *different* strategy
+mid-query when observed selectivity or bandwidth contradicts the plan.
+
+All of them share :class:`~repro.core.execution.context.RemoteExecutionContext`,
 which bundles the simulator, the channel, and the client runtime.
 """
 
@@ -21,6 +26,7 @@ from repro.core.execution.base import RemoteUdfOperator
 from repro.core.execution.naive import NaiveUdfOperator
 from repro.core.execution.semijoin import SemiJoinUdfOperator
 from repro.core.execution.clientjoin import ClientSiteJoinOperator
+from repro.core.execution.adaptive import AdaptiveStrategyOperator
 from repro.core.execution.rewrite import replace_udf_calls_with_columns, build_operator
 
 __all__ = [
@@ -29,6 +35,7 @@ __all__ = [
     "NaiveUdfOperator",
     "SemiJoinUdfOperator",
     "ClientSiteJoinOperator",
+    "AdaptiveStrategyOperator",
     "replace_udf_calls_with_columns",
     "build_operator",
 ]

@@ -1,0 +1,283 @@
+"""Mid-query adaptive execution: strategy switching at segment boundaries.
+
+The three committed strategies process their whole input under the plan's
+choice.  The :class:`AdaptiveStrategyOperator` instead runs the input in
+*segments* (geometrically growing row slices): each segment executes under
+the currently-best strategy via the ordinary strategy operators, and at every
+segment boundary the operator hands the
+:class:`~repro.adaptive.switcher.StrategySwitcher` what the run observed —
+the cumulative surviving fraction of the pushable predicate, the effective
+bandwidth each link actually delivered, the measured per-call UDF cost — plus
+the exact byte shape of the unprocessed tail.  The switcher re-costs the
+remaining rows under every strategy
+(:func:`~repro.core.optimizer.cost.remaining_strategy_cost`) and, with
+hysteresis, may hand the tail to a different strategy executor.
+
+Partial results are merged trivially (each segment produces its own
+post-predicate, projected output rows, and all strategies produce identical
+rows for identical inputs), and client-side state carries over naturally:
+the segments share one :class:`~repro.core.execution.context.RemoteExecutionContext`,
+so the client runtime's result cache keeps answering duplicate arguments
+across segments — and across a switch — without re-invoking the UDF.
+
+Because every segment applies the pushable predicate (at the client under
+the client-site join, on the server under naive/semi-join), the operator's
+output is always the *filtered* relation; its output schema and rows are
+identical to a committed client-site join with the same predicate and
+projection, whatever sequence of strategies actually ran.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.adaptive.switcher import SegmentObservation, StrategySwitcher, SwitchPolicy
+from repro.client.udf import UdfDefinition
+from repro.core.execution.base import RemoteUdfOperator
+from repro.core.execution.clientjoin import ClientSiteJoinOperator
+from repro.core.execution.context import RemoteExecutionContext
+from repro.core.strategies import StrategyConfig
+from repro.relational.expressions import Expression
+from repro.relational.operators.base import CollectingOperator, Operator
+from repro.relational.tuples import Row, values_size
+
+
+class AdaptiveStrategyOperator(ClientSiteJoinOperator):
+    """Runs a client-site UDF in segments, switching strategies mid-query.
+
+    Construction mirrors :class:`ClientSiteJoinOperator` (the operator owns
+    the pushable predicate and projection whatever strategy executes them);
+    ``config.strategy`` is the *initial* strategy and ``config.switch_policy``
+    parameterises the switcher.  After execution, :attr:`switcher` holds the
+    full decision trace and :attr:`segments` the ``(strategy, rows)`` slices
+    that actually ran.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        udf: UdfDefinition,
+        argument_columns: Sequence[str],
+        context: RemoteExecutionContext,
+        config: Optional[StrategyConfig] = None,
+        pushable_predicate: Optional[Expression] = None,
+        output_columns: Optional[Sequence[str]] = None,
+        result_column_name: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            child,
+            udf,
+            argument_columns,
+            context,
+            config=config,
+            pushable_predicate=pushable_predicate,
+            output_columns=output_columns,
+            result_column_name=result_column_name,
+        )
+        policy = self.config.switch_policy
+        self.policy = policy if policy is not None else SwitchPolicy()
+        self.switcher = StrategySwitcher(
+            policy=self.policy,
+            initial_strategy=self.config.strategy,
+            declared_selectivity=udf.selectivity,
+        )
+        #: ``(strategy, input_rows)`` per executed segment, in order.
+        self.segments: List[Tuple[object, int]] = []
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _execute(self):
+        from repro.core.execution.rewrite import build_operator
+
+        rows = list(self.child().execute())
+        self.input_row_count = len(rows)
+        self._precompute_suffixes(rows)
+        self.distinct_argument_count = self._suffix_distinct[0] if rows else 0
+
+        outputs: List[Row] = []
+        position = 0
+        index = 0
+        while position < len(rows):
+            strategy = self.switcher.current_strategy
+            segment = rows[position : position + self.switcher.next_segment_rows(index)]
+            position += len(segment)
+
+            # One plain (non-switching) strategy operator per segment, over
+            # the materialised slice, sharing this operator's context — and
+            # therefore its simulator clock, link stats, adaptive batch
+            # controller, and client result cache.
+            segment_config = self.config.with_strategy(strategy).with_switch_policy(None)
+            operator = build_operator(
+                child=CollectingOperator(self.child_schema, segment),
+                udf=self.udf,
+                argument_columns=self.argument_columns,
+                context=self.context,
+                config=segment_config,
+                pushable_predicate=self.pushable_predicate,
+                output_columns=self.output_columns,
+                result_column_name=self.result_column.name,
+            )
+            before = self._snapshot()
+            segment_rows = operator.run()
+            outputs.extend(segment_rows)
+            self.segments.append((strategy, len(segment)))
+            self._carry_instrumentation(operator)
+
+            if position < len(rows):
+                self.switcher.observe_segment(
+                    self._segment_observation(len(segment), len(segment_rows), position, before)
+                )
+            index += 1
+
+        self.output_row_count = len(outputs)
+        yield from outputs
+
+    def _precompute_suffixes(self, rows: List[Row]) -> None:
+        """Per-suffix aggregates of the input, computed in one backward pass.
+
+        Segment boundaries need the byte shape and duplicate structure of the
+        unprocessed tail; precomputing suffix sums keeps each boundary O(1)
+        instead of rescanning the tail (which would make long adaptive runs
+        quadratic in the input size).
+        """
+        if self._projection_positions is not None:
+            child_positions: Tuple[int, ...] = tuple(
+                position
+                for position in self._projection_positions
+                if position < len(self.child_schema)
+            )
+        else:
+            child_positions = tuple(range(len(self.child_schema)))
+
+        count = len(rows)
+        self._suffix_record_bytes = [0.0] * (count + 1)
+        self._suffix_argument_bytes = [0.0] * (count + 1)
+        self._suffix_projected_bytes = [0.0] * (count + 1)
+        self._suffix_distinct = [0] * (count + 1)
+        seen: set = set()
+        for position in range(count - 1, -1, -1):
+            row = rows[position]
+            arguments = self.argument_tuple(row)
+            seen.add(arguments)
+            self._suffix_record_bytes[position] = (
+                self._suffix_record_bytes[position + 1] + self.record_bytes(row)
+            )
+            self._suffix_argument_bytes[position] = (
+                self._suffix_argument_bytes[position + 1] + values_size(arguments)
+            )
+            self._suffix_projected_bytes[position] = self._suffix_projected_bytes[
+                position + 1
+            ] + values_size([row[index] for index in child_positions])
+            self._suffix_distinct[position] = len(seen)
+
+    # -- observation plumbing ----------------------------------------------------------
+
+    def _snapshot(self) -> Tuple[float, float, float, float, float, int]:
+        """Link and client counters before a segment, for delta measurement."""
+        stats = self.context.channel_stats
+        client = self.context.client
+        return (
+            stats.downlink.total_bytes,
+            stats.downlink.busy_seconds,
+            stats.uplink.total_bytes,
+            stats.uplink.busy_seconds,
+            client.compute_seconds_of(self.udf.name),
+            client.invocations_of(self.udf.name),
+        )
+
+    def _segment_observation(
+        self,
+        processed: int,
+        surviving: int,
+        position: int,
+        before: Tuple[float, float, float, float, float, int],
+    ) -> SegmentObservation:
+        stats = self.context.channel_stats
+        network = self.context.network
+
+        down_bytes = stats.downlink.total_bytes - before[0]
+        down_busy = stats.downlink.busy_seconds - before[1]
+        up_bytes = stats.uplink.total_bytes - before[2]
+        up_busy = stats.uplink.busy_seconds - before[3]
+        downlink = self._bandwidth(
+            down_bytes, down_busy, network.downlink_bandwidth if network else None
+        )
+        uplink = self._bandwidth(
+            up_bytes, up_busy, network.uplink_bandwidth if network else None
+        )
+
+        compute = self.context.client.compute_seconds_of(self.udf.name) - before[4]
+        invocations = self.context.client.invocations_of(self.udf.name) - before[5]
+        per_call = (
+            compute / invocations if invocations > 0 else self.udf.cost_per_call_seconds
+        )
+
+        remaining = self.input_row_count - position
+        record_bytes = self._suffix_record_bytes[position] / remaining
+        argument_bytes = self._suffix_argument_bytes[position] / remaining
+        # Distinct tuples of the suffix bound the remaining distinct work (a
+        # duplicate of an already-processed argument is free at the client
+        # anyway, via the shared result cache).
+        distinct_fraction = self._suffix_distinct[position] / remaining
+        result_bytes = float(
+            self.udf.result_size_bytes if self.udf.result_size_bytes is not None else 8
+        )
+        returned_row_bytes = self._suffix_projected_bytes[position] / remaining + result_bytes
+
+        return SegmentObservation(
+            rows_processed=processed,
+            rows_surviving=surviving,
+            remaining_rows=remaining,
+            remaining_record_bytes=record_bytes,
+            remaining_argument_bytes=argument_bytes,
+            remaining_distinct_fraction=distinct_fraction,
+            returned_row_bytes=returned_row_bytes,
+            result_bytes=result_bytes,
+            udf_seconds_per_call=per_call,
+            downlink_bandwidth=downlink,
+            uplink_bandwidth=uplink,
+            latency=network.latency if network is not None else 0.0,
+            batch_size=float(self.next_batch_size()),
+            has_predicate=self.pushable_predicate is not None,
+        )
+
+    @staticmethod
+    def _bandwidth(
+        delta_bytes: float, delta_busy: float, configured: Optional[float]
+    ) -> float:
+        """Observed effective bandwidth over a segment, else the configured one."""
+        if delta_busy > 1e-9 and delta_bytes > 0:
+            return delta_bytes / delta_busy
+        if configured is not None:
+            return configured
+        return 1e9  # no network model at all: transfers are effectively free
+
+    def _carry_instrumentation(self, operator: Operator) -> None:
+        """Propagate the inner remote operator's simulation bookkeeping."""
+        inner = _find_remote(operator)
+        if inner is None:
+            return
+        factor = getattr(inner, "concurrency_factor_used", None)
+        if factor is not None:
+            self.concurrency_factor_used = factor
+        occupancy = getattr(inner, "peak_pipeline_occupancy", None)
+        if occupancy is not None:
+            self.peak_pipeline_occupancy = occupancy
+
+    def describe(self) -> str:
+        used = "/".join(strategy.value for strategy in self.switcher.strategies_used)
+        return (
+            f"{type(self).__name__}({self.udf.name} on "
+            f"{', '.join(self.argument_columns)}, strategies {used})"
+        )
+
+
+def _find_remote(operator: Operator) -> Optional[RemoteUdfOperator]:
+    """The remote UDF operator inside a (possibly Filter/Project-wrapped) tree."""
+    if isinstance(operator, RemoteUdfOperator):
+        return operator
+    for child in operator.children:
+        found = _find_remote(child)
+        if found is not None:
+            return found
+    return None

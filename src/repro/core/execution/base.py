@@ -64,7 +64,7 @@ class RemoteUdfOperator(Operator):
     def _execute(self) -> Iterator[Row]:
         input_rows = list(self.child().execute())
         self.input_row_count = len(input_rows)
-        controller = self.config.batch_controller
+        controller = self.config.controller_for(self.udf.name)
         if controller is not None:
             # Start the controller's inter-arrival clock at this operator's
             # first simulated instant, so idle time between remote operators
@@ -87,9 +87,9 @@ class RemoteUdfOperator(Operator):
         return self.config.next_batch_size(self.udf.name)
 
     def observe_batch(self, rows: int) -> None:
-        """Report ``rows`` acknowledged input rows to the adaptive controller."""
-        controller = self.config.batch_controller
-        if controller is not None and not self.config.has_batch_override(self.udf.name):
+        """Report ``rows`` acknowledged input rows to this UDF's controller."""
+        controller = self.config.controller_for(self.udf.name)
+        if controller is not None:
             controller.observe_rows(rows, self.context.simulator.now)
 
     # -- shared helpers ----------------------------------------------------------------

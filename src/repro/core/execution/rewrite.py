@@ -85,9 +85,30 @@ def build_operator(
     projections cannot run at the client; when supplied they are applied on
     the server by wrapping the operator in Filter/Project operators, so every
     strategy produces identical rows for the same inputs.
+
+    A config carrying a :class:`~repro.adaptive.switcher.SwitchPolicy` gets
+    the mid-query switching executor instead: ``config.strategy`` is then the
+    *initial* strategy, and the operator may hand the unprocessed tail of the
+    input to a different strategy at segment boundaries.
     """
     from repro.relational.operators.filter import Filter
     from repro.relational.operators.project import Project
+
+    if config.switch_policy is not None:
+        # Imported lazily: the adaptive executor builds plain per-segment
+        # operators through this very function.
+        from repro.core.execution.adaptive import AdaptiveStrategyOperator
+
+        return AdaptiveStrategyOperator(
+            child,
+            udf,
+            argument_columns,
+            context,
+            config=config,
+            pushable_predicate=pushable_predicate,
+            output_columns=output_columns,
+            result_column_name=result_column_name,
+        )
 
     if config.strategy is ExecutionStrategy.CLIENT_SITE_JOIN:
         return ClientSiteJoinOperator(

@@ -84,9 +84,7 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
         # it starts double-buffered at the current batch size and grows with
         # it (see the sender), so a run converged at batch 8 is not simulated
         # with the buffering of the controller's maximum.
-        adaptive = self.config.batch_controller is not None and not self.config.has_batch_override(
-            self.udf.name
-        )
+        adaptive = self.config.controller_for(self.udf.name) is not None
         if adaptive:
             factor = max(factor, 2 * self.next_batch_size())
         else:

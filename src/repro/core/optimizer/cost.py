@@ -17,6 +17,7 @@ the final result-delivery operator.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -54,6 +55,76 @@ class CostSettings:
         from dataclasses import replace
 
         return replace(self, batch_size=batch_size)
+
+
+def remaining_strategy_cost(
+    strategy: ExecutionStrategy,
+    rows: float,
+    *,
+    record_bytes: float,
+    argument_bytes: float,
+    result_bytes: float,
+    returned_row_bytes: Optional[float] = None,
+    selectivity: float = 1.0,
+    distinct_fraction: float = 1.0,
+    udf_seconds_per_call: float = 0.0,
+    downlink_bandwidth: float,
+    uplink_bandwidth: float,
+    latency: float = 0.0,
+    settings: Optional[CostSettings] = None,
+    batch_size: Optional[float] = None,
+) -> float:
+    """Estimated seconds for ``strategy`` to process ``rows`` remaining rows.
+
+    This is the re-costing surface mid-query adaptation plans with: unlike
+    :class:`CostEstimator` (which costs whole plans from declared statistics),
+    it takes the *current* point estimates — observed selectivity, observed
+    effective bandwidths, measured per-call cost, and the exact byte shape of
+    the unprocessed tail — and prices only the work still ahead, per strategy.
+    The :class:`~repro.adaptive.switcher.StrategySwitcher` compares these
+    estimates at batch boundaries to decide whether the committed strategy is
+    still the right one for the rest of the input.
+
+    The formulas mirror the Section 3 cost model the estimator uses: the
+    semi-join ships distinct argument tuples down and bare results up through
+    an overlapped pipeline; the client-site join ships whole records down and
+    only surviving, projected rows up; the naive strategy pays one synchronous
+    round trip per batch with no overlap at all.
+    """
+    settings = settings if settings is not None else CostSettings()
+    if rows <= 0:
+        return 0.0
+    batch = max(1.0, float(batch_size if batch_size is not None else settings.batch_size))
+    selectivity = min(1.0, max(0.0, selectivity))
+    distinct = min(1.0, max(0.0, distinct_fraction))
+    shipped = rows * distinct
+    compute = shipped * max(0.0, udf_seconds_per_call)
+    overhead = settings.per_message_overhead_bytes
+    if returned_row_bytes is None:
+        returned_row_bytes = record_bytes + result_bytes
+
+    def link_seconds(payload_bytes: float, messages: float, bandwidth: float) -> float:
+        return (payload_bytes + messages * overhead) / max(bandwidth, 1e-9)
+
+    if strategy is ExecutionStrategy.SEMI_JOIN:
+        messages = max(1.0, shipped / batch)
+        down = link_seconds(shipped * argument_bytes, messages, downlink_bandwidth)
+        up = link_seconds(shipped * result_bytes, messages, uplink_bandwidth)
+        return max(down, up, compute) + 2 * latency + settings.pipeline_fill_penalty_seconds
+
+    if strategy is ExecutionStrategy.CLIENT_SITE_JOIN:
+        messages = max(1.0, rows / batch)
+        down = link_seconds(rows * record_bytes, messages, downlink_bandwidth)
+        up = link_seconds(rows * selectivity * returned_row_bytes, messages, uplink_bandwidth)
+        return max(down, up, compute) + 2 * latency + settings.pipeline_fill_penalty_seconds
+
+    # NAIVE: the downlink shipment, the client compute, and the uplink reply
+    # of every batch happen strictly in sequence, and every batch pays the
+    # full round-trip latency.
+    trips = max(1.0, math.ceil(shipped / batch))
+    down = link_seconds(shipped * argument_bytes, trips, downlink_bandwidth)
+    up = link_seconds(shipped * result_bytes, trips, uplink_bandwidth)
+    return down + up + compute + 2 * latency * trips
 
 
 class CostEstimator:
@@ -160,13 +231,16 @@ class CostEstimator:
         return self.statistics.udf_cost(udf.name, udf.cost_per_call_seconds)
 
     def _udf_selectivity(self, operation: UdfOperation) -> float:
-        # Observed selectivities are keyed by UDF name, so they only apply
-        # where the query actually filters on this UDF — a predicate-free use
-        # of the same UDF keeps every row regardless of what was observed.
+        # Observed selectivities are keyed by (UDF, predicate), so they only
+        # apply where the query filters on this UDF *with the same predicate*
+        # that was observed — a predicate-free use of the UDF keeps every row,
+        # and a different comparison over the same UDF keeps its own estimate.
         if self.statistics is None or not operation.has_predicate:
             return operation.predicate_selectivity
         return self.statistics.udf_selectivity(
-            operation.call.udf.name, operation.predicate_selectivity
+            operation.call.udf.name,
+            operation.predicate_selectivity,
+            predicate=operation.predicate_text,
         )
 
     # -- scans -------------------------------------------------------------------------------

@@ -44,11 +44,21 @@ class UdfOperation:
     ``has_predicate`` records whether any query predicate was credited to
     this UDF — only then does an *observed* selectivity from the statistics
     store apply; a predicate-free use of the same UDF keeps every row.
+    ``predicate_text`` is the credited predicate in its rewritten (result
+    column) form — the exact key the runtime observer records selectivities
+    under, so the calibrated estimator looks up the selectivity of *this*
+    predicate and not a blend over every predicate the UDF ever ran with.
+    The crediting here mirrors the planner's *default* (declaration-order)
+    UDF application: when the optimizer reorders UDFs, a predicate spanning
+    several UDFs may be pushed at a different operator than it is credited
+    to, its recorded key then differs, and the lookup safely falls back to
+    the declared estimate (no miscalibration, just no calibration).
     """
 
     call: ClientUdfCall
     predicate_selectivity: float = 1.0
     has_predicate: bool = False
+    predicate_text: Optional[str] = None
 
     @property
     def key(self) -> str:
@@ -197,6 +207,10 @@ def operations_for_query(
             selectivity *= estimate
         tables.append(TableOperation(alias=bound.alias, bound=bound, local_selectivity=selectivity))
 
+    from repro.core.execution.rewrite import replace_udf_calls_with_columns
+    from repro.relational.expressions import conjoin
+
+    result_columns = {c.udf.name.lower(): c.result_column_name for c in query.client_udf_calls}
     udfs: List[UdfOperation] = []
     for call in query.client_udf_calls:
         # The selectivity credited to applying this UDF is the combined
@@ -205,6 +219,7 @@ def operations_for_query(
         # over several UDFs are credited to the lexically last one.
         selectivity = 1.0
         has_predicate = False
+        credited = []
         for predicate in query.udf_predicates():
             names = {name.lower() for name in predicate.udf_names}
             if call.udf.name.lower() in names:
@@ -212,9 +227,16 @@ def operations_for_query(
                 if ordered and ordered[-1] == call.udf.name.lower():
                     selectivity *= max(predicate.selectivity, 1e-6)
                     has_predicate = True
+                    credited.append(
+                        replace_udf_calls_with_columns(predicate.expression, result_columns)
+                    )
+        combined = conjoin(credited)
         udfs.append(
             UdfOperation(
-                call=call, predicate_selectivity=selectivity, has_predicate=has_predicate
+                call=call,
+                predicate_selectivity=selectivity,
+                has_predicate=has_predicate,
+                predicate_text=str(combined) if combined is not None else None,
             )
         )
     return tables, udfs

@@ -7,7 +7,8 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional, Tuple, Union, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.adaptive.controller import BatchSizeController
+    from repro.adaptive.controller import BatchControllerBank, BatchSizeController
+    from repro.adaptive.switcher import SwitchPolicy
 
 
 class ExecutionStrategy(enum.Enum):
@@ -62,12 +63,23 @@ class StrategyConfig:
         An explicit override also pins that UDF's batch size against the
         adaptive controller.
     batch_controller:
-        A :class:`~repro.adaptive.controller.BatchSizeController` consulted
-        *between batches* instead of the static ``batch_size``: each strategy
-        asks it for the size of the next batch and reports observed progress,
-        so the batch size adapts mid-query to measured throughput.  ``None``
-        (the default) keeps the static behaviour.  The controller is runtime
-        state, excluded from equality and hashing.
+        A :class:`~repro.adaptive.controller.BatchSizeController` — or a
+        :class:`~repro.adaptive.controller.BatchControllerBank` of per-UDF
+        controllers — consulted *between batches* instead of the static
+        ``batch_size``: each strategy asks it for the size of the next batch
+        and reports observed progress, so the batch size adapts mid-query to
+        measured throughput.  With a bank, every UDF climbs its own
+        independent ladder.  ``None`` (the default) keeps the static
+        behaviour.  The controller is runtime state, excluded from equality
+        and hashing.
+    switch_policy:
+        A :class:`~repro.adaptive.switcher.SwitchPolicy` arming *mid-query
+        strategy switching*: the UDF operator then runs the input in
+        segments, re-costs the remaining rows under every strategy at each
+        segment boundary from observed selectivity/bandwidth, and — with the
+        policy's hysteresis — hands the unprocessed tail to a different
+        strategy executor.  ``strategy`` becomes the *initial* strategy.
+        ``None`` (the default) commits to ``strategy`` for the whole query.
     eliminate_duplicates:
         Whether the semi-join sender suppresses argument duplicates
         (Section 3.2.2).  Disabling this is an ablation knob.
@@ -93,7 +105,10 @@ class StrategyConfig:
     batch_size_overrides: Union[
         Mapping[str, int], Tuple[Tuple[str, int], ...]
     ] = ()
-    batch_controller: Optional["BatchSizeController"] = field(default=None, compare=False)
+    batch_controller: Optional[
+        Union["BatchSizeController", "BatchControllerBank"]
+    ] = field(default=None, compare=False)
+    switch_policy: Optional["SwitchPolicy"] = None
     eliminate_duplicates: bool = True
     sort_by_arguments: bool = True
     server_result_cache: bool = True
@@ -137,17 +152,37 @@ class StrategyConfig:
         key = udf_name.lower()
         return any(name == key for name, _ in self.batch_size_overrides)
 
+    def controller_for(self, udf_name: Optional[str] = None) -> Optional["BatchSizeController"]:
+        """The adaptive controller governing ``udf_name``, if any.
+
+        Resolves a :class:`~repro.adaptive.controller.BatchControllerBank` to
+        the named UDF's own controller (created on first use); a plain
+        controller is shared plan-wide.  An explicit per-UDF batch-size
+        override pins that UDF against adaptation, so ``None`` is returned.
+        """
+        if udf_name is not None and self.has_batch_override(udf_name):
+            return None
+        controller = self.batch_controller
+        if controller is None:
+            return None
+        resolve = getattr(controller, "controller_for", None)
+        if resolve is not None:
+            return resolve(udf_name)
+        return controller
+
     def next_batch_size(self, udf_name: Optional[str] = None) -> int:
         """The batch size to use for the *next* batch.
 
         An explicit per-UDF override is pinned; otherwise an attached
-        adaptive controller decides; otherwise the static plan-wide size.
-        Strategies call this at every batch boundary.
+        adaptive controller (or the UDF's own controller from a bank)
+        decides; otherwise the static plan-wide size.  Strategies call this
+        at every batch boundary.
         """
         if udf_name is not None and self.has_batch_override(udf_name):
             return self.batch_size_for(udf_name)
-        if self.batch_controller is not None:
-            return self.batch_controller.current()
+        controller = self.controller_for(udf_name)
+        if controller is not None:
+            return controller.current()
         return self.batch_size
 
     # -- convenience constructors --------------------------------------------------
@@ -205,6 +240,9 @@ class StrategyConfig:
         return replace(self, batch_size_overrides=dict(overrides))
 
     def with_batch_controller(
-        self, controller: Optional["BatchSizeController"]
+        self, controller: Optional[Union["BatchSizeController", "BatchControllerBank"]]
     ) -> "StrategyConfig":
         return replace(self, batch_controller=controller)
+
+    def with_switch_policy(self, policy: Optional["SwitchPolicy"]) -> "StrategyConfig":
+        return replace(self, switch_policy=policy)

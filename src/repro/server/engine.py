@@ -19,7 +19,13 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import OptimizerError
-from repro.adaptive import BatchSizeController, RuntimeObserver, StatisticsStore
+from repro.adaptive import (
+    BatchControllerBank,
+    BatchSizeController,
+    RuntimeObserver,
+    StatisticsStore,
+    SwitchPolicy,
+)
 from repro.client.registry import UdfRegistry
 from repro.client.udf import UdfDefinition, UdfSite
 from repro.core.strategies import ExecutionStrategy, StrategyConfig
@@ -180,6 +186,8 @@ class Database:
         adaptive: bool = False,
         observe: bool = True,
         calibrated: Optional[bool] = None,
+        switch_strategies: bool = False,
+        switch_policy: Optional[SwitchPolicy] = None,
     ) -> QueryResult:
         """Execute ``query`` (SQL text or a bound query) and return the result.
 
@@ -190,11 +198,22 @@ class Database:
         supplies the tunables such as the concurrency factor).
 
         ``adaptive=True`` attaches a fresh
-        :class:`~repro.adaptive.controller.BatchSizeController` so the batch
-        size hill-climbs on observed throughput *while the query runs*,
-        warm-started from the batch size earlier adaptive queries converged
-        to.  ``observe=False`` disables the post-run observation (and thus
-        the feedback into :attr:`statistics`) for this query.
+        :class:`~repro.adaptive.controller.BatchControllerBank` — one
+        independent :class:`~repro.adaptive.controller.BatchSizeController`
+        per UDF — so each UDF's batch size hill-climbs on its own observed
+        throughput *while the query runs*, warm-started from the size earlier
+        adaptive queries of that UDF converged to.  ``observe=False``
+        disables the post-run observation (and thus the feedback into
+        :attr:`statistics`) for this query.
+
+        ``switch_strategies=True`` (or an explicit ``switch_policy``)
+        additionally arms *mid-query strategy switching*: the UDF operators
+        run the input in segments, re-cost the remaining rows under every
+        strategy from observed selectivity/bandwidth at each segment
+        boundary, and — with hysteresis — hand the unprocessed tail to a
+        different strategy executor when the committed choice turns out
+        wrong.  The committed ``config.strategy`` (or the optimizer's choice)
+        becomes the initial strategy.
 
         ``calibrated`` controls whether the optimizer plans with the
         statistics store's *measured* network/UDF parameters instead of the
@@ -209,7 +228,13 @@ class Database:
         if strategy is not None:
             config = config.with_strategy(strategy)
         if adaptive:
-            config = config.with_batch_controller(self.new_batch_controller(config))
+            config = config.with_batch_controller(self.new_controller_bank(config))
+        if switch_policy is not None:
+            switch_strategies = True
+        if switch_strategies:
+            config = config.with_switch_policy(
+                switch_policy if switch_policy is not None else SwitchPolicy()
+            )
         if calibrated is None:
             calibrated = adaptive
 
@@ -257,6 +282,27 @@ class Database:
         fallback = config.batch_size if config.batch_size > 1 else 8
         initial = self.statistics.preferred_batch_size(default=fallback)
         return BatchSizeController(initial_batch_size=initial)
+
+    def new_controller_bank(
+        self, config: Optional[StrategyConfig] = None
+    ) -> BatchControllerBank:
+        """A per-UDF controller bank, each controller warm-started from feedback.
+
+        Every UDF gets its own :class:`BatchSizeController` (created on first
+        use) starting where earlier adaptive executions of *that UDF*
+        converged, falling back to the plan-wide converged size and then the
+        configured batch size — so one UDF's learning never perturbs
+        another's, but a brand-new UDF still benefits from what the
+        environment taught us.
+        """
+        config = config if config is not None else self.default_config
+        fallback = config.batch_size if config.batch_size > 1 else 8
+
+        def factory(name: str) -> BatchSizeController:
+            initial = self.statistics.preferred_batch_size_for(name, default=fallback)
+            return BatchSizeController(initial_batch_size=initial)
+
+        return BatchControllerBank(factory)
 
     def explain(
         self,

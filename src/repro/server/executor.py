@@ -159,11 +159,22 @@ class Executor:
         client = self.context.client
         concurrency = None
         input_rows = 0
+        switches = 0
+        strategies_used: tuple = ()
         for operator in plan.remote_operators:
             input_rows = max(input_rows, operator.input_row_count)
             factor = getattr(operator, "concurrency_factor_used", None)
             if factor is not None:
                 concurrency = factor
+            switcher = getattr(operator, "switcher", None)
+            if switcher is not None:
+                switches += switcher.switch_count
+                for strategy in switcher.strategies_used:
+                    # First-use order across operators, without repeats: a
+                    # multi-UDF plan that never switched reads as one
+                    # strategy, not a fake switch chain.
+                    if strategy not in strategies_used:
+                        strategies_used = strategies_used + (strategy,)
         controller = config.batch_controller if config is not None else None
         return ExecutionMetrics.from_run(
             elapsed_seconds=self.context.elapsed_seconds,
@@ -187,5 +198,7 @@ class Executor:
                 if controller is not None and controller.batches_observed > 0
                 else None
             ),
+            strategy_switches=switches,
+            strategies_used=strategies_used or None,
             plan_description=plan.explain(),
         )

@@ -39,6 +39,10 @@ class ExecutionMetrics:
     #: and the size it judged best, ``None`` for static executions.
     batch_size_trace: Optional[Tuple[int, ...]] = None
     converged_batch_size: Optional[int] = None
+    #: With mid-query strategy switching: how many switches fired and which
+    #: strategies ran (in first-use order), ``None`` for committed executions.
+    strategy_switches: int = 0
+    strategies_used: Optional[Tuple[ExecutionStrategy, ...]] = None
     plan_description: str = ""
 
     @classmethod
@@ -57,6 +61,8 @@ class ExecutionMetrics:
         batch_size: Optional[int] = None,
         batch_size_trace: Optional[Tuple[int, ...]] = None,
         converged_batch_size: Optional[int] = None,
+        strategy_switches: int = 0,
+        strategies_used: Optional[Tuple[ExecutionStrategy, ...]] = None,
         plan_description: str = "",
     ) -> "ExecutionMetrics":
         return cls(
@@ -78,6 +84,8 @@ class ExecutionMetrics:
             batch_size=batch_size,
             batch_size_trace=batch_size_trace,
             converged_batch_size=converged_batch_size,
+            strategy_switches=strategy_switches,
+            strategies_used=strategies_used,
             plan_description=plan_description,
         )
 
@@ -92,9 +100,13 @@ class ExecutionMetrics:
     def summary(self) -> str:
         """A one-paragraph human-readable summary."""
         strategy = self.strategy.value if self.strategy else "n/a"
+        if self.strategies_used:
+            strategy = " -> ".join(used.value for used in self.strategies_used)
         batching = f" | batch size {self.batch_size}" if self.batch_size else ""
         if self.converged_batch_size is not None:
             batching = f" | adaptive batch -> {self.converged_batch_size}"
+        if self.strategy_switches:
+            batching += f" | {self.strategy_switches} mid-query switch(es)"
         return (
             f"elapsed {self.elapsed_seconds:.3f}s | strategy {strategy} | "
             f"downlink {self.downlink_bytes} B in {self.downlink_messages} msgs | "

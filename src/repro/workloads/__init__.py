@@ -29,11 +29,19 @@ from repro.workloads.drift import (
     fading_uplink_scenario,
     stepped_bandwidth_network,
 )
+from repro.workloads.misestimation import (
+    MisestimatedSelectivityScenario,
+    overestimated_selectivity_scenario,
+    underestimated_selectivity_scenario,
+)
 
 __all__ = [
     "drifting_bandwidth_network",
     "fading_uplink_scenario",
     "stepped_bandwidth_network",
+    "MisestimatedSelectivityScenario",
+    "overestimated_selectivity_scenario",
+    "underestimated_selectivity_scenario",
     "SyntheticWorkload",
     "make_object_relation",
     "make_udf_relation",

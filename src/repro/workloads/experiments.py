@@ -52,6 +52,10 @@ class ExperimentPoint:
     uplink_messages: int = 0
     result_rows: Tuple[Tuple, ...] = ()
     parameters: Dict[str, float] = field(default_factory=dict)
+    #: Mid-query strategy switching, when the config armed it: how many
+    #: switches fired and which strategies ran, in first-use order.
+    strategy_switches: int = 0
+    strategies_used: Tuple[ExecutionStrategy, ...] = ()
 
     @property
     def total_bytes(self) -> int:
@@ -93,6 +97,7 @@ def run_workload_point(
         output_columns=output_columns,
     )
     rows = operator.run()
+    switcher = getattr(operator, "switcher", None)
     return ExperimentPoint(
         strategy=config.strategy,
         elapsed_seconds=context.elapsed_seconds,
@@ -102,6 +107,8 @@ def run_workload_point(
         udf_invocations=context.client.udf_invocations,
         downlink_messages=context.channel.downlink.stats.message_count,
         uplink_messages=context.channel.uplink.stats.message_count,
+        strategy_switches=switcher.switch_count if switcher is not None else 0,
+        strategies_used=switcher.strategies_used if switcher is not None else (),
         # repr is a total order over mixed-type (and None-valued) rows, which
         # plain tuple comparison is not; equal multisets still sort equally.
         result_rows=tuple(sorted((tuple(row) for row in rows), key=repr)),

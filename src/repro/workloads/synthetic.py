@@ -13,6 +13,7 @@ exactly.  The helpers here build those ingredients deterministically:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -43,12 +44,29 @@ def make_object_relation(
     return table
 
 
+def interleaving_stride(row_count: int) -> int:
+    """A stride coprime to ``row_count`` near the golden ratio point.
+
+    Walking seeds as ``(index * stride) % row_count`` yields a low-discrepancy
+    permutation: every prefix of the relation carries approximately the same
+    fraction of predicate-passing seeds as the whole — the property mid-query
+    selectivity observation needs to see the true selectivity early.
+    """
+    if row_count <= 2:
+        return 1
+    stride = max(1, int(round(row_count * 0.618)))
+    while math.gcd(stride, row_count) != 1:
+        stride += 1
+    return stride
+
+
 def make_udf_relation(
     name: str,
     row_count: int,
     argument_size: int,
     non_argument_size: int,
     distinct_fraction: float = 1.0,
+    interleaved: bool = False,
 ) -> Table:
     """The two-column relation of the Figure 7 query.
 
@@ -56,14 +74,22 @@ def make_udf_relation(
     ``NonArgument`` holds the remaining payload (size ``(1 - A) * I``).  The
     non-argument column always has a distinct seed so that argument
     duplicates are *not* tuple duplicates, matching the paper's distinction.
+
+    With ``interleaved=True`` the argument seeds are laid out in a
+    low-discrepancy (stride) order instead of ascending, so predicate-passing
+    rows are spread uniformly through the relation rather than clustered at
+    the front.  The overall seed *multiset* — and therefore every selectivity
+    and duplicate property — is unchanged; only the row order differs.
     """
     schema = Schema([Column("Argument", DATA_OBJECT), Column("NonArgument", DATA_OBJECT)])
     table = Table(name, schema)
     distinct = max(1, int(round(row_count * distinct_fraction)))
+    stride = interleaving_stride(row_count) if interleaved else 1
     for index in range(row_count):
+        position = (index * stride) % row_count if interleaved else index
         table.insert(
             [
-                DataObject(argument_size, seed=index % distinct),
+                DataObject(argument_size, seed=position % distinct),
                 DataObject(non_argument_size, seed=index),
             ]
         )
@@ -168,6 +194,13 @@ class SyntheticWorkload:
     ``selectivity_threshold_seed`` is the seed value below which rows pass the
     pushable predicate; with seeds 0..row_count-1 and distinct_fraction 1 the
     selectivity is exact.
+
+    ``selectivity`` is the *actual* selectivity the data realises.
+    ``declared_selectivity``, when set, is what the UDF *declares* to the
+    planner instead — the misestimation scenarios set the two apart so a
+    plan committed from the declaration is provably wrong at runtime.
+    ``interleaved`` spreads passing rows uniformly through the relation (same
+    multiset, different order) so any prefix reveals the true selectivity.
     """
 
     row_count: int = 100
@@ -179,6 +212,8 @@ class SyntheticWorkload:
     udf_cost_seconds: float = 0.001
     relation_name: str = "Relation"
     udf_name: str = "Analyze"
+    declared_selectivity: Optional[float] = None
+    interleaved: bool = False
 
     def __post_init__(self) -> None:
         self.argument_size = int(round(self.input_record_bytes * self.argument_fraction))
@@ -191,6 +226,7 @@ class SyntheticWorkload:
             argument_size=self.argument_size,
             non_argument_size=self.non_argument_size,
             distinct_fraction=self.distinct_fraction,
+            interleaved=self.interleaved,
         )
 
     def build_registry(self) -> UdfRegistry:
@@ -200,7 +236,11 @@ class SyntheticWorkload:
             name=self.udf_name,
             result_size=self.result_bytes,
             cost_per_call_seconds=self.udf_cost_seconds,
-            selectivity=self.selectivity,
+            selectivity=(
+                self.declared_selectivity
+                if self.declared_selectivity is not None
+                else self.selectivity
+            ),
         )
         return registry
 

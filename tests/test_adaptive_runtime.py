@@ -3,6 +3,7 @@
 import pytest
 
 from repro.adaptive import (
+    BatchControllerBank,
     BatchSizeController,
     RuntimeObserver,
     StatisticsStore,
@@ -121,6 +122,78 @@ class TestBatchSizeController:
         assert trace[0] == 4
         assert trace[1] > trace[0]  # the first move climbs on this feed
         assert max(trace) >= 64
+
+    def test_collapse_counter_counts_resets(self):
+        controller = BatchSizeController(initial_batch_size=8)
+        now = feed_windows(controller, lambda size: 100.0 * size / (size + 4), windows=30)
+        assert controller.collapse_count == 0
+        for _ in range(20):
+            size = controller.current()
+            now += size / (0.5 / size)  # every batch suddenly takes ~2 s/row
+            controller.observe_rows(size, now)
+        assert controller.collapse_count >= 1
+
+
+# ---------------------------------------------------------------------------
+# Per-UDF controller bank
+# ---------------------------------------------------------------------------
+
+
+class TestBatchControllerBank:
+    def test_lazy_creation_and_case_insensitive_keys(self):
+        created = []
+
+        def factory(name):
+            created.append(name)
+            return BatchSizeController(initial_batch_size=4)
+
+        bank = BatchControllerBank(factory)
+        first = bank.controller_for("Analyze")
+        assert bank.controller_for("ANALYZE") is first
+        assert created == ["analyze"]
+        assert bank.controller_for("Other") is not first
+
+    def test_one_udfs_drift_does_not_reset_anothers_ladder(self):
+        """The satellite property: per-UDF ladders are independent."""
+        bank = BatchControllerBank()
+        a = bank.controller_for("A")
+        b = bank.controller_for("B")
+        feed_windows(a, lambda size: 100.0 * size / (size + 4), windows=40)
+        feed_windows(b, lambda size: 100.0 * size / (size + 4), windows=40)
+        b_converged = b.converged_batch_size
+        b_estimate = b.throughput_estimate(b_converged)
+        assert b_estimate is not None
+
+        # A's link collapses violently; B sees nothing.
+        now = 10_000.0
+        for _ in range(20):
+            size = a.current()
+            now += size / (0.5 / size)
+            a.observe_rows(size, now)
+        assert a.collapse_count >= 1
+        # B's ladder, estimates, and convergence are untouched.
+        assert b.collapse_count == 0
+        assert b.converged_batch_size == b_converged
+        assert b.throughput_estimate(b_converged) == b_estimate
+
+    def test_aggregate_protocol_matches_dominant_controller(self):
+        bank = BatchControllerBank()
+        big = bank.controller_for("big")
+        small = bank.controller_for("small")
+        feed_windows(big, lambda size: 100.0 * size / (size + 4), windows=40)
+        feed_windows(small, lambda size: 100.0 / size, windows=10, rows_per_batch=2)
+        assert bank.batches_observed == big.batches_observed + small.batches_observed
+        assert bank.converged_batch_size == big.converged_batch_size
+        sizes = bank.converged_sizes()
+        assert set(sizes) == {"big", "small"}
+        assert bank.size_trace()[: len(big.size_trace())] == big.size_trace()
+
+    def test_empty_bank_aggregates_are_sane(self):
+        bank = BatchControllerBank()
+        assert bank.batches_observed == 0
+        assert bank.converged_sizes() == {}
+        assert bank.size_trace() == ()
+        assert bank.converged_batch_size >= 1
 
 
 # ---------------------------------------------------------------------------
@@ -427,3 +500,294 @@ class TestObservationAndStore:
         # optimize=True runs stay reproducible regardless of prior queries.
         uncalibrated = db.explain(query, optimize=True)
         assert f"batch size {preferred}" not in uncalibrated
+
+
+# ---------------------------------------------------------------------------
+# Drift paths: collapse-reset on drifting links, per-UDF independence
+# ---------------------------------------------------------------------------
+
+
+class TestDriftPaths:
+    def test_collapse_reset_fires_under_with_drift_schedule(self):
+        """A NetworkConfig.with_drift fade collapses throughput mid-query and
+        the controller discards its (now stale) ladder estimates."""
+        drift = fading_uplink_scenario(drift_at_seconds=1.0, fade_factor=0.02)
+        # Capped ladder so the controller has settled (and remembers
+        # estimates) by the time the fade hits.
+        bank = BatchControllerBank(lambda name: BatchSizeController(max_batch_size=64))
+        workload = SyntheticWorkload(
+            row_count=800, input_record_bytes=16, result_bytes=8, udf_cost_seconds=0.0001
+        )
+        point = run_workload_point(
+            workload, drift, StrategyConfig.semi_join().with_batch_controller(bank)
+        )
+        controller = bank.controller_for(workload.udf_name)
+        assert controller.batches_observed > 0
+        assert controller.collapse_count >= 1
+        # The same run on the stable base network never collapses.
+        stable = NetworkConfig.paper_asymmetric(asymmetry=100.0)
+        stable_bank = BatchControllerBank(
+            lambda name: BatchSizeController(max_batch_size=64)
+        )
+        run_workload_point(
+            SyntheticWorkload(
+                row_count=800, input_record_bytes=16, result_bytes=8, udf_cost_seconds=0.0001
+            ),
+            stable,
+            StrategyConfig.semi_join().with_batch_controller(stable_bank),
+        )
+        assert stable_bank.controller_for(workload.udf_name).collapse_count == 0
+        assert point.rows == 400
+
+    def test_per_udf_controllers_through_database(self):
+        """adaptive=True gives each UDF its own ladder and warm start."""
+        db = Database(network=NetworkConfig.paper_asymmetric(asymmetry=100.0))
+        db.create_table(
+            "T", [("K", INTEGER), ("V", FLOAT)], rows=[[i, float(i)] for i in range(100)]
+        )
+        db.register_client_udf("Score", lambda v: v * 2.0, selectivity=0.9)
+        db.register_client_udf("Rank", lambda k: k * 1.0, selectivity=0.9)
+        sql = "SELECT T.K FROM T WHERE Score(T.V) > 0 AND Rank(T.K) > 0"
+        first = db.execute(sql, config=StrategyConfig.semi_join(), adaptive=True)
+        sizes = first.observation.udf_batch_sizes
+        assert set(sizes) == {"score", "rank"}
+        for name in ("score", "rank"):
+            assert db.statistics.preferred_batch_size_for(name) == sizes[name]
+        # The next adaptive query warm-starts each UDF at its own size.
+        bank = db.new_controller_bank()
+        for name in ("score", "rank"):
+            assert bank.controller_for(name).current() == sizes[name]
+        # A UDF never seen still warm-starts from the plan-wide estimate.
+        plan_wide = db.statistics.preferred_batch_size()
+        assert bank.controller_for("unseen").current() == plan_wide
+
+
+# ---------------------------------------------------------------------------
+# Observation and store reporting surfaces
+# ---------------------------------------------------------------------------
+
+
+class TestReportingSurfaces:
+    def make_observation(self):
+        from repro.adaptive.observer import (
+            LinkObservation,
+            PredicateObservation,
+            QueryObservation,
+            UdfObservation,
+        )
+
+        link = LinkObservation(
+            name="down",
+            total_bytes=4000,
+            payload_bytes=3200,
+            message_count=4,
+            data_message_count=2,
+            rows_transferred=20,
+            busy_seconds=2.0,
+            queueing_seconds=0.4,
+        )
+        udf = UdfObservation(
+            name="F",
+            invocations=10,
+            compute_seconds=0.02,
+            input_rows=20,
+            output_rows=5,
+            distinct_arguments=10,
+            filtered=True,
+            predicate="F_result > 3",
+        )
+        return QueryObservation(
+            elapsed_seconds=1.5,
+            downlink=link,
+            udfs={"F": udf},
+            predicates=(PredicateObservation("T.V < 3", input_rows=10, output_rows=3),),
+            converged_batch_size=16,
+            udf_batch_sizes={"f": 16},
+        )
+
+    def test_link_observation_derived_quantities(self):
+        observation = self.make_observation()
+        link = observation.downlink
+        assert link.effective_bandwidth == pytest.approx(2000.0)
+        assert link.rows_per_message == pytest.approx(10.0)
+        assert link.mean_queueing_seconds == pytest.approx(0.1)
+        from repro.adaptive.observer import LinkObservation
+
+        idle = LinkObservation("idle", 0, 0, 0, 0, 0, 0.0, 0.0)
+        assert idle.effective_bandwidth is None
+        assert idle.rows_per_message == 0.0
+        assert idle.mean_queueing_seconds == 0.0
+
+    def test_udf_observation_derived_quantities(self):
+        udf = self.make_observation().udfs["F"]
+        assert udf.measured_cost_per_call == pytest.approx(0.002)
+        assert udf.observed_selectivity == pytest.approx(0.25)
+        assert udf.observed_distinct_fraction == pytest.approx(0.5)
+        from repro.adaptive.observer import UdfObservation
+
+        empty = UdfObservation("G", 0, 0.0, 0, 0, 0)
+        assert empty.measured_cost_per_call is None
+        assert empty.observed_selectivity is None  # not filtered
+        assert empty.observed_distinct_fraction is None
+
+    def test_predicate_observation_selectivity(self):
+        from repro.adaptive.observer import PredicateObservation
+
+        assert PredicateObservation("p", 10, 3).observed_selectivity == pytest.approx(0.3)
+        assert PredicateObservation("p", 0, 0).observed_selectivity is None
+
+    def test_query_observation_summary_mentions_everything(self):
+        text = self.make_observation().summary()
+        assert "elapsed 1.500s" in text
+        assert "down ~2000 B/s" in text
+        assert "udf F" in text
+        assert "selectivity 0.25" in text
+        assert "batch size -> 16" in text
+
+    def test_store_summary_and_repr(self):
+        store = StatisticsStore(smoothing=1.0)
+        store.record(self.make_observation())
+        text = store.summary()
+        assert "statistics over 1 queries" in text
+        assert "udf f" in text
+        assert "[F_result > 3] 0.25" in text
+        assert "preferred batch size 16" in text
+        assert "queries=1" in repr(store)
+        assert store.preferred_batch_size_for("f") == 16
+        assert store.predicate_selectivity("T.V < 3", 1.0) == pytest.approx(0.3)
+
+    def test_store_validation_and_calibration_defaults(self):
+        with pytest.raises(ValueError):
+            StatisticsStore(smoothing=0.0)
+        store = StatisticsStore()
+        base = NetworkConfig.symmetric(1000.0, name="base")
+        assert store.calibrated_network(base) is base  # nothing observed yet
+        from repro.core.optimizer.cost import CostSettings
+
+        settings = CostSettings()
+        assert store.calibrated_cost_settings(settings) is settings
+        store.record(self.make_observation())
+        calibrated = store.calibrated_cost_settings(settings)
+        assert calibrated.batch_size == 16.0
+        # An explicitly pinned batch size is never overridden.
+        pinned = settings.with_batch_size(4.0)
+        assert store.calibrated_cost_settings(pinned) is pinned
+
+
+# ---------------------------------------------------------------------------
+# Regression: observed selectivities keyed by (UDF, predicate)
+# ---------------------------------------------------------------------------
+
+
+class TestPredicateKeyedSelectivity:
+    def make_db(self):
+        db = Database(network=NetworkConfig.paper_asymmetric(asymmetry=100.0))
+        db.create_table(
+            "T", [("K", INTEGER), ("V", FLOAT)], rows=[[i, float(i)] for i in range(100)]
+        )
+        db.register_client_udf("Score", lambda v: v * 2.0, selectivity=0.5)
+        return db
+
+    def test_different_predicates_do_not_blend(self):
+        db = self.make_db()
+        # Score(V) >= 100 passes half the rows; Score(V) >= 160 passes 20%.
+        db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) >= 100",
+            config=StrategyConfig.client_site_join(),
+        )
+        db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) >= 160",
+            config=StrategyConfig.client_site_join(),
+        )
+        selectivities = db.statistics.udf_selectivities("score")
+        assert selectivities["Score_result >= 100"] == pytest.approx(0.5, abs=0.02)
+        assert selectivities["Score_result >= 160"] == pytest.approx(0.2, abs=0.02)
+        # Exact per-predicate lookups, unblended even after both ran.
+        assert db.statistics.udf_selectivity(
+            "Score", -1.0, predicate="Score_result >= 100"
+        ) == pytest.approx(0.5, abs=0.02)
+        assert db.statistics.udf_selectivity(
+            "Score", -1.0, predicate="Score_result >= 160"
+        ) == pytest.approx(0.2, abs=0.02)
+        # An unobserved predicate over the same UDF keeps the declared default.
+        assert db.statistics.udf_selectivity(
+            "Score", 0.42, predicate="Score_result >= 10"
+        ) == 0.42
+        # With several predicates on record, a predicate-less lookup refuses
+        # to guess (it would blend unrelated filters) and returns the default.
+        assert db.statistics.udf_selectivity("Score", 0.42) == 0.42
+
+    def test_single_predicate_legacy_lookup_still_works(self):
+        db = self.make_db()
+        db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) >= 100",
+            config=StrategyConfig.client_site_join(),
+        )
+        assert db.statistics.udf_selectivity("Score", -1.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_calibrated_estimator_uses_the_matching_predicate(self):
+        from repro.core.optimizer import CostEstimator, operations_for_query
+
+        db = self.make_db()
+        db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) >= 100",
+            config=StrategyConfig.client_site_join(),
+        )
+        db.execute(
+            "SELECT T.K FROM T WHERE Score(T.V) >= 160",
+            config=StrategyConfig.client_site_join(),
+        )
+
+        def calibrated_cardinality(sql):
+            bound = db.bind(sql)
+            tables, udfs = operations_for_query(bound)
+            estimator = CostEstimator(db.network, bound, statistics=db.statistics)
+            scan = estimator.scan(tables[0])
+            plan = estimator.udf_variants(scan, udfs[0])[0]
+            return plan.cardinality / scan.cardinality
+
+        # Each query's estimate reflects *its own* predicate's observation.
+        assert calibrated_cardinality(
+            "SELECT T.K FROM T WHERE Score(T.V) >= 100"
+        ) == pytest.approx(0.5, abs=0.02)
+        assert calibrated_cardinality(
+            "SELECT T.K FROM T WHERE Score(T.V) >= 160"
+        ) == pytest.approx(0.2, abs=0.02)
+
+    def test_operations_for_query_records_predicate_text(self):
+        from repro.core.optimizer import operations_for_query
+
+        db = self.make_db()
+        bound = db.bind("SELECT T.K FROM T WHERE Score(T.V) >= 100")
+        _, udfs = operations_for_query(bound)
+        assert udfs[0].has_predicate
+        assert udfs[0].predicate_text == "Score_result >= 100"
+        # A predicate-free use records none.
+        bound = db.bind("SELECT Score(T.V) FROM T")
+        _, udfs = operations_for_query(bound)
+        assert not udfs[0].has_predicate
+        assert udfs[0].predicate_text is None
+
+    def test_multi_udf_predicate_key_matches_under_default_order(self):
+        """A predicate spanning two UDFs: the estimator's credited key equals
+        the key the observer records under the default (declaration-order)
+        UDF application, so the calibrated lookup hits."""
+        from repro.core.optimizer import operations_for_query
+
+        db = self.make_db()
+        db.register_client_udf("Rank", lambda k: k * 1.0, selectivity=0.5)
+        # Rows are K = V = 0..99: 2V + K >= 150 passes for K >= 50, K < 60
+        # cuts that to 10 of 100 rows.
+        sql = "SELECT T.K FROM T WHERE Score(T.V) + Rank(T.K) >= 150 AND Rank(T.K) < 60"
+        db.execute(sql, config=StrategyConfig.client_site_join())
+        _, udfs = operations_for_query(db.bind(sql))
+        credited = {u.call.udf.name.lower(): u.predicate_text for u in udfs}
+        # Both predicates are credited to the declaration-order-last UDF ...
+        assert credited["score"] is None
+        assert credited["rank"] is not None
+        # ... under exactly the conjoined key the observer recorded, so the
+        # calibrated estimator finds the observed selectivity.
+        observed = db.statistics.udf_selectivity(
+            "rank", -1.0, predicate=credited["rank"]
+        )
+        assert observed == pytest.approx(0.1, abs=0.02)

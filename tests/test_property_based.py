@@ -4,8 +4,9 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
+from repro.adaptive import BatchSizeController, SwitchPolicy
 from repro.core.costmodel import CostModel, CostParameters
-from repro.core.strategies import StrategyConfig
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
 from repro.network.resources import Store
 from repro.network.simulator import Simulator
 from repro.network.topology import NetworkConfig
@@ -15,7 +16,7 @@ from repro.relational.schema import Schema
 from repro.relational.table import Table
 from repro.relational.types import DataObject, INTEGER
 from repro.workloads.experiments import run_workload_point
-from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.synthetic import SyntheticWorkload, interleaving_stride
 
 FAST = NetworkConfig.symmetric(2_000_000.0, latency=0.0005, name="prop-fast")
 
@@ -194,3 +195,90 @@ def test_strategies_agree_on_random_workloads(
 def test_data_object_equality_consistent_with_hash(size, seed):
     assert DataObject(size, seed) == DataObject(size, seed)
     assert hash(DataObject(size, seed)) == hash(DataObject(size, seed))
+
+
+# ---------------------------------------------------------------------------
+# Strategy equivalence: every execution mode vs. single-site execution
+# ---------------------------------------------------------------------------
+
+
+def single_site_reference(workload: SyntheticWorkload):
+    """The query's answer computed locally, with no network or strategies.
+
+    Replays the workload's data-generation and predicate semantics in plain
+    Python: row ``i`` carries argument seed ``p(i) % distinct`` (``p`` the
+    identity, or the interleaving stride permutation), the UDF maps a seed-S
+    argument to a seed-S result of ``result_bytes`` bytes, and the predicate
+    keeps rows whose result seed falls below the selectivity threshold.  The
+    output is the ``(NonArgument, result)`` multiset every distributed
+    execution must reproduce byte-for-byte.
+    """
+    distinct = max(1, int(round(workload.row_count * workload.distinct_fraction)))
+    stride = interleaving_stride(workload.row_count) if workload.interleaved else 1
+    threshold = workload.selectivity_threshold_seed
+    rows = []
+    for index in range(workload.row_count):
+        position = (index * stride) % workload.row_count if workload.interleaved else index
+        seed = position % distinct
+        if seed < threshold:
+            rows.append(
+                (
+                    DataObject(workload.non_argument_size, seed=index),
+                    DataObject(workload.result_bytes, seed=seed),
+                )
+            )
+    return sorted(rows, key=repr)
+
+
+@given(
+    row_count=st.integers(min_value=1, max_value=30),
+    selectivity=st.sampled_from([0.0, 0.2, 0.5, 1.0]),
+    distinct_fraction=st.sampled_from([1.0, 0.5]),
+    batch_size=st.sampled_from([1, 3, 16]),
+    strategy=st.sampled_from(list(ExecutionStrategy)),
+    adaptive=st.booleans(),
+    switching=st.booleans(),
+    interleaved=st.booleans(),
+    declared_selectivity=st.sampled_from([None, 0.05, 0.95]),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_execution_mode_matches_single_site(
+    row_count,
+    selectivity,
+    distinct_fraction,
+    batch_size,
+    strategy,
+    adaptive,
+    switching,
+    interleaved,
+    declared_selectivity,
+):
+    """Strategy x batch size x adaptive batching x mid-query switching —
+    every combination returns the exact single-site result multiset.
+
+    The declared selectivity is deliberately allowed to lie (it only feeds
+    the switcher's priors), and the tiny segment policy forces multiple
+    segments — and realistic switches — even on small inputs.
+    """
+    workload = SyntheticWorkload(
+        row_count=row_count,
+        input_record_bytes=120,
+        argument_fraction=0.5,
+        result_bytes=24,
+        selectivity=selectivity,
+        distinct_fraction=distinct_fraction,
+        udf_cost_seconds=0.0001,
+        interleaved=interleaved,
+        declared_selectivity=declared_selectivity,
+    )
+    config = StrategyConfig(strategy=strategy, batch_size=batch_size)
+    if adaptive:
+        config = config.with_batch_controller(BatchSizeController())
+    if switching:
+        config = config.with_switch_policy(
+            SwitchPolicy(
+                initial_segment_rows=4, min_rows_before_switch=4, max_segment_rows=16
+            )
+        )
+    point = run_workload_point(workload, FAST, config)
+    assert list(point.result_rows) == single_site_reference(workload)
