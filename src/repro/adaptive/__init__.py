@@ -20,11 +20,17 @@ closes the loop:
 * :mod:`repro.adaptive.switcher` — :class:`StrategySwitcher` re-costs the
   *remaining* rows under every strategy at segment boundaries from observed
   selectivity and bandwidth and — with hysteresis — hands the unprocessed
-  tail of the input to a different strategy executor mid-query.
+  tail of the input to a different strategy executor mid-query;
+* :mod:`repro.adaptive.reoptimizer` — :class:`ReOptimizer` re-enters the
+  System-R enumerator over the *remaining* input at segment boundaries with
+  everything the run observed, and — under hysteresis plus a re-plan budget
+  — migrates execution to a structurally different plan (UDF application
+  order and per-UDF strategies), not just a different shipping strategy.
 
 ``Database.execute(..., adaptive=True)`` wires the observe → calibrate →
 adapt loop together; ``switch_strategies=True`` additionally arms mid-query
-strategy switching.
+strategy switching, and ``reoptimize=True`` arms full mid-query
+re-optimization with plan-shape migration.
 """
 
 from repro.adaptive.controller import (
@@ -39,7 +45,16 @@ from repro.adaptive.observer import (
     RuntimeObserver,
     UdfObservation,
 )
-from repro.adaptive.store import StatisticsStore
+from repro.adaptive.reoptimizer import (
+    MigrationObservation,
+    PlanShape,
+    PredicateSpec,
+    ReOptimizationPolicy,
+    ReOptimizer,
+    ReplanDecision,
+    RuntimeStatisticsView,
+)
+from repro.adaptive.store import StatisticsStore, canonical_predicate_key
 from repro.adaptive.switcher import (
     SegmentObservation,
     StrategySwitcher,
@@ -52,13 +67,21 @@ __all__ = [
     "BatchDecision",
     "BatchSizeController",
     "LinkObservation",
+    "MigrationObservation",
+    "PlanShape",
     "PredicateObservation",
+    "PredicateSpec",
     "QueryObservation",
+    "ReOptimizationPolicy",
+    "ReOptimizer",
+    "ReplanDecision",
     "RuntimeObserver",
+    "RuntimeStatisticsView",
     "UdfObservation",
     "SegmentObservation",
     "StatisticsStore",
     "StrategySwitcher",
     "SwitchDecision",
     "SwitchPolicy",
+    "canonical_predicate_key",
 ]

@@ -1,0 +1,708 @@
+"""Mid-query re-optimization: re-entering the System-R enumerator mid-run.
+
+Mid-query *strategy switching* (PR 3) can hand a UDF's unprocessed tail to a
+different shipping strategy, but it stays locked into the committed plan
+*shape*: the order in which UDFs are applied, and which predicates run where.
+When the declared selectivities are wrong, the shape itself is often the
+expensive mistake — an unselective-but-cheap UDF applied last should have run
+first, shrinking everything downstream.
+
+The :class:`ReOptimizer` closes that gap.  At the segment boundaries of a
+:class:`~repro.core.execution.adaptive.PlanMigrationOperator` it receives a
+:class:`MigrationObservation` — observed per-predicate selectivities (keyed
+by *canonical predicate identity*, so a reordered plan's observations still
+match), measured per-UDF cost, effective link bandwidths, and the exact byte
+shape of the unprocessed tail.  It snapshots those into a calibrated
+statistics view (:class:`RuntimeStatisticsView`, falling back to the
+database's :class:`~repro.adaptive.store.StatisticsStore` priors and then the
+declarations), re-enters the
+:class:`~repro.core.optimizer.enumerator.SystemREnumerator` over the
+*remaining* input via
+:meth:`~repro.core.optimizer.enumerator.SystemREnumerator.best_plan_from`
+(the executed join tree is the partial-progress seed), and prices the
+resulting candidate shapes — alongside every small-k permutation — with
+:func:`~repro.core.optimizer.cost.remaining_plan_cost`, the plan-shape
+analogue of the per-strategy re-costing surface.
+
+Migration is guarded by the same hysteresis family strategy switching uses —
+evidence floor (waived when every predicate has a measured store prior),
+relative margin, cooldown — plus a *re-plan budget* (``max_replans``), so a
+noisy boundary cannot thrash the executor through plan shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from itertools import permutations, product
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.adaptive.store import StatisticsStore, canonical_predicate_key
+from repro.core.optimizer.cost import (
+    CostEstimator,
+    CostSettings,
+    RemainingStage,
+    remaining_plan_cost,
+)
+from repro.core.strategies import ExecutionStrategy
+from repro.network.topology import NetworkConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sql.logical import BoundQuery
+
+
+@dataclass(frozen=True)
+class ReOptimizationPolicy:
+    """Declarative knobs of mid-query re-optimization.
+
+    The segmentation fields mirror :class:`~repro.adaptive.switcher.SwitchPolicy`
+    (the migration operator runs the input in the same geometrically growing
+    segments); the hysteresis fields guard *plan-shape* migration, whose
+    ``max_replans`` budget is deliberately tighter than the strategy-switch
+    budget — a shape migration rebuilds the whole remaining pipeline.
+    """
+
+    initial_segment_rows: int = 24
+    segment_growth: float = 2.0
+    max_segment_rows: int = 512
+    min_rows_before_replan: int = 16
+    hysteresis: float = 0.25
+    cooldown_segments: int = 1
+    #: The re-plan budget: at most this many plan-shape migrations per query.
+    max_replans: int = 2
+    #: After this many *consecutive* fully-priced boundaries that confirmed
+    #: the incumbent shape, the controller settles: further boundaries would
+    #: be pure overhead (extra messages, pipeline fills), so the executor
+    #: drains the remaining input in one segment.  0 disables settling.
+    confirmation_boundaries: int = 2
+    candidate_strategies: Tuple[ExecutionStrategy, ...] = (
+        ExecutionStrategy.SEMI_JOIN,
+        ExecutionStrategy.CLIENT_SITE_JOIN,
+    )
+
+    def __post_init__(self) -> None:
+        if self.initial_segment_rows < 1:
+            raise ValueError("initial_segment_rows must be at least 1")
+        if self.segment_growth < 1.0:
+            raise ValueError("segment_growth must be at least 1")
+        if self.max_segment_rows < self.initial_segment_rows:
+            raise ValueError("max_segment_rows must be >= initial_segment_rows")
+        if self.min_rows_before_replan < 0:
+            raise ValueError("min_rows_before_replan must be non-negative")
+        if self.hysteresis < 0.0:
+            raise ValueError("hysteresis must be non-negative")
+        if self.cooldown_segments < 0:
+            raise ValueError("cooldown_segments must be non-negative")
+        if self.max_replans < 0:
+            raise ValueError("max_replans must be non-negative")
+        if self.confirmation_boundaries < 0:
+            raise ValueError("confirmation_boundaries must be non-negative")
+        if not self.candidate_strategies:
+            raise ValueError("candidate_strategies must not be empty")
+
+    def next_segment_rows(self, segment_index: int) -> int:
+        """Rows the ``segment_index``-th segment (0-based) should process."""
+        if self.segment_growth == 1.0:
+            return max(1, self.initial_segment_rows)
+        limit = math.log(
+            max(1.0, self.max_segment_rows / self.initial_segment_rows),
+            self.segment_growth,
+        )
+        exponent = min(float(segment_index), limit + 1.0)
+        rows = self.initial_segment_rows * self.segment_growth ** exponent
+        return max(1, min(self.max_segment_rows, int(rows)))
+
+
+@dataclass(frozen=True)
+class PlanShape:
+    """The migratable part of a committed plan: UDF order and strategies."""
+
+    udf_order: Tuple[str, ...]
+    udf_strategies: Tuple[Tuple[str, ExecutionStrategy], ...]
+
+    @classmethod
+    def of(
+        cls, order: Sequence[str], strategies: Mapping[str, ExecutionStrategy]
+    ) -> "PlanShape":
+        lowered = {name.lower(): strategy for name, strategy in strategies.items()}
+        order = tuple(name.lower() for name in order)
+        return cls(
+            udf_order=order,
+            udf_strategies=tuple((name, lowered[name]) for name in order),
+        )
+
+    def strategy_of(self, name: str) -> ExecutionStrategy:
+        key = name.lower()
+        for candidate, strategy in self.udf_strategies:
+            if candidate == key:
+                return strategy
+        raise KeyError(name)
+
+    def describe(self) -> str:
+        return " -> ".join(
+            f"{name}[{strategy.value}]" for name, strategy in self.udf_strategies
+        )
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """One UDF-referencing predicate, identified independently of plan shape."""
+
+    #: Canonical identity key (:func:`~repro.adaptive.store.canonical_predicate_key`).
+    key: str
+    #: Lower-cased names of the UDFs whose results the predicate references.
+    udf_names: FrozenSet[str]
+    declared_selectivity: float = 1.0
+
+
+def assign_predicates_to_stages(
+    order: Sequence[str], predicates: Sequence[object]
+) -> List[List[int]]:
+    """Indexes of ``predicates`` assigned per stage of ``order``.
+
+    Each predicate (anything with a lower-cased ``udf_names`` set) goes to
+    the *earliest* stage at which every UDF it references has been applied.
+    The migration executor (building pipelines), the cost model (pricing
+    shapes), and the observer attribution all share this one rule — result
+    equivalence across migration paths depends on them agreeing.
+    """
+    applied: set = set()
+    assigned: set = set()
+    result: List[List[int]] = []
+    for name in order:
+        applied.add(name)
+        stage: List[int] = []
+        for index, predicate in enumerate(predicates):
+            if index in assigned or not predicate.udf_names <= applied:
+                continue
+            assigned.add(index)
+            stage.append(index)
+        result.append(stage)
+    return result
+
+
+@dataclass(frozen=True)
+class MigrationObservation:
+    """What the migration operator observed, handed over at a segment boundary.
+
+    ``predicate_counts`` maps canonical predicate keys to cumulative
+    ``(rows_surviving, rows_processed)`` pairs; the per-UDF mappings are
+    keyed by lower-cased UDF name and describe the *remaining* tail
+    (per-row argument bytes, suffix distinct fraction) and the measured
+    per-call cost so far.
+    """
+
+    rows_processed: int
+    remaining_rows: int
+    remaining_record_bytes: float
+    predicate_counts: Mapping[str, Tuple[int, int]]
+    stage_argument_bytes: Mapping[str, float]
+    stage_result_bytes: Mapping[str, float]
+    stage_distinct_fraction: Mapping[str, float]
+    stage_seconds_per_call: Mapping[str, float]
+    downlink_bandwidth: float
+    uplink_bandwidth: float
+    latency: float = 0.0
+    batch_size: float = 1.0
+
+
+@dataclass(frozen=True)
+class ReplanDecision:
+    """One segment-boundary verdict of the re-optimizer."""
+
+    shape: PlanShape
+    next_shape: PlanShape
+    remaining_rows: int
+    costs: Dict[PlanShape, float]
+    reason: str
+    observed_selectivities: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def migrated(self) -> bool:
+        return self.next_shape != self.shape
+
+
+class ReOptimizer:
+    """Per-query controller deciding whether the remaining plan shape changes.
+
+    Constructed by :meth:`~repro.server.engine.Database.execute` (or tests)
+    with the planning inputs — the bound query, the configured network, the
+    cost settings, and the database's statistics store — and *bound* by the
+    :class:`~repro.core.execution.adaptive.PlanMigrationOperator` to the
+    concrete stages once the plan is built.  ``query=None`` disables the
+    enumerator re-entry (operator-level harnesses without SQL); candidate
+    shapes then come from the bounded permutation search alone.
+    """
+
+    #: Permutation search is exhaustive only up to this many stages; beyond
+    #: it, candidates come from the enumerator re-entry (and strategy
+    #: reassignments of the incumbent order).
+    MAX_PERMUTATION_STAGES = 3
+
+    def __init__(
+        self,
+        policy: Optional[ReOptimizationPolicy] = None,
+        query: Optional["BoundQuery"] = None,
+        network: Optional[NetworkConfig] = None,
+        settings: Optional[CostSettings] = None,
+        statistics: Optional[StatisticsStore] = None,
+        table_order: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.policy = policy if policy is not None else ReOptimizationPolicy()
+        self.query = query
+        self.network = network
+        self.settings = settings if settings is not None else CostSettings()
+        self.statistics = statistics
+        self.table_order = tuple(table_order) if table_order else None
+
+        self._shape: Optional[PlanShape] = None
+        self._stages: Tuple[str, ...] = ()
+        self._predicates: Tuple[PredicateSpec, ...] = ()
+        self._declared: Dict[str, float] = {}
+        self._cooldown = 0
+        #: Counters surfaced on :class:`~repro.server.metrics.ExecutionMetrics`.
+        self.replan_count = 0
+        self.attempt_count = 0
+        self.enumerations = 0
+        self.decisions: List[ReplanDecision] = []
+
+    # -- binding (called by the migration operator) -------------------------------------
+
+    def bind(
+        self,
+        initial_shape: PlanShape,
+        predicates: Sequence[PredicateSpec],
+    ) -> None:
+        """Anchor the controller to the built plan's stages and predicates.
+
+        Binding starts a fresh query: all per-query runtime state (decisions,
+        counters, cooldown) is reset, so a controller attached to a reusable
+        :class:`~repro.core.strategies.StrategyConfig` does not carry a spent
+        budget or a settled verdict into the next query.
+        """
+        self._shape = initial_shape
+        self._stages = initial_shape.udf_order
+        self._predicates = tuple(predicates)
+        self._declared = {
+            predicate.key: predicate.declared_selectivity
+            for predicate in predicates
+            if predicate.key
+        }
+        self._cooldown = 0
+        self.replan_count = 0
+        self.attempt_count = 0
+        self.enumerations = 0
+        self.decisions = []
+
+    @property
+    def current_shape(self) -> PlanShape:
+        if self._shape is None:
+            raise RuntimeError("ReOptimizer.bind() must run before execution")
+        return self._shape
+
+    @property
+    def settled(self) -> bool:
+        """Whether further segment boundaries can no longer change the shape.
+
+        True once the re-plan budget is spent, or once
+        ``confirmation_boundaries`` consecutive fully-priced boundaries all
+        confirmed the incumbent — the executor then drains the remaining
+        input in one segment instead of paying boundary overhead for
+        decisions that cannot (or will not) migrate.
+        """
+        if self.replan_count >= self.policy.max_replans:
+            return True
+        window = self.policy.confirmation_boundaries
+        if window <= 0 or len(self.decisions) < window:
+            return False
+        recent = self.decisions[-window:]
+        # Only fully-priced keeps count as confirmation: an evidence-floor or
+        # cooldown keep never compared the candidate shapes at all.
+        return all((not decision.migrated) and decision.costs for decision in recent)
+
+    @property
+    def shapes_used(self) -> Tuple[PlanShape, ...]:
+        """The distinct shapes the query ran under, in first-use order."""
+        used: List[PlanShape] = []
+        for decision in self.decisions:
+            if decision.shape not in used:
+                used.append(decision.shape)
+            if decision.next_shape not in used:
+                used.append(decision.next_shape)
+        if not used and self._shape is not None:
+            used.append(self._shape)
+        return tuple(used)
+
+    # -- priors ---------------------------------------------------------------------------
+
+    def prior_selectivity(self, udf_name: str, predicate_key: str) -> Optional[float]:
+        """The store's measured prior for this predicate identity, if any."""
+        if self.statistics is None or not predicate_key:
+            return None
+        return self.statistics.selectivity_prior(udf_name, predicate_key)
+
+    def initial_selectivity(self, udf_name: str, predicate_key: str, declared: float) -> float:
+        """The estimate migration starts from: store prior, else declared."""
+        prior = self.prior_selectivity(udf_name, predicate_key)
+        return prior if prior is not None else declared
+
+    # -- the decision --------------------------------------------------------------------
+
+    def consider(self, observation: MigrationObservation) -> ReplanDecision:
+        """Fold one segment boundary in; may migrate :attr:`current_shape`."""
+        self.attempt_count += 1
+        shape = self.current_shape
+        selectivities = self._effective_selectivities(observation)
+
+        def keep(reason: str, costs: Optional[Dict[PlanShape, float]] = None) -> ReplanDecision:
+            decision = ReplanDecision(
+                shape=shape,
+                next_shape=shape,
+                remaining_rows=observation.remaining_rows,
+                costs=costs if costs is not None else {},
+                reason=reason,
+                observed_selectivities=selectivities,
+            )
+            self.decisions.append(decision)
+            if self._cooldown > 0:
+                self._cooldown -= 1
+            return decision
+
+        if observation.remaining_rows <= 0:
+            return keep("no rows remaining")
+        if self.replan_count >= self.policy.max_replans:
+            return keep("re-plan budget exhausted")
+        if self._cooldown > 0:
+            return keep(f"cooldown: {self._cooldown} segment boundary(ies) left")
+        if observation.rows_processed < self.policy.min_rows_before_replan and not (
+            self._predicates
+            and all(
+                self.prior_selectivity(next(iter(p.udf_names), ""), p.key) is not None
+                for p in self._predicates
+            )
+        ):
+            # A full set of measured store priors pre-earns the floor.
+            return keep(
+                f"evidence floor: {observation.rows_processed} < "
+                f"{self.policy.min_rows_before_replan} rows observed"
+            )
+
+        costs = self._price_shapes(observation, selectivities)
+        incumbent = costs.get(shape)
+        if incumbent is None or incumbent <= 0:
+            return keep("incumbent not re-costable", costs)
+        challenger = min(costs, key=lambda candidate: costs[candidate])
+        if challenger == shape:
+            return keep("incumbent shape still cheapest", costs)
+        margin = (incumbent - costs[challenger]) / incumbent
+        if margin <= self.policy.hysteresis:
+            return keep(
+                f"{challenger.describe()} only {margin:.0%} cheaper "
+                f"(hysteresis {self.policy.hysteresis:.0%})",
+                costs,
+            )
+
+        decision = ReplanDecision(
+            shape=shape,
+            next_shape=challenger,
+            remaining_rows=observation.remaining_rows,
+            costs=costs,
+            reason=(
+                f"{challenger.describe()} {margin:.0%} cheaper for the remaining "
+                f"{observation.remaining_rows} rows"
+            ),
+            observed_selectivities=selectivities,
+        )
+        self.decisions.append(decision)
+        self._shape = challenger
+        self.replan_count += 1
+        self._cooldown = self.policy.cooldown_segments
+        return decision
+
+    # -- effective statistics -------------------------------------------------------------
+
+    def _effective_selectivities(
+        self, observation: MigrationObservation
+    ) -> Dict[str, float]:
+        """Per-predicate-identity selectivity: observed, else prior, else declared."""
+        effective: Dict[str, float] = {}
+        for predicate in self._predicates:
+            if not predicate.key:
+                continue
+            survived, processed = observation.predicate_counts.get(predicate.key, (0, 0))
+            if processed >= max(1, self.policy.min_rows_before_replan):
+                effective[predicate.key] = survived / processed
+                continue
+            prior = self.prior_selectivity(
+                next(iter(predicate.udf_names), ""), predicate.key
+            )
+            effective[predicate.key] = (
+                prior if prior is not None else predicate.declared_selectivity
+            )
+        return effective
+
+    def _stage_sequence(
+        self,
+        shape: PlanShape,
+        observation: MigrationObservation,
+        selectivities: Mapping[str, float],
+    ) -> List[RemainingStage]:
+        """The :func:`remaining_plan_cost` stages of ``shape`` over the tail.
+
+        Predicates are assigned per :func:`assign_predicates_to_stages` —
+        the same rule the migration operator uses when it builds the segment
+        pipeline, so pricing and execution agree on where each filter runs.
+        """
+        assignment = assign_predicates_to_stages(shape.udf_order, self._predicates)
+        stages: List[RemainingStage] = []
+        for (name, strategy), indexes in zip(shape.udf_strategies, assignment):
+            selectivity = 1.0
+            for index in indexes:
+                predicate = self._predicates[index]
+                selectivity *= max(
+                    0.0,
+                    selectivities.get(predicate.key, predicate.declared_selectivity),
+                )
+            stages.append(
+                RemainingStage(
+                    strategy=strategy,
+                    selectivity=selectivity,
+                    distinct_fraction=observation.stage_distinct_fraction.get(name, 1.0),
+                    udf_seconds_per_call=observation.stage_seconds_per_call.get(name, 0.0),
+                    argument_bytes=observation.stage_argument_bytes.get(name, 8.0),
+                    result_bytes=observation.stage_result_bytes.get(name, 8.0),
+                )
+            )
+        return stages
+
+    # -- candidate shapes ----------------------------------------------------------------
+
+    def _candidate_shapes(
+        self,
+        observation: MigrationObservation,
+        selectivities: Mapping[str, float],
+    ) -> List[PlanShape]:
+        shape = self.current_shape
+        names = self._stages
+        candidates: List[PlanShape] = [shape]
+
+        if len(names) <= self.MAX_PERMUTATION_STAGES:
+            for order in permutations(names):
+                for assignment in product(
+                    self.policy.candidate_strategies, repeat=len(order)
+                ):
+                    candidates.append(
+                        PlanShape.of(order, dict(zip(order, assignment)))
+                    )
+        else:
+            # Too many stages to enumerate orders exhaustively here: keep the
+            # incumbent order but revisit every strategy assignment.
+            for assignment in product(
+                self.policy.candidate_strategies, repeat=len(names)
+            ):
+                candidates.append(PlanShape.of(names, dict(zip(names, assignment))))
+
+        enumerated = self._enumerated_shape(observation, selectivities)
+        if enumerated is not None:
+            candidates.append(enumerated)
+
+        unique: List[PlanShape] = []
+        for candidate in candidates:
+            if candidate not in unique:
+                unique.append(candidate)
+        return unique
+
+    def _price_shapes(
+        self,
+        observation: MigrationObservation,
+        selectivities: Mapping[str, float],
+    ) -> Dict[PlanShape, float]:
+        return {
+            candidate: remaining_plan_cost(
+                self._stage_sequence(candidate, observation, selectivities),
+                observation.remaining_rows,
+                record_bytes=observation.remaining_record_bytes,
+                downlink_bandwidth=observation.downlink_bandwidth,
+                uplink_bandwidth=observation.uplink_bandwidth,
+                latency=observation.latency,
+                settings=self.settings,
+                batch_size=observation.batch_size,
+            )
+            for candidate in self._candidate_shapes(observation, selectivities)
+        }
+
+    # -- the enumerator re-entry ----------------------------------------------------------
+
+    def _enumerated_shape(
+        self,
+        observation: MigrationObservation,
+        selectivities: Mapping[str, float],
+    ) -> Optional[PlanShape]:
+        """Re-enter the System-R enumerator over the remaining input.
+
+        The executed join tree is the partial-progress seed (every table
+        operation applied, cardinality and byte shape overridden to the
+        observed tail); the DP then explores every remaining UDF order and
+        strategy variant with the calibrated estimator.
+        """
+        if self.query is None or self.network is None:
+            return None
+        from repro.core.optimizer.enumerator import SystemREnumerator
+        from repro.core.optimizer.plans import operations_for_query
+        from repro.core.optimizer.properties import PhysicalProperties
+
+        view = RuntimeStatisticsView(
+            selectivities=selectivities,
+            udf_costs=dict(observation.stage_seconds_per_call),
+            distinct_fractions=dict(observation.stage_distinct_fraction),
+            store=self.statistics,
+        )
+        network = replace(
+            self.network,
+            downlink_bandwidth=observation.downlink_bandwidth
+            if observation.downlink_bandwidth > 0
+            else self.network.downlink_bandwidth,
+            uplink_bandwidth=observation.uplink_bandwidth
+            if observation.uplink_bandwidth > 0
+            else self.network.uplink_bandwidth,
+        )
+        settings = self.settings.with_batch_size(max(1.0, observation.batch_size))
+        estimator = CostEstimator(
+            network,
+            self.query,
+            settings=settings,
+            allow_deferred_return=False,
+            statistics=view,
+        )
+        tables, udfs = operations_for_query(self.query, statistics=view)
+        if not udfs:
+            return None
+
+        by_alias = {operation.alias.lower(): operation for operation in tables}
+        order = [alias.lower() for alias in (self.table_order or by_alias.keys())]
+        order = [alias for alias in order if alias in by_alias] or list(by_alias)
+        seed = estimator.scan(by_alias[order[0]])
+        for alias in order[1:]:
+            seed = estimator.join(seed, by_alias[alias])
+        # The join tree has executed: its cost is sunk, its output is the
+        # observed tail.  Distinct counts are capped at the tail cardinality.
+        remaining = float(observation.remaining_rows)
+        seed = seed.extended(
+            cost=0.0,
+            cardinality=remaining,
+            steps=(),
+            column_distinct={
+                name: max(1.0, min(value, remaining))
+                for name, value in seed.column_distinct.items()
+            },
+            properties=PhysicalProperties(),
+        )
+        enumerator = SystemREnumerator(estimator, tables, udfs)
+        self.enumerations += 1
+        plan = enumerator.best_plan_from(seed)
+        if not plan.udf_order:
+            return None
+        return PlanShape.of(plan.udf_order, plan.udf_strategies)
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [
+            f"re-optimizer: {self.replan_count} migration(s) in "
+            f"{self.attempt_count} boundary(ies), {self.enumerations} "
+            f"enumerator re-entries"
+        ]
+        for decision in self.decisions:
+            marker = "MIGRATE" if decision.migrated else "keep"
+            lines.append(f"  [{marker}] {decision.shape.describe()}: {decision.reason}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReOptimizer(replans={self.replan_count}, attempts={self.attempt_count}, "
+            f"enumerations={self.enumerations})"
+        )
+
+
+class RuntimeStatisticsView:
+    """Observed-statistics snapshot speaking the estimator's statistics protocol.
+
+    Wraps what *this* run has measured so far — per-predicate-identity
+    selectivities, per-UDF costs and distinct fractions — over the database's
+    cross-query :class:`~repro.adaptive.store.StatisticsStore` priors, over
+    the declared defaults.  Handed to
+    :class:`~repro.core.optimizer.cost.CostEstimator` and
+    :func:`~repro.core.optimizer.plans.operations_for_query` when the
+    enumerator is re-entered mid-query, so the re-planning pass plans with
+    the freshest numbers available for every quantity.
+    """
+
+    def __init__(
+        self,
+        selectivities: Mapping[str, float],
+        udf_costs: Mapping[str, float],
+        distinct_fractions: Mapping[str, float],
+        store: Optional[StatisticsStore] = None,
+    ) -> None:
+        self._selectivities = {
+            key: value for key, value in selectivities.items() if key
+        }
+        self._udf_costs = {name.lower(): value for name, value in udf_costs.items()}
+        self._distinct = {
+            name.lower(): value for name, value in distinct_fractions.items()
+        }
+        self._store = store
+
+    def udf_cost(self, name: str, default: float) -> float:
+        value = self._udf_costs.get(name.lower())
+        if value is not None and value > 0:
+            return value
+        if self._store is not None:
+            return self._store.udf_cost(name, default)
+        return default
+
+    def udf_selectivity(
+        self, name: str, default: float, predicate: Optional[str] = None
+    ) -> float:
+        if predicate is not None:
+            observed = self._selectivities.get(canonical_predicate_key(predicate))
+            if observed is not None:
+                return min(1.0, max(0.0, observed))
+        if self._store is not None:
+            return self._store.udf_selectivity(name, default, predicate=predicate)
+        return default
+
+    def udf_distinct_fraction(self, name: str, default: float) -> float:
+        value = self._distinct.get(name.lower())
+        if value is not None:
+            return min(1.0, max(0.0, value))
+        if self._store is not None:
+            return self._store.udf_distinct_fraction(name, default)
+        return default
+
+    def predicate_selectivity(self, predicate: str, default: float) -> float:
+        observed = self._selectivities.get(canonical_predicate_key(predicate))
+        if observed is not None:
+            return min(1.0, max(0.0, observed))
+        if self._store is not None:
+            return self._store.predicate_selectivity(predicate, default)
+        return default
+
+    # The remaining optimizer statistics protocol: the re-optimizer applies
+    # observed bandwidths and batch sizes itself (it has fresher, this-run
+    # numbers), so the view passes planning inputs through — store-backed
+    # when a store is present.
+
+    def calibrated_network(self, configured: NetworkConfig) -> NetworkConfig:
+        if self._store is not None:
+            return self._store.calibrated_network(configured)
+        return configured
+
+    def calibrated_cost_settings(self, settings: CostSettings) -> CostSettings:
+        if self._store is not None:
+            return self._store.calibrated_cost_settings(settings)
+        return settings
+
+    @property
+    def queries_observed(self) -> int:
+        return self._store.queries_observed if self._store is not None else 0

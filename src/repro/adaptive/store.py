@@ -30,6 +30,86 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.optimizer.cost import CostSettings
 
 
+def _split_top_level_and(text: str) -> List[str]:
+    """Top-level AND conjuncts of a predicate's string form.
+
+    ``(A AND B)`` (the :func:`~repro.relational.expressions.conjoin` shape)
+    splits into ``[A, B]``; anything else is a single conjunct.
+    """
+    stripped = text.strip()
+    if not (stripped.startswith("(") and stripped.endswith(")")):
+        return [stripped]
+    inner = stripped[1:-1]
+    # The outer parens must wrap the whole string (depth never hits -1).
+    depth = 0
+    for character in inner:
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+            if depth < 0:
+                return [stripped]
+    conjuncts: List[str] = []
+    depth = 0
+    start = 0
+    index = 0
+    while index < len(inner):
+        character = inner[index]
+        if character == "(":
+            depth += 1
+        elif character == ")":
+            depth -= 1
+        elif depth == 0 and inner.startswith(" AND ", index):
+            conjuncts.append(inner[start:index].strip())
+            index += len(" AND ")
+            start = index
+            continue
+        index += 1
+    conjuncts.append(inner[start:].strip())
+    if len(conjuncts) == 1:
+        return [stripped]
+    # Flatten nested AND groups, matching the recursive flattening of
+    # expression-level conjunct splitting, so string and expression inputs
+    # for the same predicate canonicalise identically.
+    flattened: List[str] = []
+    for conjunct in conjuncts:
+        flattened.extend(_split_top_level_and(conjunct))
+    return flattened
+
+
+def canonical_predicate_key(predicate: object) -> str:
+    """A predicate's *application-order-independent* identity key.
+
+    Observed selectivities must survive plan-shape changes: under a reordered
+    UDF plan the same predicate is pushed at a different operator, its
+    conjuncts may arrive in a different order, and a key derived from "where
+    it ran" diverges from the key the estimator asks for.  Canonicalising the
+    predicate — top-level AND conjuncts sorted — makes the key a property of
+    *what* the predicate is, not of where the plan applied it.
+
+    An :class:`~repro.relational.expressions.Expression` is split through its
+    own structure (:func:`~repro.relational.expressions.conjuncts`), which is
+    exact; the string form is only parsed for plain-string inputs (store
+    lookups), where the splitter respects parenthesis depth.
+    """
+    if predicate is None:
+        return ""
+    from repro.relational.expressions import Expression, conjuncts as _conjuncts
+
+    if isinstance(predicate, Expression):
+        parts = [str(part) for part in _conjuncts(predicate)]
+        if len(parts) > 1:
+            return "(" + " AND ".join(sorted(parts)) + ")"
+        return str(predicate).strip()
+    text = str(predicate).strip()
+    if not text:
+        return ""
+    parts = _split_top_level_and(text)
+    if len(parts) > 1:
+        return "(" + " AND ".join(sorted(parts)) + ")"
+    return text
+
+
 class _Ewma:
     """A tiny exponentially weighted moving average."""
 
@@ -66,11 +146,17 @@ class StatisticsStore:
         self._downlink_queueing = _Ewma(smoothing)
         self._uplink_queueing = _Ewma(smoothing)
         self._udf_cost: Dict[str, _Ewma] = {}
-        # Observed UDF selectivities are keyed by (UDF, predicate text):
+        # Observed UDF selectivities are keyed by (UDF, canonical predicate):
         # ``Score(V) >= 100`` and ``Score(V) >= 160`` select different
         # fractions of the same UDF's results, and blending them under the
         # UDF's name would miscalibrate both.
         self._udf_selectivity: Dict[Tuple[str, str], _Ewma] = {}
+        # The same observations keyed by canonical predicate identity alone.
+        # Under a reordered UDF plan a predicate spanning several UDFs is
+        # pushed at a different operator than the estimator credits it to;
+        # the (UDF, predicate) key then diverges and only the plan-shape-
+        # independent predicate identity still matches.
+        self._predicate_identity_selectivity: Dict[str, _Ewma] = {}
         self._udf_distinct_fraction: Dict[str, _Ewma] = {}
         self._predicate_selectivity: Dict[str, _Ewma] = {}
         self._batch_size = _Ewma(smoothing)
@@ -99,10 +185,14 @@ class StatisticsStore:
                 self._udf_cost.setdefault(key, _Ewma(self.smoothing)).update(cost)
             selectivity = udf.observed_selectivity
             if selectivity is not None:
-                selectivity_key = (key, udf.predicate or "")
+                canonical = canonical_predicate_key(udf.predicate)
                 self._udf_selectivity.setdefault(
-                    selectivity_key, _Ewma(self.smoothing)
+                    (key, canonical), _Ewma(self.smoothing)
                 ).update(selectivity)
+                if canonical:
+                    self._predicate_identity_selectivity.setdefault(
+                        canonical, _Ewma(self.smoothing)
+                    ).update(selectivity)
             distinct = udf.observed_distinct_fraction
             if distinct is not None:
                 self._udf_distinct_fraction.setdefault(key, _Ewma(self.smoothing)).update(
@@ -137,16 +227,26 @@ class StatisticsStore:
     ) -> float:
         """Observed selectivity of ``name`` filtered by ``predicate``, or ``default``.
 
-        With ``predicate`` the lookup is exact: only an observation of the
-        same predicate over the same UDF applies.  Without it (legacy callers
-        and reporting), the estimate is returned only when the UDF has been
-        observed under exactly one predicate — when several have been seen,
-        picking any of them would silently blend unrelated filters, so the
-        declared default wins.
+        With ``predicate`` the lookup goes by canonical predicate key: an
+        exact (UDF, predicate) observation wins, else any observation of the
+        *same predicate identity* — whichever operator the plan that ran it
+        happened to push it at (a reordered UDF plan pushes a multi-UDF
+        predicate at a different operator than the estimator credits it to).
+        Without it (legacy callers and reporting), the estimate is returned
+        only when the UDF has been observed under exactly one predicate —
+        when several have been seen, picking any of them would silently blend
+        unrelated filters, so the declared default wins.
         """
         key = name.lower()
         if predicate is not None:
-            estimate = self._udf_selectivity.get((key, predicate))
+            canonical = canonical_predicate_key(predicate)
+            estimate = self._udf_selectivity.get((key, canonical))
+            if estimate is None or estimate.value is None:
+                estimate = (
+                    self._predicate_identity_selectivity.get(canonical)
+                    if canonical
+                    else None
+                )
             if estimate is None or estimate.value is None:
                 return default
             return min(1.0, max(0.0, estimate.value))
@@ -158,6 +258,22 @@ class StatisticsStore:
         if len(matches) != 1:
             return default
         return min(1.0, max(0.0, matches[0].value))
+
+    def selectivity_prior(
+        self, name: str, predicate: Optional[str]
+    ) -> Optional[float]:
+        """The observed prior for (``name``, ``predicate``), or None if unobserved.
+
+        Unlike :meth:`udf_selectivity` this distinguishes "never observed"
+        from any declared default, which is what warm starts need: a repeat
+        query should only skip the evidence floor when an earlier run really
+        measured this predicate.
+        """
+        sentinel = object()
+        prior = self.udf_selectivity(name, sentinel, predicate=predicate or "")
+        if prior is sentinel:
+            return None
+        return prior
 
     def udf_selectivities(self, name: str) -> Dict[str, float]:
         """All observed selectivities of ``name``, keyed by predicate text."""

@@ -164,11 +164,22 @@ class StrategySwitcher:
         initial_strategy: ExecutionStrategy = ExecutionStrategy.SEMI_JOIN,
         declared_selectivity: float = 1.0,
         settings: Optional[CostSettings] = None,
+        prior_selectivity: Optional[float] = None,
     ) -> None:
         self.policy = policy if policy is not None else SwitchPolicy()
         self.initial_strategy = initial_strategy
         self.declared_selectivity = min(1.0, max(0.0, declared_selectivity))
         self.settings = settings if settings is not None else CostSettings()
+        #: A selectivity an earlier run *measured* for this (UDF, predicate)
+        #: — a :class:`~repro.adaptive.store.StatisticsStore` prior.  It
+        #: replaces the declared value as the initial estimate and counts as
+        #: already-earned evidence: a repeat query may switch at the first
+        #: segment boundary instead of re-earning the evidence floor.
+        self.prior_selectivity = (
+            min(1.0, max(0.0, prior_selectivity))
+            if prior_selectivity is not None
+            else None
+        )
 
         self._strategy = initial_strategy
         self._rows_processed = 0
@@ -224,9 +235,16 @@ class StrategySwitcher:
         return self._rows_surviving / self._rows_processed
 
     def effective_selectivity(self) -> float:
-        """The selectivity estimate re-costing uses: observed once measurable."""
+        """The selectivity estimate re-costing uses: observed once measurable.
+
+        Before the evidence floor is reached, a measured prior (from the
+        statistics store, satisfying the floor on an earlier run's evidence)
+        beats the declared value.
+        """
         observed = self.observed_selectivity()
         if observed is None or self._rows_processed < self.policy.min_rows_before_switch:
+            if self.prior_selectivity is not None:
+                return self.prior_selectivity
             return self.declared_selectivity
         return observed
 
@@ -286,7 +304,12 @@ class StrategySwitcher:
 
         if observation.remaining_rows <= 0:
             return keep("no rows remaining")
-        if self._rows_processed < self.policy.min_rows_before_switch:
+        if (
+            self._rows_processed < self.policy.min_rows_before_switch
+            and self.prior_selectivity is None
+        ):
+            # A store prior pre-earns the floor: an earlier run of the same
+            # (UDF, predicate) already observed enough rows.
             return keep(
                 f"evidence floor: {self._rows_processed} < "
                 f"{self.policy.min_rows_before_switch} rows observed"

@@ -15,7 +15,11 @@ that drive the network simulator:
 A fourth, adaptive executor —
 :class:`~repro.core.execution.adaptive.AdaptiveStrategyOperator` — runs the
 input in segments and may hand the unprocessed tail to a *different* strategy
-mid-query when observed selectivity or bandwidth contradicts the plan.
+mid-query when observed selectivity or bandwidth contradicts the plan; its
+generalisation, :class:`~repro.core.execution.adaptive.PlanMigrationOperator`,
+owns the whole client-site UDF chain and may migrate the committed plan
+*shape* (UDF application order and per-UDF strategies) at segment boundaries
+when the re-entered optimizer prefers a different one.
 
 All of them share :class:`~repro.core.execution.context.RemoteExecutionContext`,
 which bundles the simulator, the channel, and the client runtime.
@@ -24,18 +28,27 @@ which bundles the simulator, the channel, and the client runtime.
 from repro.core.execution.context import RemoteExecutionContext
 from repro.core.execution.base import RemoteUdfOperator
 from repro.core.execution.naive import NaiveUdfOperator
-from repro.core.execution.semijoin import SemiJoinUdfOperator
+from repro.core.execution.semijoin import SemiJoinSegmentState, SemiJoinUdfOperator
 from repro.core.execution.clientjoin import ClientSiteJoinOperator
-from repro.core.execution.adaptive import AdaptiveStrategyOperator
+from repro.core.execution.adaptive import (
+    AdaptiveStrategyOperator,
+    MigrationPredicate,
+    MigrationStage,
+    PlanMigrationOperator,
+)
 from repro.core.execution.rewrite import replace_udf_calls_with_columns, build_operator
 
 __all__ = [
     "RemoteExecutionContext",
     "RemoteUdfOperator",
     "NaiveUdfOperator",
+    "SemiJoinSegmentState",
     "SemiJoinUdfOperator",
     "ClientSiteJoinOperator",
     "AdaptiveStrategyOperator",
+    "MigrationPredicate",
+    "MigrationStage",
+    "PlanMigrationOperator",
     "replace_udf_calls_with_columns",
     "build_operator",
 ]

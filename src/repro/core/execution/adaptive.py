@@ -1,8 +1,21 @@
-"""Mid-query adaptive execution: strategy switching at segment boundaries.
+"""Mid-query adaptive execution: strategy switching and plan-shape migration.
+
+Two adaptive executors live here, both running the input in *segments*
+(geometrically growing row slices) built from the ordinary strategy
+operators:
+
+* :class:`AdaptiveStrategyOperator` — per-UDF *strategy* switching within
+  the committed plan shape (PR 3);
+* :class:`PlanMigrationOperator` — its generalisation: one operator owns the
+  whole client-site UDF chain, and a
+  :class:`~repro.adaptive.reoptimizer.ReOptimizer` re-enters the System-R
+  enumerator at segment boundaries, migrating the unprocessed tail to a
+  structurally different plan (reordered UDF applications, different
+  per-UDF strategies) when the observed statistics demand it.
 
 The three committed strategies process their whole input under the plan's
 choice.  The :class:`AdaptiveStrategyOperator` instead runs the input in
-*segments* (geometrically growing row slices): each segment executes under
+*segments*: each segment executes under
 the currently-best strategy via the ordinary strategy operators, and at every
 segment boundary the operator hands the
 :class:`~repro.adaptive.switcher.StrategySwitcher` what the run observed —
@@ -29,17 +42,27 @@ projection, whatever sequence of strategies actually ran.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.adaptive.reoptimizer import (
+    MigrationObservation,
+    PlanShape,
+    PredicateSpec,
+    ReOptimizer,
+    assign_predicates_to_stages,
+)
+from repro.adaptive.store import canonical_predicate_key
 from repro.adaptive.switcher import SegmentObservation, StrategySwitcher, SwitchPolicy
 from repro.client.udf import UdfDefinition
 from repro.core.execution.base import RemoteUdfOperator
 from repro.core.execution.clientjoin import ClientSiteJoinOperator
 from repro.core.execution.context import RemoteExecutionContext
+from repro.core.execution.semijoin import SemiJoinSegmentState
 from repro.core.strategies import StrategyConfig
-from repro.relational.expressions import Expression
+from repro.relational.expressions import Expression, conjoin
 from repro.relational.operators.base import CollectingOperator, Operator
-from repro.relational.tuples import Row, values_size
+from repro.relational.tuples import Row, row_size, values_size
 
 
 class AdaptiveStrategyOperator(ClientSiteJoinOperator):
@@ -76,13 +99,27 @@ class AdaptiveStrategyOperator(ClientSiteJoinOperator):
         )
         policy = self.config.switch_policy
         self.policy = policy if policy is not None else SwitchPolicy()
+        # A statistics store attached to the config supplies the measured
+        # prior for this (UDF, predicate): a repeat query starts from what
+        # an earlier run observed instead of the declared value, and does
+        # not re-earn the evidence floor before its first switch.
+        prior = None
+        if self.config.statistics is not None and pushable_predicate is not None:
+            prior = self.config.statistics.selectivity_prior(
+                udf.name, str(pushable_predicate)
+            )
         self.switcher = StrategySwitcher(
             policy=self.policy,
             initial_strategy=self.config.strategy,
             declared_selectivity=udf.selectivity,
+            prior_selectivity=prior,
         )
         #: ``(strategy, input_rows)`` per executed segment, in order.
         self.segments: List[Tuple[object, int]] = []
+        #: Semi-join duplicate-elimination state shared by every segment, so
+        #: a later semi-join segment never re-ships arguments an earlier one
+        #: already resolved (wire-row counts match an unsegmented run).
+        self._semi_join_state = SemiJoinSegmentState()
 
     # -- execution ---------------------------------------------------------------------
 
@@ -106,7 +143,11 @@ class AdaptiveStrategyOperator(ClientSiteJoinOperator):
             # the materialised slice, sharing this operator's context — and
             # therefore its simulator clock, link stats, adaptive batch
             # controller, and client result cache.
-            segment_config = self.config.with_strategy(strategy).with_switch_policy(None)
+            segment_config = (
+                self.config.with_strategy(strategy)
+                .with_switch_policy(None)
+                .with_reoptimizer(None)
+            )
             operator = build_operator(
                 child=CollectingOperator(self.child_schema, segment),
                 udf=self.udf,
@@ -116,6 +157,7 @@ class AdaptiveStrategyOperator(ClientSiteJoinOperator):
                 pushable_predicate=self.pushable_predicate,
                 output_columns=self.output_columns,
                 result_column_name=self.result_column.name,
+                semi_join_state=self._semi_join_state,
             )
             before = self._snapshot()
             segment_rows = operator.run()
@@ -281,3 +323,411 @@ def _find_remote(operator: Operator) -> Optional[RemoteUdfOperator]:
         if found is not None:
             return found
     return None
+
+
+# ---------------------------------------------------------------------------
+# Plan-shape migration (mid-query re-optimization)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MigrationStage:
+    """One client-site UDF application owned by a :class:`PlanMigrationOperator`."""
+
+    udf: UdfDefinition
+    argument_columns: Tuple[str, ...]
+    result_column_name: str
+    strategy: "ExecutionStrategy"
+
+
+@dataclass
+class MigrationPredicate:
+    """A UDF-referencing predicate the migration operator assigns dynamically.
+
+    ``expression`` is the predicate in rewritten (result column) form over
+    the operator's canonical extended schema; ``udf_names`` the lower-cased
+    UDFs whose results it references.  Under each plan shape the predicate is
+    pushed at the earliest stage where every referenced UDF has been applied
+    — which is why observations of it are keyed by the shape-independent
+    ``key`` (:func:`~repro.adaptive.store.canonical_predicate_key`).
+    """
+
+    expression: Expression
+    udf_names: frozenset
+    declared_selectivity: float = 1.0
+
+    @property
+    def key(self) -> str:
+        return canonical_predicate_key(self.expression)
+
+    def spec(self) -> PredicateSpec:
+        return PredicateSpec(
+            key=self.key,
+            udf_names=self.udf_names,
+            declared_selectivity=self.declared_selectivity,
+        )
+
+
+class _StageView:
+    """Per-(stage, predicate) observation proxy for the runtime observer.
+
+    Duck-types the counters :class:`~repro.adaptive.observer.RuntimeObserver`
+    reads off a remote UDF operator, so migrated executions feed the same
+    observe → calibrate loop committed executions do.  ``pushable_predicate``
+    is the canonical predicate identity string — already the key the
+    statistics store files selectivities under.
+    """
+
+    def __init__(
+        self,
+        udf: UdfDefinition,
+        input_row_count: int,
+        output_row_count: int,
+        distinct_argument_count: int,
+        pushable_predicate: Optional[str],
+    ) -> None:
+        self.udf = udf
+        self.input_row_count = input_row_count
+        self.output_row_count = output_row_count
+        self.distinct_argument_count = distinct_argument_count
+        self.pushable_predicate = pushable_predicate
+
+
+class PlanMigrationOperator(Operator):
+    """Runs a whole client-site UDF chain in segments, migrating plan shape.
+
+    The generalisation of :class:`AdaptiveStrategyOperator` from "switch one
+    UDF's shipping strategy" to "migrate the committed plan shape": each
+    segment of the input runs through a freshly built pipeline of plain
+    strategy operators in the *current* UDF application order, and at every
+    segment boundary the :class:`~repro.adaptive.reoptimizer.ReOptimizer`
+    re-enters the optimizer with everything observed so far.  When it
+    migrates, the unprocessed tail runs under the new shape — different UDF
+    order, different per-UDF strategies, predicates pushed at different
+    operators.
+
+    Result equivalence across every migration path holds because
+
+    * segments are *drained*: each segment's pipeline runs to completion
+      (all in-flight batches acknowledged) before the boundary, so no row is
+      split across shapes;
+    * every shape applies the same predicate set (each predicate at the
+      earliest stage where its referenced UDF results exist) and extends rows
+      with the same result columns, merely in a different column order — the
+      operator re-orders every segment's output into one canonical schema
+      before merging;
+    * client-side state survives migration: all segments share one execution
+      context (one client result cache), and each UDF carries one
+      :class:`~repro.core.execution.semijoin.SemiJoinSegmentState` across
+      segments, so duplicate arguments are never re-shipped, whatever shapes
+      ran.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        stages: Sequence[MigrationStage],
+        context: RemoteExecutionContext,
+        config: Optional[StrategyConfig] = None,
+        predicates: Sequence[MigrationPredicate] = (),
+        output_columns: Optional[Sequence[str]] = None,
+        reoptimizer: Optional[ReOptimizer] = None,
+    ) -> None:
+        super().__init__([child])
+        if not stages:
+            raise ValueError("PlanMigrationOperator needs at least one UDF stage")
+        self.context = context
+        self.config = config if config is not None else StrategyConfig()
+        self.stages = list(stages)
+        self.predicates = list(predicates)
+        self.reoptimizer = (
+            reoptimizer
+            if reoptimizer is not None
+            else (self.config.reoptimizer or ReOptimizer())
+        )
+
+        self.child_schema = child.output_schema()
+        self._stage_by_name: Dict[str, MigrationStage] = {
+            stage.udf.name.lower(): stage for stage in self.stages
+        }
+        #: Canonical column order: child columns, then result columns in the
+        #: *declared* stage order.  Every segment's output is re-ordered into
+        #: this shape before merging, whatever order its pipeline ran in.
+        self._declared_order: Tuple[str, ...] = tuple(
+            stage.udf.name.lower() for stage in self.stages
+        )
+        from repro.relational.schema import Column
+
+        extended = self.child_schema
+        for stage in self.stages:
+            extended = extended.append(Column(stage.result_column_name, stage.udf.result_dtype))
+        self.extended_schema = extended
+        self.output_columns = list(output_columns) if output_columns is not None else None
+        if self.output_columns is not None:
+            self._projection_positions: Optional[Tuple[int, ...]] = tuple(
+                self.extended_schema.index_of(name) for name in self.output_columns
+            )
+            self.schema = self.extended_schema.select_positions(self._projection_positions)
+        else:
+            self._projection_positions = None
+            self.schema = self.extended_schema
+
+        initial_shape = PlanShape.of(
+            [stage.udf.name for stage in self.stages],
+            {stage.udf.name: stage.strategy for stage in self.stages},
+        )
+        self.reoptimizer.bind(
+            initial_shape, [predicate.spec() for predicate in self.predicates]
+        )
+
+        # Instrumentation the executor and observer read.
+        self.input_row_count = 0
+        self.output_row_count = 0
+        #: ``(shape, input_rows)`` per executed segment, in order.
+        self.segments: List[Tuple[PlanShape, int]] = []
+        # Cumulative per-canonical-predicate (survived, processed) counts and
+        # per-UDF unit row counts, across all segments and shapes.
+        self._predicate_counts: Dict[str, Tuple[int, int]] = {}
+        self._udf_unit_counts: Dict[str, Tuple[int, int, int]] = {}
+        # One carried semi-join / naive duplicate-elimination state per UDF.
+        self._states: Dict[str, SemiJoinSegmentState] = {
+            name: SemiJoinSegmentState() for name in self._declared_order
+        }
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _execute(self):
+        rows = list(self.child().execute())
+        self.input_row_count = len(rows)
+        self._precompute_suffixes(rows)
+
+        policy = self.reoptimizer.policy
+        outputs: List[Row] = []
+        position = 0
+        index = 0
+        while position < len(rows):
+            shape = self.reoptimizer.current_shape
+            # Once the controller settles — re-plan budget spent, or enough
+            # consecutive boundaries confirmed the incumbent shape — no
+            # boundary can change the plan any more: segment boundaries
+            # would be pure overhead (extra messages, pipeline fills), so
+            # the whole tail drains as one final segment.
+            exhausted = self.reoptimizer.settled
+            take = len(rows) - position if exhausted else policy.next_segment_rows(index)
+            segment = rows[position : position + take]
+            position += len(segment)
+
+            units, stage_keys = self._build_pipeline(shape, segment)
+            segment_rows = units[-1].run()
+            self._account_segment(shape, units, stage_keys, len(segment))
+            outputs.extend(self._canonicalise(shape, segment_rows))
+            self.segments.append((shape, len(segment)))
+
+            if position < len(rows) and not exhausted:
+                self.reoptimizer.consider(self._observation(position))
+            index += 1
+
+        if self._projection_positions is not None:
+            outputs = [row.project(self._projection_positions) for row in outputs]
+        self.output_row_count = len(outputs)
+        yield from outputs
+
+    def _build_pipeline(
+        self, shape: PlanShape, segment: List[Row]
+    ) -> Tuple[List[Operator], List[Optional[str]]]:
+        """The per-segment operator chain under ``shape``.
+
+        Returns the stage units (one per UDF, possibly Filter-wrapped by
+        ``build_operator``) and, per stage, the canonical key of the
+        predicate conjunction pushed there (None when the stage filters
+        nothing).
+        """
+        from repro.core.execution.rewrite import build_operator
+
+        operator: Operator = CollectingOperator(self.child_schema, segment)
+        units: List[Operator] = []
+        stage_keys: List[Optional[str]] = []
+        assignment = assign_predicates_to_stages(shape.udf_order, self.predicates)
+        for name, indexes in zip(shape.udf_order, assignment):
+            stage = self._stage_by_name[name]
+            conjunction = conjoin([self.predicates[i].expression for i in indexes])
+            stage_config = (
+                self.config.with_strategy(shape.strategy_of(name))
+                .with_switch_policy(None)
+                .with_reoptimizer(None)
+            )
+            operator = build_operator(
+                child=operator,
+                udf=stage.udf,
+                argument_columns=list(stage.argument_columns),
+                context=self.context,
+                config=stage_config,
+                pushable_predicate=conjunction,
+                output_columns=None,
+                result_column_name=stage.result_column_name,
+                semi_join_state=self._states[name],
+            )
+            units.append(operator)
+            stage_keys.append(
+                canonical_predicate_key(conjunction) if conjunction is not None else None
+            )
+        return units, stage_keys
+
+    def _account_segment(
+        self,
+        shape: PlanShape,
+        units: List[Operator],
+        stage_keys: List[Optional[str]],
+        segment_rows: int,
+    ) -> None:
+        rows_in = segment_rows
+        for name, unit, key in zip(shape.udf_order, units, stage_keys):
+            rows_out = unit.rows_produced
+            if key is not None:
+                survived, processed = self._predicate_counts.get(key, (0, 0))
+                self._predicate_counts[key] = (survived + rows_out, processed + rows_in)
+            remote = _find_remote(unit)
+            distinct = remote.distinct_argument_count if remote is not None else rows_in
+            previous = self._udf_unit_counts.get(name, (0, 0, 0))
+            self._udf_unit_counts[name] = (
+                previous[0] + rows_in,
+                previous[1] + rows_out,
+                previous[2] + distinct,
+            )
+            rows_in = rows_out
+
+    def _canonicalise(self, shape: PlanShape, rows: List[Row]) -> List[Row]:
+        """Re-order a segment's output columns into the canonical schema."""
+        if shape.udf_order == self._declared_order:
+            return rows
+        child_count = len(self.child_schema)
+        positions = list(range(child_count)) + [
+            child_count + shape.udf_order.index(name) for name in self._declared_order
+        ]
+        return [Row(tuple(row[p] for p in positions)) for row in rows]
+
+    # -- observation plumbing ----------------------------------------------------------
+
+    def _precompute_suffixes(self, rows: List[Row]) -> None:
+        """Suffix aggregates of the input (byte shape and per-stage distincts)."""
+        count = len(rows)
+        self._suffix_record_bytes = [0.0] * (count + 1)
+        self._suffix_argument_bytes: Dict[str, List[float]] = {
+            name: [0.0] * (count + 1) for name in self._declared_order
+        }
+        self._suffix_distinct: Dict[str, List[int]] = {
+            name: [0] * (count + 1) for name in self._declared_order
+        }
+        stage_positions = {
+            name: tuple(
+                self.child_schema.index_of(column)
+                for column in self._stage_by_name[name].argument_columns
+            )
+            for name in self._declared_order
+        }
+        seen: Dict[str, set] = {name: set() for name in self._declared_order}
+        for position in range(count - 1, -1, -1):
+            row = rows[position]
+            self._suffix_record_bytes[position] = self._suffix_record_bytes[
+                position + 1
+            ] + row_size(row, self.child_schema)
+            for name in self._declared_order:
+                arguments = tuple(row[p] for p in stage_positions[name])
+                seen[name].add(arguments)
+                self._suffix_argument_bytes[name][position] = (
+                    self._suffix_argument_bytes[name][position + 1]
+                    + values_size(arguments)
+                )
+                self._suffix_distinct[name][position] = len(seen[name])
+
+    def _observation(self, position: int) -> MigrationObservation:
+        stats = self.context.channel_stats
+        network = self.context.network
+        client = self.context.client
+        remaining = self.input_row_count - position
+
+        downlink = AdaptiveStrategyOperator._bandwidth(
+            stats.downlink.total_bytes,
+            stats.downlink.busy_seconds,
+            network.downlink_bandwidth if network else None,
+        )
+        uplink = AdaptiveStrategyOperator._bandwidth(
+            stats.uplink.total_bytes,
+            stats.uplink.busy_seconds,
+            network.uplink_bandwidth if network else None,
+        )
+
+        seconds_per_call: Dict[str, float] = {}
+        argument_bytes: Dict[str, float] = {}
+        result_bytes: Dict[str, float] = {}
+        distinct_fraction: Dict[str, float] = {}
+        for name in self._declared_order:
+            stage = self._stage_by_name[name]
+            invocations = client.invocations_of(stage.udf.name)
+            seconds_per_call[name] = (
+                client.compute_seconds_of(stage.udf.name) / invocations
+                if invocations > 0
+                else stage.udf.cost_per_call_seconds
+            )
+            argument_bytes[name] = self._suffix_argument_bytes[name][position] / remaining
+            result_bytes[name] = float(
+                stage.udf.result_size_bytes
+                if stage.udf.result_size_bytes is not None
+                else 8
+            )
+            distinct_fraction[name] = self._suffix_distinct[name][position] / remaining
+
+        return MigrationObservation(
+            rows_processed=position,
+            remaining_rows=remaining,
+            remaining_record_bytes=self._suffix_record_bytes[position] / remaining,
+            predicate_counts=dict(self._predicate_counts),
+            stage_argument_bytes=argument_bytes,
+            stage_result_bytes=result_bytes,
+            stage_distinct_fraction=distinct_fraction,
+            stage_seconds_per_call=seconds_per_call,
+            downlink_bandwidth=downlink,
+            uplink_bandwidth=uplink,
+            latency=network.latency if network is not None else 0.0,
+            batch_size=float(self.config.next_batch_size()),
+        )
+
+    # -- observer integration ----------------------------------------------------------
+
+    @property
+    def stage_views(self) -> List[_StageView]:
+        """Per-stage observation proxies for the runtime observer."""
+        views: List[_StageView] = []
+        final_shape = self.reoptimizer.current_shape
+        assignment = assign_predicates_to_stages(final_shape.udf_order, self.predicates)
+        for name, indexes in zip(final_shape.udf_order, assignment):
+            stage = self._stage_by_name[name]
+            keys = [self.predicates[i].key for i in indexes]
+            rows_in, rows_out, distinct = self._udf_unit_counts.get(name, (0, 0, 0))
+            predicate_key: Optional[str] = None
+            if len(keys) == 1:
+                predicate_key = keys[0]
+            elif keys:
+                predicate_key = canonical_predicate_key(
+                    "(" + " AND ".join(sorted(keys)) + ")"
+                )
+            if predicate_key:
+                survived, processed = self._predicate_counts.get(
+                    predicate_key, (rows_out, rows_in)
+                )
+                rows_in, rows_out = processed, survived
+            views.append(
+                _StageView(
+                    udf=stage.udf,
+                    input_row_count=rows_in,
+                    output_row_count=rows_out,
+                    distinct_argument_count=min(distinct, rows_in) if rows_in else distinct,
+                    pushable_predicate=predicate_key,
+                )
+            )
+        return views
+
+    def describe(self) -> str:
+        shapes = self.reoptimizer.shapes_used
+        described = " => ".join(shape.describe() for shape in shapes) or "unbound"
+        return f"{type(self).__name__}({described})"

@@ -25,7 +25,17 @@ from repro.relational.tuples import Row
 
 
 class NaiveUdfOperator(RemoteUdfOperator):
-    """One synchronous client round trip per batch of input tuples."""
+    """One synchronous client round trip per batch of input tuples.
+
+    ``carry_state`` (a :class:`~repro.core.execution.semijoin.SemiJoinSegmentState`)
+    shares the server result cache across the segments of an adaptive
+    execution, so a later segment does not re-ship arguments an earlier
+    naive segment already resolved.
+    """
+
+    def __init__(self, *args, carry_state=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.carry_state = carry_state
 
     def _drive(self, rows: List[Row]):
         channel = self.context.channel
@@ -33,8 +43,11 @@ class NaiveUdfOperator(RemoteUdfOperator):
             udf_name=self.udf.name,
             argument_positions=tuple(range(len(self.argument_columns))),
         )
-        cache: Dict[Tuple[Any, ...], Any] = {}
         use_cache = self.config.server_result_cache
+        carried = self.carry_state if use_cache else None
+        cache: Dict[Tuple[Any, ...], Any] = (
+            carried.results if carried is not None else {}
+        )
         output: List[Row] = []
         distinct_arguments = set()
 
@@ -65,6 +78,12 @@ class NaiveUdfOperator(RemoteUdfOperator):
                 result = cache[arguments] if index is None else results[index]
                 if use_cache:
                     cache[arguments] = result
+                    if carried is not None:
+                        # Mark the argument resolved for *other* strategies
+                        # sharing this state: a later semi-join segment must
+                        # treat it as already shipped (its receiver answers
+                        # from carried.results).
+                        carried.seen.add(arguments)
                 output.append(row.append(result))
             pending_rows.clear()
             pending_arguments.clear()

@@ -78,6 +78,7 @@ def build_operator(
     pushable_predicate: Optional[Expression] = None,
     output_columns: Optional[Sequence[str]] = None,
     result_column_name: Optional[str] = None,
+    semi_join_state=None,
 ) -> Operator:
     """Instantiate the execution operator named by ``config.strategy``.
 
@@ -86,13 +87,56 @@ def build_operator(
     the server by wrapping the operator in Filter/Project operators, so every
     strategy produces identical rows for the same inputs.
 
-    A config carrying a :class:`~repro.adaptive.switcher.SwitchPolicy` gets
-    the mid-query switching executor instead: ``config.strategy`` is then the
-    *initial* strategy, and the operator may hand the unprocessed tail of the
-    input to a different strategy at segment boundaries.
+    A config carrying a :class:`~repro.adaptive.reoptimizer.ReOptimizer`
+    gets the *plan-migrating* executor: the UDF runs in segments and the
+    whole remaining plan shape (strategy here; with several UDFs, their
+    order too) may be re-optimized at segment boundaries.  A config carrying
+    a :class:`~repro.adaptive.switcher.SwitchPolicy` gets the mid-query
+    strategy-switching executor instead: ``config.strategy`` is then the
+    *initial* strategy, and the operator may hand the unprocessed tail of
+    the input to a different strategy at segment boundaries.
+
+    ``semi_join_state`` (a
+    :class:`~repro.core.execution.semijoin.SemiJoinSegmentState`) carries
+    duplicate-elimination state across the segments of an adaptive
+    execution, so later segments never re-ship resolved arguments.
     """
     from repro.relational.operators.filter import Filter
     from repro.relational.operators.project import Project
+
+    if config.reoptimizer is not None:
+        # Imported lazily: the migration executor builds plain per-segment
+        # operators through this very function.
+        from repro.core.execution.adaptive import (
+            MigrationPredicate,
+            MigrationStage,
+            PlanMigrationOperator,
+        )
+
+        stage = MigrationStage(
+            udf=udf,
+            argument_columns=tuple(argument_columns),
+            result_column_name=result_column_name or udf.result_column_name,
+            strategy=config.strategy,
+        )
+        predicates = []
+        if pushable_predicate is not None:
+            predicates.append(
+                MigrationPredicate(
+                    expression=pushable_predicate,
+                    udf_names=frozenset({udf.name.lower()}),
+                    declared_selectivity=udf.selectivity,
+                )
+            )
+        return PlanMigrationOperator(
+            child,
+            [stage],
+            context,
+            config=config,
+            predicates=predicates,
+            output_columns=output_columns,
+            reoptimizer=config.reoptimizer,
+        )
 
     if config.switch_policy is not None:
         # Imported lazily: the adaptive executor builds plain per-segment
@@ -132,6 +176,7 @@ def build_operator(
         context,
         config=config,
         result_column_name=result_column_name,
+        carry_state=semi_join_state,
     )
     if pushable_predicate is not None:
         operator = Filter(operator, pushable_predicate)

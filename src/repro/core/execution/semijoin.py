@@ -37,8 +37,39 @@ from repro.relational.tuples import Row
 _DONE = object()
 
 
+class SemiJoinSegmentState:
+    """Duplicate-elimination state a semi-join carries across plan segments.
+
+    Segmented (adaptive / migrating) executions run one plain semi-join
+    operator per segment.  Without shared state each segment re-ships the
+    argument tuples earlier segments already eliminated — the client's result
+    cache still answers them without re-invoking the UDF, but the wire pays
+    the argument and result bytes again and ``rows_transferred`` double
+    counts.  One instance of this state per (UDF, query) makes the segment
+    sequence byte-identical to a single unsegmented semi-join run:
+    ``seen`` is the sender's already-shipped argument set, ``results`` the
+    receiver's server-side result cache for those arguments.
+    """
+
+    __slots__ = ("seen", "results")
+
+    def __init__(self) -> None:
+        self.seen: set = set()
+        self.results: Dict[Tuple[Any, ...], Any] = {}
+
+
 class SemiJoinUdfOperator(RemoteUdfOperator):
-    """Pipelined semi-join between the input relation and the virtual UDF table."""
+    """Pipelined semi-join between the input relation and the virtual UDF table.
+
+    ``carry_state`` (a :class:`SemiJoinSegmentState`) plugs in externally
+    owned duplicate-elimination state, so segmented executions do not re-ship
+    arguments an earlier segment already resolved; ``None`` keeps the
+    operator self-contained.
+    """
+
+    def __init__(self, *args, carry_state: Optional[SemiJoinSegmentState] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.carry_state = carry_state
 
     def effective_concurrency_factor(self, sample_row: Optional[Row] = None) -> int:
         """The configured pipeline concurrency factor, or the analytic B·T choice.
@@ -104,8 +135,10 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
 
         eliminate = self.config.eliminate_duplicates
 
+        carried = self.carry_state if eliminate else None
+
         def sender():
-            seen: set = set()
+            seen: set = carried.seen if carried is not None else set()
             pending_batch: List[Tuple[Any, ...]] = []
 
             def flush():
@@ -150,7 +183,9 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
 
         def receiver():
             output: List[Row] = []
-            result_cache: Dict[Tuple[Any, ...], Any] = {}
+            result_cache: Dict[Tuple[Any, ...], Any] = (
+                carried.results if carried is not None else {}
+            )
             pending_results: Deque[Any] = deque()
             distinct_arguments = set()
 

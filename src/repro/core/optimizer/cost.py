@@ -127,6 +127,82 @@ def remaining_strategy_cost(
     return down + up + compute + 2 * latency * trips
 
 
+@dataclass(frozen=True)
+class RemainingStage:
+    """One UDF application of a remaining *plan shape*, priced from observed
+    point estimates.
+
+    A plan shape is an ordered sequence of these: mid-query re-optimization
+    compares the committed shape against reordered/re-strategised shapes by
+    pricing each with :func:`remaining_plan_cost` over the unprocessed tail.
+    ``selectivity`` is the combined selectivity of the predicates the shape
+    applies at this stage (1.0 when none); ``argument_bytes`` the per-row
+    size of the UDF's argument columns; ``result_bytes`` the UDF result size.
+    """
+
+    strategy: ExecutionStrategy
+    selectivity: float = 1.0
+    distinct_fraction: float = 1.0
+    udf_seconds_per_call: float = 0.0
+    argument_bytes: float = 8.0
+    result_bytes: float = 8.0
+
+
+def remaining_plan_cost(
+    stages: Sequence[RemainingStage],
+    rows: float,
+    *,
+    record_bytes: float,
+    downlink_bandwidth: float,
+    uplink_bandwidth: float,
+    latency: float = 0.0,
+    settings: Optional[CostSettings] = None,
+    batch_size: Optional[float] = None,
+) -> float:
+    """Estimated seconds for a whole remaining *plan shape* over ``rows``.
+
+    The plan-shape analogue of :func:`remaining_strategy_cost`: where that
+    prices one strategy for one UDF's tail, this composes a sequence of UDF
+    applications — each with its own strategy, observed selectivity, and
+    measured per-call cost — the way the executor chains them: every stage's
+    predicate filters the rows the next stage processes, and every stage's
+    result column widens the records later client-site joins must ship.
+    Mid-query re-optimization prices the committed order and every candidate
+    reordering with the *same* observed point estimates, so the comparison
+    isolates the plan shape from estimation error.
+    """
+    settings = settings if settings is not None else CostSettings()
+    cost = 0.0
+    cardinality = float(rows)
+    bytes_per_row = float(record_bytes)
+    for stage in stages:
+        if cardinality <= 0:
+            break
+        selectivity = min(1.0, max(0.0, stage.selectivity))
+        cost += remaining_strategy_cost(
+            stage.strategy,
+            cardinality,
+            record_bytes=bytes_per_row,
+            argument_bytes=stage.argument_bytes,
+            result_bytes=stage.result_bytes,
+            returned_row_bytes=bytes_per_row + stage.result_bytes,
+            selectivity=selectivity,
+            distinct_fraction=stage.distinct_fraction,
+            udf_seconds_per_call=stage.udf_seconds_per_call,
+            downlink_bandwidth=downlink_bandwidth,
+            uplink_bandwidth=uplink_bandwidth,
+            latency=latency,
+            settings=settings,
+            batch_size=batch_size,
+        )
+        # Whatever strategy ran the stage, its predicate is applied before
+        # the next stage (at the client, or by the server-side Filter wrap),
+        # and its result column joins the record for the rest of the plan.
+        cardinality *= selectivity
+        bytes_per_row += stage.result_bytes
+    return cost
+
+
 class CostEstimator:
     """Estimates costs of plan operations for a given network configuration.
 

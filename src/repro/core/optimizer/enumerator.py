@@ -47,20 +47,51 @@ class SystemREnumerator:
 
     def best_plan(self) -> CandidatePlan:
         """Run the DP and return the cheapest complete plan including delivery."""
+        return self.best_plan_from(None)
+
+    def best_plan_from(self, seed: Optional[CandidatePlan] = None) -> CandidatePlan:
+        """Re-enter the DP from a *partial-progress* state and finish the plan.
+
+        ``seed`` describes work already executed — its ``operations`` are the
+        applied operation keys (typically every table: the join tree has run
+        and its output is materialised), its cardinality/byte statistics the
+        *observed* shape of the unprocessed tail, and its cost the sunk cost
+        (usually zero: only the remaining work is being compared).  The DP
+        then enumerates every interleaving of the not-yet-applied operations
+        — all remaining UDF orders and strategy variants, and, when tables
+        remain unapplied, the remaining join orders too — exactly as the
+        from-scratch enumeration would, but anchored at the seed.  With
+        ``seed=None`` this is the ordinary full enumeration.
+
+        This is the optimizer surface mid-query re-optimization calls: the
+        :class:`~repro.adaptive.reoptimizer.ReOptimizer` snapshots observed
+        statistics into the estimator and re-enters here over the remaining
+        input at segment boundaries.
+        """
         operations = {op.key: op for op in self.tables}
         operations.update({op.key: op for op in self.udfs})
         all_keys = frozenset(operations.keys())
 
         best: Dict[StateKey, CandidatePlan] = {}
 
-        # Step 1: single-operation plans.  Only table operations can start a
-        # plan (a UDF needs an input relation).
-        for table in self.tables:
-            self._keep(best, self.estimator.scan(table))
+        if seed is None:
+            # Step 1: single-operation plans.  Only table operations can
+            # start a plan (a UDF needs an input relation).
+            for table in self.tables:
+                self._keep(best, self.estimator.scan(table))
+        else:
+            unknown = seed.operations - all_keys
+            if unknown:
+                raise OptimizerError(
+                    f"partial-progress state applies unknown operations: {sorted(unknown)}"
+                )
+            self._keep(best, seed)
 
-        # Steps 2..m: extend every kept plan by one not-yet-applied operation.
+        # Extend every kept plan by one not-yet-applied operation.  Layers
+        # below the seed's size are simply empty and skipped.
         total = len(operations)
-        for size in range(2, total + 1):
+        start = 2 if seed is None else len(seed.operations) + 1
+        for size in range(start, total + 1):
             current: Dict[StateKey, CandidatePlan] = {}
             for (applied, _properties), plan in list(best.items()):
                 if len(applied) != size - 1:

@@ -8,6 +8,8 @@ from typing import Mapping, Optional, Tuple, Union, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.adaptive.controller import BatchControllerBank, BatchSizeController
+    from repro.adaptive.reoptimizer import ReOptimizer
+    from repro.adaptive.store import StatisticsStore
     from repro.adaptive.switcher import SwitchPolicy
 
 
@@ -109,6 +111,18 @@ class StrategyConfig:
         Union["BatchSizeController", "BatchControllerBank"]
     ] = field(default=None, compare=False)
     switch_policy: Optional["SwitchPolicy"] = None
+    #: A :class:`~repro.adaptive.reoptimizer.ReOptimizer` arming *mid-query
+    #: re-optimization*: the whole client-site UDF chain then runs inside one
+    #: :class:`~repro.core.execution.adaptive.PlanMigrationOperator` that may
+    #: migrate to a structurally different plan (UDF application order and
+    #: per-UDF strategies) at segment boundaries.  Runtime state, excluded
+    #: from equality and hashing.
+    reoptimizer: Optional["ReOptimizer"] = field(default=None, compare=False)
+    #: The database's :class:`~repro.adaptive.store.StatisticsStore`, when
+    #: the caller wants runtime adaptation warm-started from cross-query
+    #: priors (observed (UDF, predicate) selectivities).  Runtime state,
+    #: excluded from equality and hashing.
+    statistics: Optional["StatisticsStore"] = field(default=None, compare=False)
     eliminate_duplicates: bool = True
     sort_by_arguments: bool = True
     server_result_cache: bool = True
@@ -246,3 +260,9 @@ class StrategyConfig:
 
     def with_switch_policy(self, policy: Optional["SwitchPolicy"]) -> "StrategyConfig":
         return replace(self, switch_policy=policy)
+
+    def with_reoptimizer(self, reoptimizer: Optional["ReOptimizer"]) -> "StrategyConfig":
+        return replace(self, reoptimizer=reoptimizer)
+
+    def with_statistics(self, statistics: Optional["StatisticsStore"]) -> "StrategyConfig":
+        return replace(self, statistics=statistics)

@@ -22,6 +22,8 @@ from repro.errors import OptimizerError
 from repro.adaptive import (
     BatchControllerBank,
     BatchSizeController,
+    ReOptimizationPolicy,
+    ReOptimizer,
     RuntimeObserver,
     StatisticsStore,
     SwitchPolicy,
@@ -188,6 +190,8 @@ class Database:
         calibrated: Optional[bool] = None,
         switch_strategies: bool = False,
         switch_policy: Optional[SwitchPolicy] = None,
+        reoptimize: bool = False,
+        replan_policy: Optional[ReOptimizationPolicy] = None,
     ) -> QueryResult:
         """Execute ``query`` (SQL text or a bound query) and return the result.
 
@@ -221,6 +225,17 @@ class Database:
         when the caller opted into the adaptive runtime (``adaptive=True``),
         so plain ``optimize=True`` runs stay reproducible and independent of
         what ran before; pass ``True``/``False`` to force either way.
+
+        ``reoptimize=True`` arms full *mid-query re-optimization* (and
+        implies ``optimize=True``: the committed plan comes from the
+        enumerator).  The whole client-site UDF chain then runs inside one
+        :class:`~repro.core.execution.adaptive.PlanMigrationOperator`: at
+        segment boundaries a :class:`~repro.adaptive.ReOptimizer` re-enters
+        the System-R enumerator over the *remaining* input with the observed
+        statistics and — under ``replan_policy``'s hysteresis and re-plan
+        budget — may migrate execution to a structurally different plan
+        (reordered UDF applications, different per-UDF strategies), not just
+        a different shipping strategy.
         """
         bound = self.bind(query) if isinstance(query, str) else query
         if config is None:
@@ -235,6 +250,14 @@ class Database:
             config = config.with_switch_policy(
                 switch_policy if switch_policy is not None else SwitchPolicy()
             )
+        if replan_policy is not None:
+            reoptimize = True
+        if reoptimize:
+            optimize = True
+        if switch_strategies or reoptimize:
+            # Runtime adaptation consults the store's measured priors for its
+            # initial estimates (warm-started evidence floor).
+            config = config.with_statistics(self.statistics)
         if calibrated is None:
             calibrated = adaptive
 
@@ -258,11 +281,29 @@ class Database:
                 ),
             )
             decision = optimizer.optimize(bound)
+            run_config = decision.strategy_config
+            udf_strategies = None
+            table_order = None
+            if reoptimize:
+                reoptimizer = ReOptimizer(
+                    policy=replan_policy,
+                    query=bound,
+                    network=self.network,
+                    statistics=self.statistics,
+                    table_order=decision.table_order,
+                )
+                run_config = run_config.with_reoptimizer(reoptimizer)
+                # The migration operator realises the decision's full shape,
+                # so hand it the committed per-UDF strategies and join order.
+                udf_strategies = decision.udf_strategies
+                table_order = decision.table_order
             return executor.execute_query(
                 bound,
-                config=decision.strategy_config,
+                config=run_config,
                 deliver_results=deliver_results,
                 udf_order=decision.udf_order,
+                udf_strategies=udf_strategies,
+                table_order=table_order,
             )
 
         return executor.execute_query(

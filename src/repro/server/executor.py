@@ -7,7 +7,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.errors import ExecutionError
 from repro.core.execution.base import RemoteUdfOperator
 from repro.core.execution.context import RemoteExecutionContext
-from repro.core.strategies import StrategyConfig
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
 from repro.client.protocol import FinalResultBatch
 from repro.network.message import MessageKind
 from repro.relational.operators.base import Operator
@@ -46,6 +46,8 @@ class Executor:
         config: Optional[StrategyConfig] = None,
         deliver_results: bool = False,
         udf_order: Optional[Sequence[str]] = None,
+        udf_strategies: Optional[Dict[str, ExecutionStrategy]] = None,
+        table_order: Optional[Sequence[str]] = None,
     ) -> QueryResult:
         """Plan and execute ``query``; optionally ship the answer to the client."""
         plan = build_plan(
@@ -54,6 +56,8 @@ class Executor:
             config=config,
             server_functions=self.server_functions,
             udf_order=udf_order,
+            udf_strategies=udf_strategies,
+            table_order=table_order,
         )
         return self.execute_plan(plan, config=config, deliver_results=deliver_results)
 
@@ -81,7 +85,7 @@ class Executor:
             controller = config.batch_controller if config is not None else None
             observation = self.observer.observe(
                 self.context,
-                remote_operators=plan.remote_operators,
+                remote_operators=self._observable_operators(plan),
                 rows_returned=len(rows),
                 controller=controller,
                 filter_operators=self._find_filters(root),
@@ -133,6 +137,24 @@ class Executor:
     # -- observation ------------------------------------------------------------------------
 
     @staticmethod
+    def _observable_operators(plan: PlanBuildResult) -> List[object]:
+        """The plan's remote operators, migration operators expanded per stage.
+
+        A plan-migrating operator owns several UDFs; the observer consumes
+        one per-UDF counter set at a time, so it is handed the operator's
+        per-stage views (whose predicate attribution already uses canonical
+        predicate-identity keys).
+        """
+        observable: List[object] = []
+        for operator in plan.remote_operators:
+            views = getattr(operator, "stage_views", None)
+            if views is not None:
+                observable.extend(views)
+            else:
+                observable.append(operator)
+        return observable
+
+    @staticmethod
     def _find_filters(root: Operator) -> List[Operator]:
         """All Filter operators in the tree (for observed predicate selectivities)."""
         from repro.relational.operators import Filter
@@ -161,6 +183,9 @@ class Executor:
         input_rows = 0
         switches = 0
         strategies_used: tuple = ()
+        replan_attempts = 0
+        plan_migrations = 0
+        udf_orders_used: tuple = ()
         for operator in plan.remote_operators:
             input_rows = max(input_rows, operator.input_row_count)
             factor = getattr(operator, "concurrency_factor_used", None)
@@ -175,6 +200,16 @@ class Executor:
                     # strategy, not a fake switch chain.
                     if strategy not in strategies_used:
                         strategies_used = strategies_used + (strategy,)
+            reoptimizer = getattr(operator, "reoptimizer", None)
+            if reoptimizer is not None:
+                replan_attempts += reoptimizer.attempt_count
+                plan_migrations += reoptimizer.replan_count
+                for shape in reoptimizer.shapes_used:
+                    if shape.udf_order not in udf_orders_used:
+                        udf_orders_used = udf_orders_used + (shape.udf_order,)
+                    for _, strategy in shape.udf_strategies:
+                        if strategy not in strategies_used:
+                            strategies_used = strategies_used + (strategy,)
         controller = config.batch_controller if config is not None else None
         return ExecutionMetrics.from_run(
             elapsed_seconds=self.context.elapsed_seconds,
@@ -200,5 +235,8 @@ class Executor:
             ),
             strategy_switches=switches,
             strategies_used=strategies_used or None,
+            replan_attempts=replan_attempts,
+            plan_migrations=plan_migrations,
+            udf_orders_used=udf_orders_used or None,
             plan_description=plan.explain(),
         )

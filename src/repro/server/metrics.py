@@ -43,6 +43,12 @@ class ExecutionMetrics:
     #: strategies ran (in first-use order), ``None`` for committed executions.
     strategy_switches: int = 0
     strategies_used: Optional[Tuple[ExecutionStrategy, ...]] = None
+    #: With mid-query re-optimization: how many segment boundaries were
+    #: evaluated, how many plan-shape migrations fired, and the UDF
+    #: application orders execution actually ran (in first-use order).
+    replan_attempts: int = 0
+    plan_migrations: int = 0
+    udf_orders_used: Optional[Tuple[Tuple[str, ...], ...]] = None
     plan_description: str = ""
 
     @classmethod
@@ -63,6 +69,9 @@ class ExecutionMetrics:
         converged_batch_size: Optional[int] = None,
         strategy_switches: int = 0,
         strategies_used: Optional[Tuple[ExecutionStrategy, ...]] = None,
+        replan_attempts: int = 0,
+        plan_migrations: int = 0,
+        udf_orders_used: Optional[Tuple[Tuple[str, ...], ...]] = None,
         plan_description: str = "",
     ) -> "ExecutionMetrics":
         return cls(
@@ -86,6 +95,9 @@ class ExecutionMetrics:
             converged_batch_size=converged_batch_size,
             strategy_switches=strategy_switches,
             strategies_used=strategies_used,
+            replan_attempts=replan_attempts,
+            plan_migrations=plan_migrations,
+            udf_orders_used=udf_orders_used,
             plan_description=plan_description,
         )
 
@@ -107,6 +119,13 @@ class ExecutionMetrics:
             batching = f" | adaptive batch -> {self.converged_batch_size}"
         if self.strategy_switches:
             batching += f" | {self.strategy_switches} mid-query switch(es)"
+        if self.plan_migrations:
+            orders = ""
+            if self.udf_orders_used:
+                orders = " " + " => ".join(
+                    "[" + ", ".join(order) + "]" for order in self.udf_orders_used
+                )
+            batching += f" | {self.plan_migrations} plan migration(s){orders}"
         return (
             f"elapsed {self.elapsed_seconds:.3f}s | strategy {strategy} | "
             f"downlink {self.downlink_bytes} B in {self.downlink_messages} msgs | "

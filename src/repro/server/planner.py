@@ -22,6 +22,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import PlanError
+from repro.core.execution.adaptive import (
+    MigrationPredicate,
+    MigrationStage,
+    PlanMigrationOperator,
+)
 from repro.core.execution.base import RemoteUdfOperator
 from repro.core.execution.context import RemoteExecutionContext
 from repro.core.execution.rewrite import build_operator, replace_udf_calls_with_columns
@@ -60,13 +65,18 @@ class PlanBuildResult:
 
 
 def find_remote_operators(root: Operator) -> List[RemoteUdfOperator]:
-    """All remote UDF operators in the tree, in depth-first order."""
+    """All remote UDF operators in the tree, in depth-first order.
+
+    A :class:`~repro.core.execution.adaptive.PlanMigrationOperator` counts as
+    one remote operator here (it owns a whole UDF chain); the observer
+    expands it into per-stage views.
+    """
     found: List[RemoteUdfOperator] = []
 
     def visit(operator: Operator) -> None:
         for child in operator.children:
             visit(child)
-        if isinstance(operator, RemoteUdfOperator):
+        if isinstance(operator, (RemoteUdfOperator, PlanMigrationOperator)):
             found.append(operator)
 
     visit(root)
@@ -233,10 +243,56 @@ class _PlanBuilder:
             order = {name.lower(): index for index, name in enumerate(udf_order)}
             calls.sort(key=lambda call: order.get(call.udf.name.lower(), len(order)))
 
+        if calls and self.config.reoptimizer is not None:
+            # Mid-query re-optimization owns the whole chain: one migration
+            # operator applies every client-site UDF, so the application
+            # order itself can change at segment boundaries.
+            return self._apply_migration_chain(plan, calls)
+
         for index, call in enumerate(calls):
             remaining_calls = calls[index + 1 :]
             plan = self._apply_one_udf(plan, call, remaining_calls)
         return plan
+
+    def _apply_migration_chain(self, plan: Operator, calls: List[ClientUdfCall]) -> Operator:
+        for call in calls:
+            self.result_column_mapping[call.udf.name.lower()] = call.result_column_name
+        stages: List[MigrationStage] = []
+        for call in calls:
+            override = self.udf_strategies.get(call.udf.name.lower())
+            stages.append(
+                MigrationStage(
+                    udf=call.udf,
+                    argument_columns=tuple(call.argument_columns),
+                    result_column_name=call.result_column_name,
+                    strategy=override if override is not None else self.config.strategy,
+                )
+            )
+        chain_names = set(self.result_column_mapping.keys())
+        predicates: List[MigrationPredicate] = []
+        for predicate in self.query.predicates:
+            if id(predicate) in self.applied_predicates or not predicate.references_udf:
+                continue
+            referenced = {name.lower() for name in predicate.udf_names}
+            if referenced <= chain_names:
+                predicates.append(
+                    MigrationPredicate(
+                        expression=replace_udf_calls_with_columns(
+                            predicate.expression, self.result_column_mapping
+                        ),
+                        udf_names=frozenset(referenced),
+                        declared_selectivity=max(predicate.selectivity, 1e-6),
+                    )
+                )
+                self.applied_predicates.add(id(predicate))
+        return PlanMigrationOperator(
+            plan,
+            stages,
+            self.context,
+            config=self.config,
+            predicates=predicates,
+            reoptimizer=self.config.reoptimizer,
+        )
 
     def _apply_one_udf(
         self, plan: Operator, call: ClientUdfCall, remaining_calls: List[ClientUdfCall]

@@ -136,6 +136,109 @@ def overestimated_selectivity_scenario(**overrides) -> MisestimatedSelectivitySc
     return MisestimatedSelectivityScenario(**overrides)
 
 
+@dataclass
+class MisorderedUdfScenario:
+    """A two-UDF query whose misdeclared selectivities flip the right UDF *order*.
+
+    ``ProbeA`` declares itself very selective (so the enumerator applies it
+    first, expecting it to shrink the input for ``ProbeB``) but actually
+    keeps almost every row; ``ProbeB`` declares itself unselective but
+    actually filters nearly everything.  The committed plan *shape* — not
+    just a shipping strategy — is therefore wrong: the oracle applies B
+    first, and a mid-query re-optimization run observes the contradiction in
+    the first probe segments, re-enters the enumerator with the observed
+    statistics, and migrates the tail to the reordered plan.
+
+    The per-call costs are chosen so the *declared* numbers genuinely favour
+    A-first (A-first: ``cost_a + 0.05·cost_b`` < B-first:
+    ``cost_b + 0.95·cost_a`` per row) while the *actual* numbers favour
+    B-first by more than 2x — the misdeclaration flips the order, not a
+    knife-edge tie.  Values are laid out interleaved (a stride permutation),
+    so any prefix of the input reveals the true selectivities.
+    """
+
+    row_count: int = 600
+    stride: int = 37  # coprime with row_count: an interleaving permutation
+    declared_selectivity_a: float = 0.05
+    actual_selectivity_a: float = 0.95
+    declared_selectivity_b: float = 0.95
+    actual_selectivity_b: float = 0.05
+    cost_a_seconds: float = 0.001
+    cost_b_seconds: float = 0.0005
+    network: NetworkConfig = field(default_factory=NetworkConfig.paper_symmetric)
+
+    def __post_init__(self) -> None:
+        import math as _math
+
+        if self.stride <= 1 or _math.gcd(self.stride, self.row_count) != 1:
+            raise ValueError("stride must be > 1 and coprime with row_count")
+
+    @property
+    def sql(self) -> str:
+        threshold_a = self.actual_selectivity_a * self.row_count - 1
+        threshold_b = self.actual_selectivity_b * self.row_count - 1
+        return (
+            f"SELECT T.K FROM T WHERE ProbeA(T.V) <= {threshold_a:g} "
+            f"AND ProbeB(T.V) <= {threshold_b:g}"
+        )
+
+    @property
+    def committed_udf_order(self) -> tuple:
+        """The order the enumerator commits to, believing the declarations."""
+        return ("probea", "probeb")
+
+    @property
+    def oracle_udf_order(self) -> tuple:
+        """The order an oracle (knowing the actual selectivities) chooses."""
+        return ("probeb", "probea")
+
+    def build_database(self, statistics=None):
+        """A fresh database with the table and both probe UDFs registered."""
+        from repro.server.engine import Database
+        from repro.relational.types import FLOAT, INTEGER
+
+        db = Database(network=self.network, statistics=statistics)
+        rows = [
+            [index, float((index * self.stride) % self.row_count)]
+            for index in range(self.row_count)
+        ]
+        db.create_table("T", [("K", INTEGER), ("V", FLOAT)], rows=rows)
+        db.register_client_udf(
+            "ProbeA",
+            lambda value: value,
+            selectivity=self.declared_selectivity_a,
+            cost_per_call_seconds=self.cost_a_seconds,
+        )
+        db.register_client_udf(
+            "ProbeB",
+            lambda value: value,
+            selectivity=self.declared_selectivity_b,
+            cost_per_call_seconds=self.cost_b_seconds,
+        )
+        return db
+
+    def replan_policy(self):
+        """A one-migration policy: probe, decide once, drain the tail.
+
+        One migration (or one confirming keep) settles the controller, so
+        the segmentation overhead is bounded to the probe prefix whether the
+        declarations turn out wrong or right.
+        """
+        from repro.adaptive.reoptimizer import ReOptimizationPolicy
+
+        return ReOptimizationPolicy(max_replans=1, confirmation_boundaries=1)
+
+    def describe(self) -> str:
+        return (
+            f"ProbeA declared S={self.declared_selectivity_a:g} actual "
+            f"{self.actual_selectivity_a:g}, ProbeB declared "
+            f"S={self.declared_selectivity_b:g} actual "
+            f"{self.actual_selectivity_b:g}: committed order "
+            f"{list(self.committed_udf_order)}, oracle "
+            f"{list(self.oracle_udf_order)} ({self.network.name})"
+        )
+
+
 def underestimated_selectivity_scenario(**overrides) -> MisestimatedSelectivityScenario:
     """Declared 0.1, actual 0.9: the plan commits CSJ, semi-join is the oracle.
 

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.adaptive import BatchSizeController, SwitchPolicy
+from repro.adaptive import (
+    BatchSizeController,
+    ReOptimizationPolicy,
+    ReOptimizer,
+    SwitchPolicy,
+)
 from repro.core.costmodel import CostModel, CostParameters
 from repro.core.strategies import ExecutionStrategy, StrategyConfig
 from repro.network.resources import Store
@@ -238,10 +243,11 @@ def single_site_reference(workload: SyntheticWorkload):
     strategy=st.sampled_from(list(ExecutionStrategy)),
     adaptive=st.booleans(),
     switching=st.booleans(),
+    reoptimize=st.booleans(),
     interleaved=st.booleans(),
     declared_selectivity=st.sampled_from([None, 0.05, 0.95]),
 )
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=80, deadline=None)
 def test_every_execution_mode_matches_single_site(
     row_count,
     selectivity,
@@ -250,15 +256,19 @@ def test_every_execution_mode_matches_single_site(
     strategy,
     adaptive,
     switching,
+    reoptimize,
     interleaved,
     declared_selectivity,
 ):
-    """Strategy x batch size x adaptive batching x mid-query switching —
+    """Strategy x batch x adaptive batching x switching x re-optimization —
     every combination returns the exact single-site result multiset.
 
     The declared selectivity is deliberately allowed to lie (it only feeds
-    the switcher's priors), and the tiny segment policy forces multiple
-    segments — and realistic switches — even on small inputs.
+    the switcher's and re-optimizer's priors), and the tiny segment policies
+    force multiple segments — and realistic switches / plan migrations —
+    even on small inputs.  ``reoptimize`` routes execution through the
+    :class:`PlanMigrationOperator` (it supersedes per-UDF switching when
+    both are armed, like the engine path).
     """
     workload = SyntheticWorkload(
         row_count=row_count,
@@ -278,6 +288,17 @@ def test_every_execution_mode_matches_single_site(
         config = config.with_switch_policy(
             SwitchPolicy(
                 initial_segment_rows=4, min_rows_before_switch=4, max_segment_rows=16
+            )
+        )
+    if reoptimize:
+        config = config.with_reoptimizer(
+            ReOptimizer(
+                policy=ReOptimizationPolicy(
+                    initial_segment_rows=4,
+                    min_rows_before_replan=4,
+                    max_segment_rows=16,
+                    hysteresis=0.0,
+                )
             )
         )
     point = run_workload_point(workload, FAST, config)
