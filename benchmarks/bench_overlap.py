@@ -1,0 +1,175 @@
+"""Overlapped vs. synchronous UDF shipping, and Figure 6 on the new protocol.
+
+The overlapped shipping protocol keeps up to W request batches outstanding on
+the wire while the server keeps producing — the batch-level generalisation of
+the paper's pipeline-concurrency analysis (Section 3.1.2, Figure 6).  Two
+experiments:
+
+* **Overlap speedup** — each of the three strategies on a high-latency link,
+  synchronous (window 1) vs. overlapped (window W).  Asserted: the overlapped
+  run returns exactly the synchronous run's rows, carries exactly the same
+  wire trace (message count and bytes — the window changes *when* messages
+  leave, never what is sent), and is at least 1.5x faster in simulated time.
+  The cost model's overlap term must predict the speedup's direction and
+  rough magnitude.
+
+* **Figure 6 regenerated on the new protocol** — the concurrency sweep of
+  the paper, with the in-flight *batch window* as the swept knob: execution
+  time falls steeply from window 1 and flattens once the window covers the
+  pipeline's bandwidth-latency product, exactly like the original
+  tuple-granular sweep.
+
+Set ``REPRO_BENCH_SMOKE=1`` to run the reduced CI configuration (fewer rows
+and fewer swept windows).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.costmodel import CostModel, CostParameters
+from repro.core.strategies import ExecutionStrategy, StrategyConfig
+from repro.network.topology import NetworkConfig
+from repro.workloads.experiments import run_workload_point
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: Reduced configuration for the CI smoke job.
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+ROW_COUNT = 60 if SMOKE else 120
+BATCH_SIZE = 4
+WINDOW = 4
+WINDOW_SWEEP = (1, 2, 4, 8) if SMOKE else (1, 2, 3, 4, 6, 8, 12, 16)
+
+#: A link where latency dominates transfer: 1 MB/s both ways, 200 ms one-way.
+HIGH_LATENCY = NetworkConfig.symmetric(1_000_000.0, latency=0.2, name="overlap-highlat")
+
+#: The Figure 6 sweep needs a *bandwidth-limited* link so the flattening knee
+#: (the pipeline's B·T product, in batches) falls inside the swept range —
+#: the paper's slow-modem setup, as in ``bench_fig6_concurrency``.
+MODEM = NetworkConfig.symmetric(3600.0, latency=0.4, name="overlap-modem")
+
+
+def _workload() -> SyntheticWorkload:
+    return SyntheticWorkload(
+        row_count=ROW_COUNT,
+        input_record_bytes=200,
+        argument_fraction=0.5,
+        result_bytes=50,
+        selectivity=0.5,
+        distinct_fraction=1.0,
+        udf_cost_seconds=0.0005,
+    )
+
+
+def _config(strategy: ExecutionStrategy, overlap_window: int) -> StrategyConfig:
+    if strategy is ExecutionStrategy.NAIVE:
+        return StrategyConfig.naive(batch_size=BATCH_SIZE, overlap_window=overlap_window)
+    if strategy is ExecutionStrategy.SEMI_JOIN:
+        # Pin a tuple pipeline large enough that the batch window is the
+        # binding knob, as in the window-bound tests.
+        return StrategyConfig.semi_join(
+            batch_size=BATCH_SIZE,
+            concurrency_factor=BATCH_SIZE * max(WINDOW_SWEEP),
+            overlap_window=overlap_window,
+        )
+    return StrategyConfig.client_site_join(
+        batch_size=BATCH_SIZE, overlap_window=overlap_window
+    )
+
+
+@pytest.mark.benchmark(group="overlap")
+def test_overlapped_beats_synchronous_shipping(benchmark, once):
+    workload = _workload()
+
+    def run():
+        results = {}
+        for strategy in ExecutionStrategy:
+            synchronous = run_workload_point(
+                workload, HIGH_LATENCY, _config(strategy, overlap_window=1)
+            )
+            overlapped = run_workload_point(
+                workload, HIGH_LATENCY, _config(strategy, overlap_window=WINDOW)
+            )
+            results[strategy] = (synchronous, overlapped)
+        return results
+
+    results = once(benchmark, run)
+
+    print(f"\nOverlapped (W={WINDOW}) vs. synchronous (W=1) shipping, "
+          f"{ROW_COUNT} rows, batch {BATCH_SIZE}, 200 ms link")
+    print(f"{'strategy':>18} {'sync s':>10} {'overlap s':>10} {'speedup':>8}")
+    for strategy, (synchronous, overlapped) in results.items():
+        speedup = synchronous.elapsed_seconds / overlapped.elapsed_seconds
+        print(
+            f"{strategy.value:>18} {synchronous.elapsed_seconds:>10.3f} "
+            f"{overlapped.elapsed_seconds:>10.3f} {speedup:>8.2f}x"
+        )
+
+    parameters = CostParameters.paper_experiment(
+        input_record_bytes=workload.input_record_bytes,
+        argument_fraction=workload.argument_fraction,
+        result_bytes=workload.result_bytes,
+        selectivity=workload.selectivity,
+    )
+    model = CostModel(parameters)
+
+    for strategy, (synchronous, overlapped) in results.items():
+        # Identical answers and identical wire traces: the window changes
+        # when messages leave, never what is sent.
+        assert overlapped.result_rows == synchronous.result_rows
+        assert overlapped.downlink_messages == synchronous.downlink_messages
+        assert overlapped.uplink_messages == synchronous.uplink_messages
+        assert overlapped.downlink_bytes == synchronous.downlink_bytes
+        assert overlapped.uplink_bytes == synchronous.uplink_bytes
+        # The acceptance bar: >= 1.5x faster with W >= 4 on the high-latency
+        # link, for every strategy.
+        assert overlapped.elapsed_seconds * 1.5 <= synchronous.elapsed_seconds
+        # The cost model's overlap term predicts a speedup in the same
+        # direction (it models bytes, not latency, so only the direction and
+        # a loose magnitude are checked).
+        assert model.overlap_speedup(strategy, WINDOW) >= 1.0
+
+
+@pytest.mark.benchmark(group="overlap")
+def test_fig6_window_sweep_on_the_new_protocol(benchmark, once):
+    workload = _workload()
+
+    def run():
+        series = {}
+        for strategy in ExecutionStrategy:
+            points = []
+            for window in WINDOW_SWEEP:
+                point = run_workload_point(
+                    workload, MODEM, _config(strategy, overlap_window=window)
+                )
+                points.append((window, point.elapsed_seconds))
+            series[strategy] = points
+        return series
+
+    series = once(benchmark, run)
+
+    print("\nFigure 6 on the overlapped protocol — time (s) vs. in-flight window")
+    header = "window".rjust(8) + "".join(
+        f"{strategy.value:>20}" for strategy in ExecutionStrategy
+    )
+    print(header)
+    for index, window in enumerate(WINDOW_SWEEP):
+        row = f"{window:>8d}"
+        for strategy in ExecutionStrategy:
+            row += f"{series[strategy][index][1]:>20.3f}"
+        print(row)
+
+    for strategy in ExecutionStrategy:
+        times = dict(series[strategy])
+        ordered = [elapsed for _, elapsed in series[strategy]]
+        # Steep improvement from synchronous to a modest window.
+        assert times[4] < 0.55 * times[1]
+        # Times never get worse as the window grows (within a small slack).
+        assert all(b <= a * 1.05 for a, b in zip(ordered, ordered[1:]))
+        # Flattening: past the pipeline's capacity more window barely helps.
+        deep = [elapsed for window, elapsed in series[strategy] if window >= 8]
+        if len(deep) > 1:
+            assert max(deep) <= min(deep) * 1.25

@@ -1,0 +1,84 @@
+"""Overlapped UDF shipping: hiding a slow link behind the in-flight window.
+
+Every execution strategy ships its work to the client as a stream of request
+batches.  On a high-latency link the difference between *synchronous*
+shipping (one batch on the wire at a time — the paper's naive strategy) and
+*overlapped* shipping (up to W batches outstanding while the server keeps
+producing) is the whole game: the wire carries exactly the same messages and
+bytes either way, but the overlapped run pays the round-trip latency once
+per window instead of once per batch.
+
+This example runs the same query three ways on a 200 ms link:
+
+1. synchronously (``overlap_window=1``),
+2. with a fixed window of 6,
+3. adaptively (``adaptive=True``) — the ``OverlapWindowController``
+   hill-climbs the window on observed rows/second while the query runs,
+   alongside the batch-size controller.
+
+Run with::
+
+    python examples/overlapped_execution.py
+"""
+
+from __future__ import annotations
+
+from repro import Database, NetworkConfig, StrategyConfig
+from repro.relational.types import FLOAT, INTEGER
+
+
+def build_database() -> Database:
+    # 1 MB/s both ways, but 200 ms one-way latency: a long fat pipe where
+    # synchronous shipping wastes almost all of every round trip.
+    network = NetworkConfig.symmetric(1_000_000.0, latency=0.2, name="high-latency")
+    db = Database(network=network)
+    db.create_table(
+        "Readings",
+        [("Id", INTEGER), ("Value", FLOAT)],
+        rows=[[i, float(i)] for i in range(240)],
+    )
+    db.register_client_udf("Score", lambda value: value * 2.0, selectivity=0.5)
+    return db
+
+
+QUERY = "SELECT R.Id FROM Readings R WHERE Score(R.Value) > 120"
+
+
+def main() -> None:
+    config = StrategyConfig.naive(batch_size=8)
+
+    print("=== Synchronous shipping (window 1 — the paper's naive wire) ===")
+    db = build_database()
+    synchronous = db.execute(QUERY, config=config, overlap_window=1)
+    print(f"elapsed {synchronous.metrics.elapsed_seconds:.3f}s | "
+          f"{synchronous.metrics.downlink_messages} downlink msgs | "
+          f"peak in-flight {synchronous.metrics.peak_in_flight_batches}")
+
+    print("\n=== Overlapped shipping (window 6) ===")
+    db = build_database()
+    overlapped = db.execute(QUERY, config=config, overlap_window=6)
+    print(f"elapsed {overlapped.metrics.elapsed_seconds:.3f}s | "
+          f"{overlapped.metrics.downlink_messages} downlink msgs | "
+          f"peak in-flight {overlapped.metrics.peak_in_flight_batches} | "
+          f"sender stalled {overlapped.metrics.send_stall_seconds:.3f}s")
+
+    print("\n=== Adaptive window (the controller finds W while running) ===")
+    db = build_database()
+    adaptive = db.execute(QUERY, config=config, adaptive=True)
+    print(f"elapsed {adaptive.metrics.elapsed_seconds:.3f}s | "
+          f"peak in-flight {adaptive.metrics.peak_in_flight_batches} | "
+          f"window ended at {adaptive.metrics.overlap_window}")
+
+    print("\nSame wire either way:")
+    print(f"  synchronous: {synchronous.metrics.downlink_bytes} B down, "
+          f"{synchronous.metrics.uplink_bytes} B up")
+    print(f"  overlapped:  {overlapped.metrics.downlink_bytes} B down, "
+          f"{overlapped.metrics.uplink_bytes} B up")
+    speedup = synchronous.metrics.elapsed_seconds / overlapped.metrics.elapsed_seconds
+    print(f"\nOverlap hides the latency: {speedup:.1f}x faster, identical bytes.")
+
+    assert synchronous.row_set() == overlapped.row_set() == adaptive.row_set()
+
+
+if __name__ == "__main__":
+    main()

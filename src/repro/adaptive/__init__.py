@@ -37,6 +37,7 @@ from repro.adaptive.controller import (
     BatchControllerBank,
     BatchDecision,
     BatchSizeController,
+    OverlapWindowController,
 )
 from repro.adaptive.observer import (
     LinkObservation,
@@ -68,6 +69,7 @@ __all__ = [
     "BatchSizeController",
     "LinkObservation",
     "MigrationObservation",
+    "OverlapWindowController",
     "PlanShape",
     "PredicateObservation",
     "PredicateSpec",

@@ -246,6 +246,46 @@ class BatchSizeController:
         )
 
 
+class OverlapWindowController(BatchSizeController):
+    """Hill-climbs the overlapped shipping protocol's in-flight batch window.
+
+    Reuses the batch-size climber unchanged — the knob is the number of
+    request batches outstanding on the wire
+    (:class:`~repro.core.execution.overlap.InFlightWindow` capacity) instead
+    of the rows per batch, and the signal is the same observed rows/second
+    the strategies already report at every acknowledged batch.  A window too
+    small leaves the links idle between round trips (the Figure 6 cliff at
+    low concurrency factors); a window past the pipeline's B·T product only
+    adds buffering; the climber finds the knee from measurements, and its
+    collapse/re-probe machinery re-finds it when the link drifts.
+
+    The ladder is deliberately small (windows are counted in batches, and a
+    few batches already cover most pipelines), and the defaults start at a
+    modest double-buffered window so the first measurement window is neither
+    synchronous nor unbounded.
+    """
+
+    def __init__(
+        self,
+        initial_window: int = 2,
+        min_window: int = 1,
+        max_window: int = 64,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            initial_batch_size=initial_window,
+            min_batch_size=min_window,
+            max_batch_size=max_window,
+            **kwargs,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"OverlapWindowController(window={self.current()}, "
+            f"windows={len(self.decisions)}, rows={self.rows_observed})"
+        )
+
+
 class BatchControllerBank:
     """Per-UDF adaptive batch-size controllers with independent ladders.
 

@@ -130,6 +130,11 @@ class SegmentObservation:
     uplink_bandwidth: float
     latency: float
     batch_size: float = 1.0
+    #: The configured in-flight batch window, when the overlapped shipping
+    #: protocol is explicitly armed — re-costing then prices the naive
+    #: strategy as pipelined rather than synchronous.  ``None`` keeps each
+    #: strategy's default assumption.
+    overlap_window: Optional[float] = None
     has_predicate: bool = True
 
 
@@ -281,6 +286,7 @@ class StrategySwitcher:
                 latency=observation.latency,
                 settings=self.settings,
                 batch_size=observation.batch_size,
+                overlap_window=observation.overlap_window,
             )
             for strategy in self.policy.candidate_strategies
         }

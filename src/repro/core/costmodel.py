@@ -261,6 +261,37 @@ class CostModel:
     def all_costs(self) -> Dict[ExecutionStrategy, StrategyCost]:
         return {strategy: self.cost(strategy) for strategy in ExecutionStrategy}
 
+    def overlapped_cost(self, strategy: ExecutionStrategy, overlap_window: float) -> float:
+        """Per-tuple cost with up to ``overlap_window`` batches in flight.
+
+        The overlap-aware extension of the bottleneck rule: with W request
+        batches outstanding the two link transfers combine as their *max*
+        (the overlapped share) plus the non-overlapped remainder amortised
+        over the window::
+
+            cost(W) = max(down, up) + (down + up - max(down, up)) / W
+
+        ``W = 1`` is synchronous shipping — the links take turns, so their
+        costs *add* (the naive strategy's round-trip behaviour); as ``W``
+        grows the cost approaches the paper's pure ``max()`` bottleneck,
+        which is what the pipelined strategies already assume.
+        """
+        if overlap_window < 1:
+            raise ValueError("overlap_window must be at least 1")
+        cost = self.cost(strategy)
+        down = cost.downlink_bytes
+        up = cost.weighted_uplink_bytes
+        overlapped = max(down, up)
+        return overlapped + (down + up - overlapped) / overlap_window
+
+    def overlap_speedup(self, strategy: ExecutionStrategy, overlap_window: float) -> float:
+        """Predicted (synchronous time) / (time with ``overlap_window`` batches)."""
+        synchronous = self.overlapped_cost(strategy, 1.0)
+        overlapped = self.overlapped_cost(strategy, overlap_window)
+        if overlapped <= 0:
+            return 1.0
+        return synchronous / overlapped
+
     def batching_speedup(self, strategy: ExecutionStrategy, batch_size: float) -> float:
         """Predicted (batch of 1 time) / (batch of ``batch_size`` time).
 

@@ -266,6 +266,7 @@ class AdaptiveStrategyOperator(ClientSiteJoinOperator):
         )
         returned_row_bytes = self._suffix_projected_bytes[position] / remaining + result_bytes
 
+        configured_window = self.config.next_overlap_window(self.udf.name)
         return SegmentObservation(
             rows_processed=processed,
             rows_surviving=surviving,
@@ -280,6 +281,9 @@ class AdaptiveStrategyOperator(ClientSiteJoinOperator):
             uplink_bandwidth=uplink,
             latency=network.latency if network is not None else 0.0,
             batch_size=float(self.next_batch_size()),
+            overlap_window=(
+                float(configured_window) if configured_window is not None else None
+            ),
             has_predicate=self.pushable_predicate is not None,
         )
 
@@ -305,6 +309,13 @@ class AdaptiveStrategyOperator(ClientSiteJoinOperator):
         occupancy = getattr(inner, "peak_pipeline_occupancy", None)
         if occupancy is not None:
             self.peak_pipeline_occupancy = occupancy
+        self.peak_in_flight_batches = max(
+            self.peak_in_flight_batches, getattr(inner, "peak_in_flight_batches", 0)
+        )
+        self.send_stall_seconds += getattr(inner, "send_stall_seconds", 0.0)
+        window = getattr(inner, "overlap_window_used", None)
+        if window is not None:
+            self.overlap_window_used = window
 
     def describe(self) -> str:
         used = "/".join(strategy.value for strategy in self.switcher.strategies_used)
@@ -483,6 +494,9 @@ class PlanMigrationOperator(Operator):
         # Instrumentation the executor and observer read.
         self.input_row_count = 0
         self.output_row_count = 0
+        self.peak_in_flight_batches = 0
+        self.send_stall_seconds = 0.0
+        self.overlap_window_used: Optional[int] = None
         #: ``(shape, input_rows)`` per executed segment, in order.
         self.segments: List[Tuple[PlanShape, int]] = []
         # Cumulative per-canonical-predicate (survived, processed) counts and
@@ -520,15 +534,19 @@ class PlanMigrationOperator(Operator):
             units, stage_keys = self._build_pipeline(shape, segment)
             segment_rows = units[-1].run()
             self._account_segment(shape, units, stage_keys, len(segment))
-            outputs.extend(self._canonicalise(shape, segment_rows))
+            if self.output_columns is not None:
+                # With a pushable projection the pipeline's stages already
+                # prune to the needed columns and the last stage projects to
+                # the final output shape, identically under every plan shape.
+                outputs.extend(segment_rows)
+            else:
+                outputs.extend(self._canonicalise(shape, segment_rows))
             self.segments.append((shape, len(segment)))
 
             if position < len(rows) and not exhausted:
                 self.reoptimizer.consider(self._observation(position))
             index += 1
 
-        if self._projection_positions is not None:
-            outputs = [row.project(self._projection_positions) for row in outputs]
         self.output_row_count = len(outputs)
         yield from outputs
 
@@ -548,7 +566,8 @@ class PlanMigrationOperator(Operator):
         units: List[Operator] = []
         stage_keys: List[Optional[str]] = []
         assignment = assign_predicates_to_stages(shape.udf_order, self.predicates)
-        for name, indexes in zip(shape.udf_order, assignment):
+        stage_projections = self._stage_projections(shape, assignment)
+        for name, indexes, projection in zip(shape.udf_order, assignment, stage_projections):
             stage = self._stage_by_name[name]
             conjunction = conjoin([self.predicates[i].expression for i in indexes])
             stage_config = (
@@ -563,7 +582,7 @@ class PlanMigrationOperator(Operator):
                 context=self.context,
                 config=stage_config,
                 pushable_predicate=conjunction,
-                output_columns=None,
+                output_columns=projection,
                 result_column_name=stage.result_column_name,
                 semi_join_state=self._states[name],
             )
@@ -572,6 +591,60 @@ class PlanMigrationOperator(Operator):
                 canonical_predicate_key(conjunction) if conjunction is not None else None
             )
         return units, stage_keys
+
+    def _stage_projections(
+        self, shape: PlanShape, assignment: List[List[int]]
+    ) -> List[Optional[List[str]]]:
+        """Per-stage pushable projections under ``shape``.
+
+        Without an operator-level projection every stage keeps every column
+        (``None`` throughout — the legacy behaviour).  With one, each
+        mid-chain stage keeps only the columns still needed *downstream* —
+        the final output columns, argument columns of later stages, and
+        columns of predicates assigned to later stages — and the last stage
+        projects to the final output columns themselves.  Client-site join
+        stages push the pruned projection to the client, so mid-chain CSJ
+        uplinks stop carrying columns nothing later reads; the last stage's
+        projection is shape-independent, which is what keeps every migration
+        path's output identical.
+        """
+        order = shape.udf_order
+        if self.output_columns is None:
+            return [None] * len(order)
+
+        def bare(name: str) -> str:
+            return name.partition(".")[2] if "." in name else name
+
+        # needed_after[i]: names needed by anything after stage i.
+        running = set(self.output_columns) | {bare(name) for name in self.output_columns}
+        needed_after: List[set] = [set()] * len(order)
+        for position in range(len(order) - 1, -1, -1):
+            needed_after[position] = set(running)
+            stage = self._stage_by_name[order[position]]
+            for column in stage.argument_columns:
+                running.add(column)
+                running.add(bare(column))
+            for index in assignment[position]:
+                for column in self.predicates[index].expression.columns():
+                    running.add(column)
+                    running.add(bare(column))
+
+        projections: List[Optional[List[str]]] = []
+        current = [column.qualified_name for column in self.child_schema.columns]
+        for position, name in enumerate(order):
+            current = current + [self._stage_by_name[name].result_column_name]
+            if position == len(order) - 1:
+                kept = list(self.output_columns)
+            else:
+                needed = needed_after[position]
+                kept = [
+                    column
+                    for column in current
+                    if column in needed or bare(column) in needed
+                ]
+            projections.append(kept)
+            current = kept
+        return projections
 
     def _account_segment(
         self,
@@ -587,6 +660,13 @@ class PlanMigrationOperator(Operator):
                 survived, processed = self._predicate_counts.get(key, (0, 0))
                 self._predicate_counts[key] = (survived + rows_out, processed + rows_in)
             remote = _find_remote(unit)
+            if remote is not None:
+                self.peak_in_flight_batches = max(
+                    self.peak_in_flight_batches, remote.peak_in_flight_batches
+                )
+                self.send_stall_seconds += remote.send_stall_seconds
+                if remote.overlap_window_used is not None:
+                    self.overlap_window_used = remote.overlap_window_used
             distinct = remote.distinct_argument_count if remote is not None else rows_in
             previous = self._udf_unit_counts.get(name, (0, 0, 0))
             self._udf_unit_counts[name] = (

@@ -4,15 +4,18 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
+import math
+
 from repro.errors import ExecutionError
 from repro.client.udf import UdfDefinition
 from repro.core.execution.context import RemoteExecutionContext
+from repro.core.execution.overlap import InFlightWindow
 from repro.core.strategies import StrategyConfig
 from repro.network.message import Message, MessageKind
 from repro.relational.operators.base import Operator
 from repro.relational.operators.sort import _NullsFirstKey
 from repro.relational.schema import Column, Schema
-from repro.relational.tuples import Row, row_size, values_size
+from repro.relational.tuples import Row, row_size, rows_size, values_size
 
 
 class RemoteUdfOperator(Operator):
@@ -58,6 +61,10 @@ class RemoteUdfOperator(Operator):
         self.input_row_count = 0
         self.output_row_count = 0
         self.distinct_argument_count = 0
+        # Overlap instrumentation (the shared shipping protocol's window).
+        self.peak_in_flight_batches = 0
+        self.send_stall_seconds = 0.0
+        self.overlap_window_used: Optional[int] = None
 
     # -- operator protocol ------------------------------------------------------------
 
@@ -87,10 +94,52 @@ class RemoteUdfOperator(Operator):
         return self.config.next_batch_size(self.udf.name)
 
     def observe_batch(self, rows: int) -> None:
-        """Report ``rows`` acknowledged input rows to this UDF's controller."""
+        """Report ``rows`` acknowledged input rows to this UDF's controllers.
+
+        Both adaptive knobs — the batch size and the in-flight window — feed
+        on the same rows/second signal; each hill-climbs its own ladder.
+        """
+        now = self.context.simulator.now
         controller = self.config.controller_for(self.udf.name)
         if controller is not None:
-            controller.observe_rows(rows, self.context.simulator.now)
+            controller.observe_rows(rows, now)
+        window_controller = self.config.overlap_controller_for(self.udf.name)
+        if window_controller is not None:
+            window_controller.observe_rows(rows, now)
+
+    # -- overlapped shipping -----------------------------------------------------------
+
+    def make_window(self, default: Optional[float] = None) -> InFlightWindow:
+        """The in-flight batch window for this operation's request stream.
+
+        ``default`` is the strategy's historical window when neither an
+        explicit ``overlap_window`` nor a controller is configured: 1 for
+        synchronous shipping (naive), ``None``/inf for free streaming
+        (semi-join, client-site join).
+        """
+        target = self.config.next_overlap_window(self.udf.name)
+        if target is None:
+            target = default
+        capacity = float(target) if target is not None else math.inf
+        return InFlightWindow(
+            self.context.simulator,
+            capacity=capacity,
+            name=f"{type(self).__name__}.window",
+        )
+
+    def refresh_window(self, window: InFlightWindow, floor: int = 1) -> None:
+        """Re-read the window target at a batch boundary (adaptive-aware)."""
+        target = self.config.next_overlap_window(self.udf.name)
+        if target is not None:
+            window.resize(max(floor, target))
+
+    def finish_window(self, window: InFlightWindow) -> None:
+        """Record the window's instrumentation after the operation drains."""
+        self.peak_in_flight_batches = max(
+            self.peak_in_flight_batches, window.peak_in_flight
+        )
+        self.send_stall_seconds += window.stall_seconds
+        self.overlap_window_used = window.capacity_or_none
 
     # -- shared helpers ----------------------------------------------------------------
 
@@ -103,6 +152,10 @@ class RemoteUdfOperator(Operator):
 
     def record_bytes(self, row: Sequence[Any]) -> int:
         return row_size(row, self.child_schema)
+
+    def records_size(self, rows: Sequence[Sequence[Any]]) -> int:
+        """Wire size of many child rows, via the schema's cached size plan."""
+        return rows_size(rows, self.child_schema)
 
     def sorted_by_arguments(self, rows: List[Row]) -> List[Row]:
         """Rows ordered (stably) by their argument tuples, grouping duplicates."""

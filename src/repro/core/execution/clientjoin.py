@@ -107,19 +107,25 @@ class ClientSiteJoinOperator(RemoteUdfOperator):
         # *input* rows it acknowledges — surviving-row counts would confound
         # the throughput signal with the predicate's selectivity.
         sent_sizes: Deque[int] = deque()
+        # Historically the sender streams freely (the downlink is the only
+        # brake); an explicit overlap_window (or its controller) bounds the
+        # record batches outstanding on the wire instead.
+        window = self.make_window(default=None)
 
         def sender():
             start = 0
             while start < len(rows):
-                # Re-read the target at every batch boundary: an adaptive
-                # controller may have changed it since the last send.
+                # Re-read the targets at every batch boundary: adaptive
+                # controllers may have moved them since the last send.
                 chunk = rows[start : start + self.next_batch_size()]
                 start += len(chunk)
                 sent_sizes.append(len(chunk))
+                self.refresh_window(window)
+                yield window.acquire()
                 yield channel.send_batch_to_client(
                     MessageKind.RECORDS,
                     RecordBatch(calls=[call], rows=[tuple(row) for row in chunk], pushed=pushed),
-                    payload_bytes=sum(self.record_bytes(row) for row in chunk),
+                    payload_bytes=self.records_size(chunk),
                     row_count=len(chunk),
                     description=f"csj {self.udf.name} x{len(chunk)}",
                 )
@@ -132,6 +138,7 @@ class ClientSiteJoinOperator(RemoteUdfOperator):
                 if is_end_of_stream(reply):
                     break
                 self.check_reply(reply)
+                window.release()
                 for values in reply.payload.rows:
                     output.append(Row(values))
                 if sent_sizes:
@@ -142,6 +149,7 @@ class ClientSiteJoinOperator(RemoteUdfOperator):
         receiver_process = simulator.process(receiver(), name="clientjoin.receiver")
         output = yield receiver_process
         yield sender_process
+        self.finish_window(window)
 
         self.distinct_argument_count = len({self.argument_tuple(row) for row in rows})
         return self._finish_on_server(output, push_predicate, push_projection)

@@ -1,31 +1,40 @@
-"""Naive blocking execution of a client-site UDF (Section 2.1).
+"""Naive execution of a client-site UDF (Section 2.1), on the overlapped wire.
 
 This is the paper's strawman: treating the client-site UDF like an expensive
 server-site UDF that happens to make a remote call.  The server ships a batch
 of argument tuples (``StrategyConfig.batch_size``; the paper's setup is a
-batch of one), blocks until the client returns the results, and only then
-proceeds — so the full network round-trip latency is paid per batch and the
-pipeline formed by downlink, client, and uplink is never more than one batch
-deep.  With ``batch_size=1`` the wire behaviour (one synchronous round trip
-per tuple) matches the paper exactly.
+batch of one) and needs the client's reply before the corresponding rows can
+proceed.  Shipping now runs over the shared overlapped request/response
+protocol (:mod:`repro.core.execution.overlap`): with the default in-flight
+window of 1 the wire behaviour is the paper's — one synchronous round trip
+per batch, the full network latency paid every time, the pipeline never more
+than one batch deep.  A wider window (``StrategyConfig.overlap_window``, or
+the adaptive :class:`~repro.adaptive.controller.OverlapWindowController`)
+keeps up to W batches outstanding, overlapping client computation with
+network transfer exactly as the Figure 6 concurrency analysis prescribes —
+the wire carries the same messages and bytes, just without the per-batch
+stalls.
 
 The only optimisation kept from the server-site world is [HN97]-style result
 caching of duplicate argument tuples on the server, controlled by
-``StrategyConfig.server_result_cache``.
+``StrategyConfig.server_result_cache``.  Duplicate decisions are made at
+*enqueue* time against everything already sent or in flight, so the wire
+trace is identical whatever the window is.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.client.protocol import ArgumentBatch, RemoteCall, ResultBatch
 from repro.core.execution.base import RemoteUdfOperator
-from repro.network.message import MessageKind, end_of_stream
+from repro.network.message import MessageKind, end_of_stream, is_end_of_stream
 from repro.relational.tuples import Row
 
 
 class NaiveUdfOperator(RemoteUdfOperator):
-    """One synchronous client round trip per batch of input tuples.
+    """One client round trip per batch of input tuples, up to W in flight.
 
     ``carry_state`` (a :class:`~repro.core.execution.semijoin.SemiJoinSegmentState`)
     shares the server result cache across the segments of an adaptive
@@ -38,6 +47,7 @@ class NaiveUdfOperator(RemoteUdfOperator):
         self.carry_state = carry_state
 
     def _drive(self, rows: List[Row]):
+        simulator = self.context.simulator
         channel = self.context.channel
         call = RemoteCall(
             udf_name=self.udf.name,
@@ -48,70 +58,115 @@ class NaiveUdfOperator(RemoteUdfOperator):
         cache: Dict[Tuple[Any, ...], Any] = (
             carried.results if carried is not None else {}
         )
-        output: List[Row] = []
+        # The naive strategy's historical wire behaviour is synchronous:
+        # window 1 unless the config (or its controller) says otherwise.
+        window = self.make_window(default=1)
+
         distinct_arguments = set()
+        # How each input row resolves, in input order: ``(row, arguments,
+        # batch_id, offset)`` — ``batch_id`` None for rows answered from the
+        # server cache at enqueue time, else the index of the request batch
+        # (and the offset within it) that carries the row's arguments.
+        resolution: List[Tuple[Row, Tuple[Any, ...], Optional[int], Optional[int]]] = []
+        # One slot per request batch, filled by the receiver in FIFO order.
+        batch_results: List[Optional[List[Any]]] = []
+        # Input rows acknowledged by each reply (cache-resolved rows between
+        # flushes count toward the batch that follows them), FIFO.
+        acknowledged: Deque[int] = deque()
 
-        # Rows awaiting the next flush, in arrival order.  ``index`` points
-        # into the pending argument batch, or is None for rows resolved from
-        # the server cache.
-        pending_rows: List[Tuple[Row, Tuple[Any, ...], Optional[int]]] = []
-        pending_arguments: List[Tuple[Any, ...]] = []
-        pending_index: Dict[Tuple[Any, ...], int] = {}
-
-        def flush():
-            results: List[Any] = []
-            flushed_rows = len(pending_rows)
-            if pending_arguments:
+        def sender():
+            pending: List[Tuple[Any, ...]] = []
+            # Arguments already sent (or pending) resolve to the batch that
+            # carries them; like the cache, only consulted when caching is on.
+            shipped_index: Dict[Tuple[Any, ...], Tuple[int, int]] = {}
+            covered = 0
+            next_batch_id = 0
+            for row in rows:
+                arguments = self.argument_tuple(row)
+                distinct_arguments.add(arguments)
+                covered += 1
+                if use_cache:
+                    if arguments in cache:
+                        resolution.append((row, arguments, None, None))
+                        continue
+                    shipped = shipped_index.get(arguments)
+                    if shipped is not None:
+                        resolution.append((row, arguments) + shipped)
+                        continue
+                offset = len(pending)
+                pending.append(arguments)
+                if use_cache:
+                    shipped_index[arguments] = (next_batch_id, offset)
+                resolution.append((row, arguments, next_batch_id, offset))
+                # Re-read the targets each time: adaptive controllers may
+                # have moved the batch size or the window since the last send.
+                if len(pending) >= self.next_batch_size():
+                    self.refresh_window(window)
+                    yield window.acquire()
+                    yield channel.send_batch_to_client(
+                        MessageKind.UDF_ARGUMENTS,
+                        ArgumentBatch(call=call, argument_tuples=list(pending)),
+                        payload_bytes=sum(self.argument_bytes(args) for args in pending),
+                        row_count=len(pending),
+                        description=f"naive {self.udf.name} x{len(pending)}",
+                    )
+                    acknowledged.append(covered)
+                    covered = 0
+                    batch_results.append(None)
+                    next_batch_id += 1
+                    pending.clear()
+            if pending:
+                self.refresh_window(window)
+                yield window.acquire()
                 yield channel.send_batch_to_client(
                     MessageKind.UDF_ARGUMENTS,
-                    ArgumentBatch(call=call, argument_tuples=list(pending_arguments)),
-                    payload_bytes=sum(self.argument_bytes(args) for args in pending_arguments),
-                    row_count=len(pending_arguments),
-                    description=f"naive {self.udf.name} x{len(pending_arguments)}",
+                    ArgumentBatch(call=call, argument_tuples=list(pending)),
+                    payload_bytes=sum(self.argument_bytes(args) for args in pending),
+                    row_count=len(pending),
+                    description=f"naive {self.udf.name} x{len(pending)}",
                 )
+                acknowledged.append(covered)
+                batch_results.append(None)
+                pending.clear()
+            yield channel.send_to_client(end_of_stream())
+
+        def receiver():
+            received = 0
+            while True:
                 reply = yield channel.receive_at_server()
+                if is_end_of_stream(reply):
+                    return
                 self.check_reply(reply)
+                window.release()
                 batch: ResultBatch = reply.payload
-                results = batch.results
-                self.observe_batch(flushed_rows)
-            for row, arguments, index in pending_rows:
-                result = cache[arguments] if index is None else results[index]
-                if use_cache:
-                    cache[arguments] = result
-                    if carried is not None:
-                        # Mark the argument resolved for *other* strategies
-                        # sharing this state: a later semi-join segment must
-                        # treat it as already shipped (its receiver answers
-                        # from carried.results).
-                        carried.seen.add(arguments)
-                output.append(row.append(result))
-            pending_rows.clear()
-            pending_arguments.clear()
-            pending_index.clear()
+                batch_results[received] = batch.results
+                received += 1
+                if acknowledged:
+                    self.observe_batch(acknowledged.popleft())
 
-        for row in rows:
-            arguments = self.argument_tuple(row)
-            distinct_arguments.add(arguments)
-            if use_cache and arguments in cache:
-                pending_rows.append((row, arguments, None))
-                continue
-            if use_cache and arguments in pending_index:
-                pending_rows.append((row, arguments, pending_index[arguments]))
-                continue
-            index = len(pending_arguments)
-            pending_arguments.append(arguments)
+        sender_process = simulator.process(sender(), name="naive.sender")
+        receiver_process = simulator.process(receiver(), name="naive.receiver")
+        # Wait for the receiver first: a client failure surfaces there even
+        # while the sender is still blocked on a window slot.
+        yield receiver_process
+        yield sender_process
+        self.finish_window(window)
+
+        output: List[Row] = []
+        for row, arguments, batch_id, offset in resolution:
+            if batch_id is None:
+                result = cache[arguments]
+            else:
+                result = batch_results[batch_id][offset]
             if use_cache:
-                pending_index[arguments] = index
-            pending_rows.append((row, arguments, index))
-            # Re-read the target each time: an adaptive controller may have
-            # changed the batch size since the last round trip.
-            if len(pending_arguments) >= self.next_batch_size():
-                yield from flush()
-        yield from flush()
-
-        # Terminate the client's serve loop and absorb its acknowledgement.
-        yield channel.send_to_client(end_of_stream())
-        yield channel.receive_at_server()
+                cache[arguments] = result
+                if carried is not None:
+                    # Mark the argument resolved for *other* strategies
+                    # sharing this state: a later semi-join segment must
+                    # treat it as already shipped (its receiver answers
+                    # from carried.results).
+                    carried.seen.add(arguments)
+            output.append(row.append(result))
 
         self.distinct_argument_count = len(distinct_arguments)
         return output

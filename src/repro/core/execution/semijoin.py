@@ -132,6 +132,12 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
         # The record stream handed from sender to receiver (unbounded: records
         # are small server-side state, the pipeline is what is bounded).
         records = Store(simulator, name="semijoin.records")
+        # The shared protocol's *batch*-level window, layered over the tuple
+        # pipeline: historically the semi-join sender streams any batch the
+        # pipeline admits, so the default is unbounded; an explicit
+        # overlap_window (or its controller) bounds the argument batches
+        # outstanding on the wire directly.
+        window = self.make_window(default=None)
 
         eliminate = self.config.eliminate_duplicates
 
@@ -174,9 +180,13 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
                     yield in_flight.put(arguments)
                     pending_batch.append(arguments)
                     if len(pending_batch) >= target:
+                        self.refresh_window(window)
+                        yield window.acquire()
                         yield channel.send_to_client(flush())
             message = flush()
             if message is not None:
+                self.refresh_window(window)
+                yield window.acquire()
                 yield channel.send_to_client(message)
             yield records.put(_DONE)
             yield channel.send_to_client(end_of_stream())
@@ -199,6 +209,7 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
                     while not pending_results:
                         reply = yield channel.receive_at_server()
                         self.check_reply(reply)
+                        window.release()
                         batch: ResultBatch = reply.payload
                         pending_results.extend(batch.results)
                         self.observe_batch(len(batch.results))
@@ -224,4 +235,5 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
         self.peak_pipeline_occupancy = in_flight.peak_occupancy
         # The window may have grown with the controller; report what it ended at.
         self.concurrency_factor_used = int(in_flight.capacity)
+        self.finish_window(window)
         return output

@@ -50,11 +50,22 @@ class CostSettings:
     batch_choice_tolerance: float = 0.01
     #: Extra latency charged per remote operation for pipeline fill/drain.
     pipeline_fill_penalty_seconds: float = 0.1
+    #: In-flight batch window assumed for transfer costing (the overlapped
+    #: shipping protocol's W).  ``None`` keeps the legacy assumption — fully
+    #: overlapped transfers, i.e. the two link times combine as their max;
+    #: a finite value adds back the non-overlapped remainder divided by W
+    #: (W = 1 makes the link times add, modelling synchronous shipping).
+    overlap_window: Optional[float] = None
 
     def with_batch_size(self, batch_size: float) -> "CostSettings":
         from dataclasses import replace
 
         return replace(self, batch_size=batch_size)
+
+    def with_overlap_window(self, overlap_window: Optional[float]) -> "CostSettings":
+        from dataclasses import replace
+
+        return replace(self, overlap_window=overlap_window)
 
 
 def remaining_strategy_cost(
@@ -73,6 +84,7 @@ def remaining_strategy_cost(
     latency: float = 0.0,
     settings: Optional[CostSettings] = None,
     batch_size: Optional[float] = None,
+    overlap_window: Optional[float] = None,
 ) -> float:
     """Estimated seconds for ``strategy`` to process ``rows`` remaining rows.
 
@@ -85,16 +97,24 @@ def remaining_strategy_cost(
     estimates at batch boundaries to decide whether the committed strategy is
     still the right one for the rest of the input.
 
-    The formulas mirror the Section 3 cost model the estimator uses: the
-    semi-join ships distinct argument tuples down and bare results up through
-    an overlapped pipeline; the client-site join ships whole records down and
-    only surviving, projected rows up; the naive strategy pays one synchronous
-    round trip per batch with no overlap at all.
+    The formulas mirror the Section 3 cost model the estimator uses, with the
+    overlap-aware combination rule throughout: with a window of W request
+    batches in flight, the transfer and compute stages overlap up to their
+    max, and the non-overlapped remainder is amortised over W::
+
+        cost(W) = max(down, up, compute) + (down + up + compute - max) / W
+
+    ``overlap_window=None`` keeps each strategy's historical assumption —
+    fully overlapped (W = inf) for the semi-join and the client-site join,
+    synchronous (W = 1: the stages *add*, plus the full round-trip latency
+    per batch) for the naive strategy — matching the executors' defaults.
     """
     settings = settings if settings is not None else CostSettings()
     if rows <= 0:
         return 0.0
     batch = max(1.0, float(batch_size if batch_size is not None else settings.batch_size))
+    if overlap_window is None:
+        overlap_window = settings.overlap_window
     selectivity = min(1.0, max(0.0, selectivity))
     distinct = min(1.0, max(0.0, distinct_fraction))
     shipped = rows * distinct
@@ -106,25 +126,35 @@ def remaining_strategy_cost(
     def link_seconds(payload_bytes: float, messages: float, bandwidth: float) -> float:
         return (payload_bytes + messages * overhead) / max(bandwidth, 1e-9)
 
+    def overlapped(down: float, up: float, window: float) -> float:
+        pipelined = max(down, up, compute)
+        sequential = down + up + compute
+        return pipelined + (sequential - pipelined) / max(1.0, window)
+
     if strategy is ExecutionStrategy.SEMI_JOIN:
+        window = overlap_window if overlap_window is not None else math.inf
         messages = max(1.0, shipped / batch)
         down = link_seconds(shipped * argument_bytes, messages, downlink_bandwidth)
         up = link_seconds(shipped * result_bytes, messages, uplink_bandwidth)
-        return max(down, up, compute) + 2 * latency + settings.pipeline_fill_penalty_seconds
+        return overlapped(down, up, window) + 2 * latency + settings.pipeline_fill_penalty_seconds
 
     if strategy is ExecutionStrategy.CLIENT_SITE_JOIN:
+        window = overlap_window if overlap_window is not None else math.inf
         messages = max(1.0, rows / batch)
         down = link_seconds(rows * record_bytes, messages, downlink_bandwidth)
         up = link_seconds(rows * selectivity * returned_row_bytes, messages, uplink_bandwidth)
-        return max(down, up, compute) + 2 * latency + settings.pipeline_fill_penalty_seconds
+        return overlapped(down, up, window) + 2 * latency + settings.pipeline_fill_penalty_seconds
 
-    # NAIVE: the downlink shipment, the client compute, and the uplink reply
-    # of every batch happen strictly in sequence, and every batch pays the
-    # full round-trip latency.
+    # NAIVE: synchronous by default — the downlink shipment, the client
+    # compute, and the uplink reply of every batch happen strictly in
+    # sequence, and every batch pays the full round-trip latency.  With an
+    # overlap window the stages overlap and the round-trip stalls amortise:
+    # only every W-th batch waits out the pipeline.
+    window = overlap_window if overlap_window is not None else 1.0
     trips = max(1.0, math.ceil(shipped / batch))
     down = link_seconds(shipped * argument_bytes, trips, downlink_bandwidth)
     up = link_seconds(shipped * result_bytes, trips, uplink_bandwidth)
-    return down + up + compute + 2 * latency * trips
+    return overlapped(down, up, window) + 2 * latency * max(1.0, math.ceil(trips / max(1.0, window)))
 
 
 @dataclass(frozen=True)
@@ -158,6 +188,7 @@ def remaining_plan_cost(
     latency: float = 0.0,
     settings: Optional[CostSettings] = None,
     batch_size: Optional[float] = None,
+    overlap_window: Optional[float] = None,
 ) -> float:
     """Estimated seconds for a whole remaining *plan shape* over ``rows``.
 
@@ -194,6 +225,7 @@ def remaining_plan_cost(
             latency=latency,
             settings=settings,
             batch_size=batch_size,
+            overlap_window=overlap_window,
         )
         # Whatever strategy ran the stage, its predicate is applied before
         # the next stage (at the client, or by the server-side Filter wrap),
@@ -262,8 +294,13 @@ class CostEstimator:
         )
         up = self._uplink_seconds(uplink_bytes, messages if uplink_bytes > 0 else 1.0, settings)
         # The pipeline overlaps the two directions; the slower one dominates,
-        # plus one round-trip latency and a fill penalty.
-        return max(down, up) + 2 * self.network.latency + settings.pipeline_fill_penalty_seconds
+        # plus one round-trip latency and a fill penalty.  A finite overlap
+        # window adds back the non-overlapped remainder divided by W (W = 1
+        # prices synchronous shipping: the link times add).
+        overlapped = max(down, up)
+        if settings.overlap_window is not None and math.isfinite(settings.overlap_window):
+            overlapped += (down + up - overlapped) / max(1.0, settings.overlap_window)
+        return overlapped + 2 * self.network.latency + settings.pipeline_fill_penalty_seconds
 
     # -- re-costing (the incremental batch-size sweep) -------------------------------------
 

@@ -7,7 +7,11 @@ from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional, Tuple, Union, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.adaptive.controller import BatchControllerBank, BatchSizeController
+    from repro.adaptive.controller import (
+        BatchControllerBank,
+        BatchSizeController,
+        OverlapWindowController,
+    )
     from repro.adaptive.reoptimizer import ReOptimizer
     from repro.adaptive.store import StatisticsStore
     from repro.adaptive.switcher import SwitchPolicy
@@ -107,6 +111,22 @@ class StrategyConfig:
     batch_size_overrides: Union[
         Mapping[str, int], Tuple[Tuple[str, int], ...]
     ] = ()
+    #: The in-flight *batch window* of the overlapped shipping protocol: how
+    #: many request batches may be outstanding on the wire at once, for every
+    #: strategy.  ``None`` keeps each strategy's historical default — the
+    #: naive strategy ships synchronously (window 1), the semi-join and the
+    #: client-site join stream freely (their overlap is governed by the tuple
+    #: pipeline and the downlink respectively).  An explicit window also pins
+    #: the strategy against the adaptive overlap controller.
+    overlap_window: Optional[int] = None
+    #: An :class:`~repro.adaptive.controller.OverlapWindowController` that
+    #: adapts the in-flight window *mid-query* on observed throughput, the
+    #: way ``batch_controller`` adapts the batch size.  Consulted only when
+    #: ``overlap_window`` is unset.  Runtime state, excluded from equality
+    #: and hashing.
+    overlap_controller: Optional["OverlapWindowController"] = field(
+        default=None, compare=False
+    )
     batch_controller: Optional[
         Union["BatchSizeController", "BatchControllerBank"]
     ] = field(default=None, compare=False)
@@ -134,6 +154,8 @@ class StrategyConfig:
             raise ValueError("concurrency_factor must be at least 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be at least 1")
+        if self.overlap_window is not None and self.overlap_window < 1:
+            raise ValueError("overlap_window must be at least 1")
         # Normalise the overrides (possibly a dict) to a sorted tuple of
         # (lower-case name, size) pairs so the frozen config stays hashable.
         normalised = tuple(
@@ -199,14 +221,46 @@ class StrategyConfig:
             return controller.current()
         return self.batch_size
 
+    # -- overlap (in-flight batch window) --------------------------------------------
+
+    def next_overlap_window(self, udf_name: Optional[str] = None) -> Optional[int]:
+        """The in-flight batch window to use for the next batch, if any.
+
+        An explicit ``overlap_window`` is pinned; otherwise an attached
+        :class:`~repro.adaptive.controller.OverlapWindowController` decides;
+        otherwise ``None`` — each strategy then applies its own default
+        (synchronous for naive, free streaming for semi-join and client-site
+        join).  Strategies re-read this at every batch boundary, so the
+        window tracks the controller mid-query.
+        """
+        if self.overlap_window is not None:
+            return self.overlap_window
+        if self.overlap_controller is not None:
+            return self.overlap_controller.current()
+        return None
+
+    def overlap_controller_for(
+        self, udf_name: Optional[str] = None
+    ) -> Optional["OverlapWindowController"]:
+        """The window controller to feed observations, unless pinned."""
+        if self.overlap_window is not None:
+            return None
+        return self.overlap_controller
+
     # -- convenience constructors --------------------------------------------------
 
     @classmethod
-    def naive(cls, server_result_cache: bool = True, batch_size: int = 1) -> "StrategyConfig":
+    def naive(
+        cls,
+        server_result_cache: bool = True,
+        batch_size: int = 1,
+        overlap_window: Optional[int] = None,
+    ) -> "StrategyConfig":
         return cls(
             strategy=ExecutionStrategy.NAIVE,
             server_result_cache=server_result_cache,
             batch_size=batch_size,
+            overlap_window=overlap_window,
         )
 
     @classmethod
@@ -216,6 +270,7 @@ class StrategyConfig:
         batch_size: int = 1,
         eliminate_duplicates: bool = True,
         sort_by_arguments: bool = True,
+        overlap_window: Optional[int] = None,
     ) -> "StrategyConfig":
         return cls(
             strategy=ExecutionStrategy.SEMI_JOIN,
@@ -223,6 +278,7 @@ class StrategyConfig:
             batch_size=batch_size,
             eliminate_duplicates=eliminate_duplicates,
             sort_by_arguments=sort_by_arguments,
+            overlap_window=overlap_window,
         )
 
     @classmethod
@@ -232,6 +288,7 @@ class StrategyConfig:
         push_projections: bool = True,
         sort_by_arguments: bool = True,
         batch_size: int = 1,
+        overlap_window: Optional[int] = None,
     ) -> "StrategyConfig":
         return cls(
             strategy=ExecutionStrategy.CLIENT_SITE_JOIN,
@@ -239,6 +296,7 @@ class StrategyConfig:
             push_projections=push_projections,
             sort_by_arguments=sort_by_arguments,
             batch_size=batch_size,
+            overlap_window=overlap_window,
         )
 
     def with_strategy(self, strategy: ExecutionStrategy) -> "StrategyConfig":
@@ -257,6 +315,14 @@ class StrategyConfig:
         self, controller: Optional[Union["BatchSizeController", "BatchControllerBank"]]
     ) -> "StrategyConfig":
         return replace(self, batch_controller=controller)
+
+    def with_overlap_window(self, overlap_window: Optional[int]) -> "StrategyConfig":
+        return replace(self, overlap_window=overlap_window)
+
+    def with_overlap_controller(
+        self, controller: Optional["OverlapWindowController"]
+    ) -> "StrategyConfig":
+        return replace(self, overlap_controller=controller)
 
     def with_switch_policy(self, policy: Optional["SwitchPolicy"]) -> "StrategyConfig":
         return replace(self, switch_policy=policy)

@@ -87,30 +87,36 @@ class Aggregate(Operator):
         self.schema = Schema(columns)
 
     def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
-        groups: Dict[Tuple, List[Row]] = {}
+        # Column-wise accumulation: group keys and aggregate inputs are read
+        # off the batch's column lists, and each group accumulates one value
+        # list per aggregate — no Row objects are built before the output.
+        groups: Dict[Tuple, List[List]] = {}
         order: List[Tuple] = []
         for batch in self.child().execute_batches(batch_size):
-            for row in batch:
-                key = tuple(row[position] for position in self._group_positions)
-                if key not in groups:
-                    groups[key] = []
+            columns = batch.columns
+            group_columns = [columns[position] for position in self._group_positions]
+            keys = list(zip(*group_columns)) if group_columns else [()] * len(batch)
+            input_columns = [
+                columns[position] if position is not None else None
+                for position in self._input_positions
+            ]
+            for index, key in enumerate(keys):
+                state = groups.get(key)
+                if state is None:
+                    state = groups[key] = [[] for _ in self.aggregates]
                     order.append(key)
-                groups[key].append(row)
+                for values, column in zip(state, input_columns):
+                    values.append(1 if column is None else column[index])
 
         if not groups and not self.group_by:
-            groups[()] = []
+            groups[()] = [[] for _ in self.aggregates]
             order.append(())
 
         def result_rows() -> Iterator[Row]:
             for key in order:
-                rows = groups[key]
                 outputs = list(key)
-                for spec, position in zip(self.aggregates, self._input_positions):
+                for spec, values in zip(self.aggregates, groups[key]):
                     function, _ = _AGGREGATES[spec.function.upper()]
-                    if position is None:
-                        values = [1] * len(rows)  # COUNT(*)
-                    else:
-                        values = [row[position] for row in rows]
                     outputs.append(function(values))
                 yield Row(outputs)
 

@@ -6,14 +6,20 @@ The paper distinguishes *tuple duplicates* (identical in all columns) from
 argument duplicates, keeping the first representative row for each distinct
 key — which is exactly what the semi-join sender needs before shipping
 argument columns to the client.
+
+Both operators are batch-native and column-wise: keys come straight off the
+batch's column lists (:meth:`~repro.relational.tuples.RowBatch.key_tuples`)
+and surviving rows are selected by index
+(:meth:`~repro.relational.tuples.RowBatch.take`) without materialising
+:class:`~repro.relational.tuples.Row` objects.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Set, Tuple
+from typing import Iterator, List, Sequence, Set, Tuple
 
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row
+from repro.relational.tuples import RowBatch
 
 
 class Distinct(Operator):
@@ -23,14 +29,17 @@ class Distinct(Operator):
         super().__init__([child])
         self.schema = child.output_schema()
 
-    def _execute(self) -> Iterator[Row]:
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
         seen: Set[Tuple] = set()
-        for row in self.child().execute():
-            key = tuple(row)
-            if key in seen:
-                continue
-            seen.add(key)
-            yield row
+        for batch in self.child().execute_batches(batch_size):
+            kept: List[int] = []
+            for index, key in enumerate(batch.key_tuples()):
+                if key in seen:
+                    continue
+                seen.add(key)
+                kept.append(index)
+            if kept:
+                yield batch.take(kept)
 
     def describe(self) -> str:
         return "Distinct"
@@ -45,15 +54,17 @@ class DistinctOn(Operator):
         self.key_columns = list(key_columns)
         self._positions = tuple(self.schema.index_of(name) for name in self.key_columns)
 
-    def _execute(self) -> Iterator[Row]:
-        positions = self._positions
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
         seen: Set[Tuple] = set()
-        for row in self.child().execute():
-            key = tuple(row[position] for position in positions)
-            if key in seen:
-                continue
-            seen.add(key)
-            yield row
+        for batch in self.child().execute_batches(batch_size):
+            kept: List[int] = []
+            for index, key in enumerate(batch.key_tuples(self._positions)):
+                if key in seen:
+                    continue
+                seen.add(key)
+                kept.append(index)
+            if kept:
+                yield batch.take(kept)
 
     def describe(self) -> str:
         return f"DistinctOn({', '.join(self.key_columns)})"

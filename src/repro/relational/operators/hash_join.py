@@ -38,21 +38,27 @@ class HashJoin(Operator):
         left, right = self.children
         table: Dict[Tuple, List[Row]] = {}
         for batch in right.execute_batches(batch_size):
-            for row in batch:
-                key = tuple(row[position] for position in self._right_positions)
+            rows = None
+            for index, key in enumerate(batch.key_tuples(self._right_positions)):
                 if any(value is None for value in key):
                     continue
-                table.setdefault(key, []).append(row)
+                if rows is None:
+                    rows = batch.rows
+                table.setdefault(key, []).append(rows[index])
         # Probe one input batch at a time; an output batch holds the matches
         # of one probe batch (it may be smaller or larger than batch_size
         # depending on the join fan-out).
         for batch in left.execute_batches(batch_size):
             matches: List[Row] = []
-            for left_row in batch:
-                key = tuple(left_row[position] for position in self._left_positions)
-                if any(value is None for value in key):
+            rows = None
+            for index, key in enumerate(batch.key_tuples(self._left_positions)):
+                matched = table.get(key)
+                if matched is None or any(value is None for value in key):
                     continue
-                for right_row in table.get(key, ()):
+                if rows is None:
+                    rows = batch.rows
+                left_row = rows[index]
+                for right_row in matched:
                     matches.append(left_row.concat(right_row))
             yield RowBatch(matches)
 

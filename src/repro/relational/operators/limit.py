@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List
+from typing import Iterator
 
 from repro.errors import OperatorError
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row, RowBatch
+from repro.relational.tuples import RowBatch
 
 
 class Limit(Operator):
@@ -29,17 +29,15 @@ class Limit(Operator):
         produced = 0
         skipped = 0
         for batch in self.child().execute_batches(batch_size):
-            kept: List[Row] = []
-            for row in batch:
-                if skipped < self.offset:
-                    skipped += 1
-                    continue
-                if produced >= self.count:
-                    break
-                produced += 1
-                kept.append(row)
-            if kept:
-                yield RowBatch(kept)
+            start = min(len(batch), self.offset - skipped)
+            skipped += start
+            take = min(self.count - produced, len(batch) - start)
+            if take > 0:
+                produced += take
+                if start == 0 and take == len(batch):
+                    yield batch
+                else:
+                    yield batch.slice(start, start + take)
             if produced >= self.count:
                 return
 

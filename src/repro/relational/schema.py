@@ -47,7 +47,7 @@ class Column:
 class Schema:
     """An immutable, ordered sequence of :class:`Column` objects."""
 
-    __slots__ = ("columns", "_index")
+    __slots__ = ("columns", "_index", "_size_plan")
 
     def __init__(self, columns: Iterable[Column]) -> None:
         self.columns: Tuple[Column, ...] = tuple(columns)
@@ -57,6 +57,33 @@ class Schema:
             if column.table:
                 index.setdefault(column.qualified_name, []).append(position)
         self._index = index
+        self._size_plan: Optional[
+            Tuple[Tuple[Tuple[int, int], ...], Tuple[int, ...]]
+        ] = None
+
+    def size_plan(self) -> Tuple[Tuple[Tuple[int, int], ...], Tuple[int, ...]]:
+        """``(fixed, variable)`` wire-sizing plan, computed once per schema.
+
+        ``fixed`` holds ``(position, width)`` pairs for columns whose non-NULL
+        values all serialize to ``width`` bytes; ``variable`` the positions
+        whose values must be sized individually.  Batch size accounting
+        charges fixed columns arithmetically and only walks variable ones.
+        """
+        plan = self._size_plan
+        if plan is None:
+            fixed = tuple(
+                (position, column.dtype.fixed_size)
+                for position, column in enumerate(self.columns)
+                if column.dtype.fixed_size is not None
+            )
+            variable = tuple(
+                position
+                for position, column in enumerate(self.columns)
+                if column.dtype.fixed_size is None
+            )
+            plan = (fixed, variable)
+            self._size_plan = plan
+        return plan
 
     # -- construction helpers ------------------------------------------------
 

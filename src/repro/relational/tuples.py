@@ -14,7 +14,7 @@ operator's schema.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relational.schema import Schema
 from repro.relational.types import value_size
@@ -56,39 +56,190 @@ class Row(tuple):
 
 
 class RowBatch:
-    """An ordered run of rows processed as one unit by batch operators."""
+    """An ordered run of rows processed as one unit by batch operators.
 
-    __slots__ = ("rows",)
+    Storage is *columnar*: the batch holds one Python list per column, so
+    projection selects column references (O(columns), no per-row objects),
+    predicate evaluation walks plain value tuples, and wire sizing prices
+    fixed-width columns arithmetically.  Rows are materialised lazily — only
+    when a consumer actually asks for :class:`Row` objects (the client/UDF
+    shipping boundary, joins that build concatenated rows) — and cached, so
+    a batch constructed from rows and only ever read as rows never transposes.
+    Batches are immutable by convention: every operation builds a new batch,
+    and column lists may be shared between batches, so callers must never
+    mutate ``rows`` or ``columns``.
+    """
+
+    __slots__ = ("_rows", "_columns", "_length")
 
     def __init__(self, rows: Iterable[Row]) -> None:
-        self.rows: List[Row] = rows if isinstance(rows, list) else list(rows)
+        materialised = rows if isinstance(rows, list) else list(rows)
+        self._rows: Optional[List[Row]] = materialised
+        self._columns: Optional[List[List[Any]]] = None
+        self._length = len(materialised)
+
+    @classmethod
+    def from_columns(
+        cls, columns: Sequence[List[Any]], length: Optional[int] = None
+    ) -> "RowBatch":
+        """A batch over pre-built column lists (not copied — do not mutate)."""
+        batch = cls.__new__(cls)
+        column_list = [
+            column if isinstance(column, list) else list(column) for column in columns
+        ]
+        batch._rows = None
+        batch._columns = column_list
+        batch._length = length if length is not None else (
+            len(column_list[0]) if column_list else 0
+        )
+        return batch
+
+    # -- representations ---------------------------------------------------------
+
+    @property
+    def rows(self) -> List[Row]:
+        """The batch as :class:`Row` objects, materialised lazily and cached."""
+        rows = self._rows
+        if rows is None:
+            if self._columns:
+                rows = [Row(values) for values in zip(*self._columns)]
+            else:
+                rows = [Row(()) for _ in range(self._length)]
+            self._rows = rows
+        return rows
+
+    @property
+    def columns(self) -> List[List[Any]]:
+        """The batch as column lists, transposed lazily and cached."""
+        columns = self._columns
+        if columns is None:
+            rows = self._rows
+            columns = [list(values) for values in zip(*rows)] if rows else []
+            self._columns = columns
+        return columns
+
+    def column(self, position: int) -> List[Any]:
+        """The values of one column, in row order."""
+        return self.columns[position]
+
+    def _value_tuples(self) -> Iterable[Tuple[Any, ...]]:
+        """Row-shaped plain tuples, without allocating :class:`Row` objects."""
+        if self._rows is not None:
+            return self._rows
+        if self._columns:
+            return zip(*self._columns)
+        return (() for _ in range(self._length))
+
+    # -- container protocol ------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return self._length
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self.rows)
 
     def __bool__(self) -> bool:
-        return bool(self.rows)
+        return self._length > 0
 
-    def __getitem__(self, index: int) -> Row:
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self.rows[index]
+        if self._rows is None and self._columns is not None:
+            return Row(column[index] for column in self._columns)
         return self.rows[index]
 
-    def project(self, positions: Sequence[int]) -> "RowBatch":
-        """A new batch with every row projected onto ``positions``."""
-        return RowBatch([row.project(positions) for row in self.rows])
+    # -- column-wise operations --------------------------------------------------
 
-    def filter(self, keep: Callable[[Row], Any]) -> "RowBatch":
-        """A new batch containing only the rows for which ``keep`` is truthy."""
-        return RowBatch([row for row in self.rows if keep(row)])
+    def take(self, indexes: Sequence[int]) -> "RowBatch":
+        """The batch restricted to the rows at ``indexes``, column-wise.
+
+        ``indexes`` may select, drop, duplicate, or reorder rows; selecting
+        every row in order returns the batch itself.
+        """
+        if len(indexes) == self._length and all(
+            index == position for position, index in enumerate(indexes)
+        ):
+            return self
+        columns = self.columns
+        return RowBatch.from_columns(
+            [[column[index] for index in indexes] for column in columns], len(indexes)
+        )
+
+    def key_tuples(self, positions: Optional[Sequence[int]] = None) -> List[Tuple[Any, ...]]:
+        """Per-row value tuples over ``positions`` (all columns when ``None``).
+
+        The shared key-extraction path for duplicate elimination and hash
+        joins: values come straight off the column lists, no :class:`Row`
+        objects are allocated, and a zero-width key yields one empty tuple
+        per row.
+        """
+        columns = self.columns
+        if positions is not None:
+            columns = [columns[position] for position in positions]
+        if not columns:
+            return [()] * self._length
+        return list(zip(*columns))
+
+    def project(self, positions: Sequence[int]) -> "RowBatch":
+        """A new batch containing only the columns at ``positions``.
+
+        Column-wise: the new batch shares the selected column lists, so a
+        mid-chain projection costs O(columns), not O(rows x columns).
+        """
+        if not self._length:
+            return RowBatch([])
+        columns = self.columns
+        return RowBatch.from_columns(
+            [columns[position] for position in positions], self._length
+        )
+
+    def filter(self, keep: Callable[[Sequence[Any]], Any]) -> "RowBatch":
+        """A new batch containing only the rows for which ``keep`` is truthy.
+
+        ``keep`` receives each row as a positional sequence (a plain value
+        tuple on the columnar path — no :class:`Row` objects are allocated).
+        """
+        if not self._length:
+            return RowBatch([])
+        if self._rows is not None:
+            return RowBatch([row for row in self._rows if keep(row)])
+        kept = [
+            index for index, values in enumerate(self._value_tuples()) if keep(values)
+        ]
+        return self.take(kept)
+
+    def slice(self, start: int, stop: int) -> "RowBatch":
+        """The batch restricted to rows ``start:stop`` (column-wise)."""
+        if self._rows is not None:
+            return RowBatch(self._rows[start:stop])
+        length = max(0, min(stop, self._length) - max(0, start))
+        return RowBatch.from_columns(
+            [column[start:stop] for column in self.columns], length
+        )
 
     def size_bytes(self, schema: Schema) -> int:
-        """Total wire size of the batch's rows under ``schema``."""
-        return sum(row_size(row, schema) for row in self.rows)
+        """Total wire size of the batch's rows under ``schema``.
+
+        Fixed-width columns are priced from the schema's cached size plan —
+        ``width x non-NULL count`` plus one byte per NULL — in one arithmetic
+        step per column; only variable-width columns walk their values.
+        """
+        if not self._length:
+            return 0
+        fixed, variable = schema.size_plan()
+        columns = self.columns
+        total = 0
+        for position, width in fixed:
+            column = columns[position]
+            nulls = column.count(None)
+            total += width * (len(column) - nulls) + nulls
+        for position in variable:
+            sizer = schema.columns[position].dtype.serialized_size
+            total += sum(sizer(value) for value in columns[position])
+        return total
 
     def __repr__(self) -> str:
-        return f"RowBatch({len(self.rows)} rows)"
+        return f"RowBatch({self._length} rows)"
 
 
 def batches_of(rows: Iterable[Row], batch_size: int) -> Iterator[RowBatch]:
@@ -114,6 +265,17 @@ def row_size(row: Sequence[Any], schema: Schema) -> int:
     return sum(
         column.dtype.serialized_size(value) for column, value in zip(schema.columns, row)
     )
+
+
+def rows_size(rows: Sequence[Sequence[Any]], schema: Schema) -> int:
+    """Wire size of many rows under ``schema``, using the cached size plan.
+
+    Delegates to :meth:`RowBatch.size_bytes` so the fixed/variable-width
+    accounting exists in exactly one place.
+    """
+    if not rows:
+        return 0
+    return RowBatch(list(rows)).size_bytes(schema)
 
 
 def values_size(values: Sequence[Any]) -> int:

@@ -19,7 +19,7 @@ duplicate elimination, hashing joins, and sorting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 from repro.errors import TypeMismatchError
 
@@ -126,11 +126,17 @@ class DataType:
     ``validator`` accepts a Python value and returns True when the value is a
     legal instance of the type.  ``sizer`` maps a value to its wire size in
     bytes.  ``NULL`` (``None``) is legal for every type and costs one byte.
+
+    ``fixed_size`` is the wire width of every non-NULL value for fixed-width
+    types (integers, floats, booleans) and ``None`` for variable-width types.
+    Batch-level size accounting uses it to price whole columns without
+    calling ``sizer`` once per value.
     """
 
     name: str
     validator: Callable[[Any], bool]
     sizer: Callable[[Any], int]
+    fixed_size: Optional[int] = None
 
     def validate(self, value: Any) -> None:
         """Raise :class:`TypeMismatchError` unless ``value`` fits this type."""
@@ -165,9 +171,14 @@ def _is_float(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
-INTEGER = DataType("INTEGER", _is_integer, lambda value: _INTEGER_WIDTH)
-FLOAT = DataType("FLOAT", _is_float, lambda value: _FLOAT_WIDTH)
-BOOLEAN = DataType("BOOLEAN", lambda value: isinstance(value, bool), lambda value: _BOOLEAN_WIDTH)
+INTEGER = DataType("INTEGER", _is_integer, lambda value: _INTEGER_WIDTH, fixed_size=_INTEGER_WIDTH)
+FLOAT = DataType("FLOAT", _is_float, lambda value: _FLOAT_WIDTH, fixed_size=_FLOAT_WIDTH)
+BOOLEAN = DataType(
+    "BOOLEAN",
+    lambda value: isinstance(value, bool),
+    lambda value: _BOOLEAN_WIDTH,
+    fixed_size=_BOOLEAN_WIDTH,
+)
 STRING = DataType(
     "STRING",
     lambda value: isinstance(value, str),

@@ -22,6 +22,7 @@ from repro.errors import OptimizerError
 from repro.adaptive import (
     BatchControllerBank,
     BatchSizeController,
+    OverlapWindowController,
     ReOptimizationPolicy,
     ReOptimizer,
     RuntimeObserver,
@@ -186,6 +187,7 @@ class Database:
         optimize: bool = False,
         udf_order: Optional[Sequence[str]] = None,
         adaptive: bool = False,
+        overlap_window: Optional[int] = None,
         observe: bool = True,
         calibrated: Optional[bool] = None,
         switch_strategies: bool = False,
@@ -206,9 +208,20 @@ class Database:
         independent :class:`~repro.adaptive.controller.BatchSizeController`
         per UDF — so each UDF's batch size hill-climbs on its own observed
         throughput *while the query runs*, warm-started from the size earlier
-        adaptive queries of that UDF converged to.  ``observe=False``
+        adaptive queries of that UDF converged to.  It also attaches an
+        :class:`~repro.adaptive.controller.OverlapWindowController`, so the
+        overlapped shipping protocol's in-flight batch window hill-climbs on
+        the same signal alongside the batch size.  ``observe=False``
         disables the post-run observation (and thus the feedback into
         :attr:`statistics`) for this query.
+
+        ``overlap_window`` pins the in-flight batch window of the overlapped
+        shipping protocol for every strategy: 1 ships synchronously (the
+        paper's naive wire behaviour), W keeps up to W request batches
+        outstanding while the server keeps producing.  ``None`` keeps each
+        strategy's default (synchronous naive, freely streaming semi-join
+        and client-site join) — or hands the window to the adaptive
+        controller when ``adaptive=True``.
 
         ``switch_strategies=True`` (or an explicit ``switch_policy``)
         additionally arms *mid-query strategy switching*: the UDF operators
@@ -242,8 +255,12 @@ class Database:
             config = self.default_config
         if strategy is not None:
             config = config.with_strategy(strategy)
+        if overlap_window is not None:
+            config = config.with_overlap_window(overlap_window)
         if adaptive:
             config = config.with_batch_controller(self.new_controller_bank(config))
+            if config.overlap_window is None and config.overlap_controller is None:
+                config = config.with_overlap_controller(OverlapWindowController())
         if switch_policy is not None:
             switch_strategies = True
         if switch_strategies:

@@ -11,7 +11,7 @@ from repro.core.strategies import ExecutionStrategy, StrategyConfig
 from repro.client.protocol import FinalResultBatch
 from repro.network.message import MessageKind
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row, row_size
+from repro.relational.tuples import Row, rows_size
 from repro.server.metrics import ExecutionMetrics
 from repro.server.planner import PlanBuildResult, build_plan
 from repro.server.result import QueryResult
@@ -108,7 +108,7 @@ class Executor:
         same downlink the execution strategies use.
         """
         schema = root.output_schema()
-        payload_bytes = sum(row_size(row, schema) for row in rows)
+        payload_bytes = rows_size(rows, schema)
         channel = self.context.channel
         client = self.context.client
         simulator = self.context.simulator
@@ -186,11 +186,22 @@ class Executor:
         replan_attempts = 0
         plan_migrations = 0
         udf_orders_used: tuple = ()
+        shapes_used: tuple = ()
+        peak_in_flight = 0
+        send_stall = 0.0
+        overlap_window = None
         for operator in plan.remote_operators:
             input_rows = max(input_rows, operator.input_row_count)
             factor = getattr(operator, "concurrency_factor_used", None)
             if factor is not None:
                 concurrency = factor
+            peak_in_flight = max(
+                peak_in_flight, getattr(operator, "peak_in_flight_batches", 0) or 0
+            )
+            send_stall += getattr(operator, "send_stall_seconds", 0.0) or 0.0
+            window = getattr(operator, "overlap_window_used", None)
+            if window is not None:
+                overlap_window = window
             switcher = getattr(operator, "switcher", None)
             if switcher is not None:
                 switches += switcher.switch_count
@@ -205,6 +216,9 @@ class Executor:
                 replan_attempts += reoptimizer.attempt_count
                 plan_migrations += reoptimizer.replan_count
                 for shape in reoptimizer.shapes_used:
+                    described = shape.describe()
+                    if described not in shapes_used:
+                        shapes_used = shapes_used + (described,)
                     if shape.udf_order not in udf_orders_used:
                         udf_orders_used = udf_orders_used + (shape.udf_order,)
                     for _, strategy in shape.udf_strategies:
@@ -238,5 +252,9 @@ class Executor:
             replan_attempts=replan_attempts,
             plan_migrations=plan_migrations,
             udf_orders_used=udf_orders_used or None,
+            shapes_used=shapes_used or None,
+            peak_in_flight_batches=peak_in_flight,
+            send_stall_seconds=send_stall,
+            overlap_window=overlap_window,
             plan_description=plan.explain(),
         )

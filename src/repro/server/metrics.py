@@ -49,6 +49,18 @@ class ExecutionMetrics:
     replan_attempts: int = 0
     plan_migrations: int = 0
     udf_orders_used: Optional[Tuple[Tuple[str, ...], ...]] = None
+    #: The full plan shapes (UDF order plus per-UDF strategies, rendered by
+    #: ``PlanShape.describe``) execution moved through, in first-use order;
+    #: ``None`` for runs without re-optimization.  Surfaced on
+    #: :attr:`repro.server.result.QueryResult.shapes_used`.
+    shapes_used: Optional[Tuple[str, ...]] = None
+    #: Overlapped-shipping instrumentation: the deepest the in-flight batch
+    #: window actually got, the simulated time senders spent stalled waiting
+    #: for a window slot, and the window capacity the run ended at (``None``
+    #: when every remote operation streamed unbounded).
+    peak_in_flight_batches: int = 0
+    send_stall_seconds: float = 0.0
+    overlap_window: Optional[int] = None
     plan_description: str = ""
 
     @classmethod
@@ -72,6 +84,10 @@ class ExecutionMetrics:
         replan_attempts: int = 0,
         plan_migrations: int = 0,
         udf_orders_used: Optional[Tuple[Tuple[str, ...], ...]] = None,
+        shapes_used: Optional[Tuple[str, ...]] = None,
+        peak_in_flight_batches: int = 0,
+        send_stall_seconds: float = 0.0,
+        overlap_window: Optional[int] = None,
         plan_description: str = "",
     ) -> "ExecutionMetrics":
         return cls(
@@ -98,6 +114,10 @@ class ExecutionMetrics:
             replan_attempts=replan_attempts,
             plan_migrations=plan_migrations,
             udf_orders_used=udf_orders_used,
+            shapes_used=shapes_used,
+            peak_in_flight_batches=peak_in_flight_batches,
+            send_stall_seconds=send_stall_seconds,
+            overlap_window=overlap_window,
             plan_description=plan_description,
         )
 
@@ -126,6 +146,11 @@ class ExecutionMetrics:
                     "[" + ", ".join(order) + "]" for order in self.udf_orders_used
                 )
             batching += f" | {self.plan_migrations} plan migration(s){orders}"
+        if self.peak_in_flight_batches > 1:
+            batching += (
+                f" | overlap peak {self.peak_in_flight_batches} batches"
+                f" (stalled {self.send_stall_seconds:.3f}s)"
+            )
         return (
             f"elapsed {self.elapsed_seconds:.3f}s | strategy {strategy} | "
             f"downlink {self.downlink_bytes} B in {self.downlink_messages} msgs | "

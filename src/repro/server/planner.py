@@ -291,8 +291,55 @@ class _PlanBuilder:
             self.context,
             config=self.config,
             predicates=predicates,
+            output_columns=self._chain_output_columns(plan, calls),
             reoptimizer=self.config.reoptimizer,
         )
+
+    def _chain_output_columns(
+        self, plan: Operator, calls: List[ClientUdfCall]
+    ) -> Optional[List[str]]:
+        """Columns still needed above the whole migrated UDF chain.
+
+        The migration operator pushes this projection *into* the chain: each
+        stage keeps only what later stages and the final output read, so
+        mid-chain client-site joins stop shipping columns nothing needs.
+        Returns ``None`` (keep everything) when the needed set cannot be
+        computed safely.
+        """
+        needed: Set[str] = set()
+        for output in self.query.outputs:
+            rewritten = replace_udf_calls_with_columns(
+                output.expression, self.result_column_mapping
+            )
+            needed |= set(rewritten.columns())
+        for predicate in self.query.predicates:
+            if id(predicate) in self.applied_predicates:
+                continue
+            rewritten = replace_udf_calls_with_columns(
+                predicate.expression, self.result_column_mapping
+            )
+            needed |= set(rewritten.columns())
+        for expression, _ in self.query.order_by:
+            rewritten = replace_udf_calls_with_columns(
+                expression, self.result_column_mapping
+            )
+            needed |= set(rewritten.columns())
+        if not needed:
+            return None
+
+        extended_names = list(plan.output_schema().qualified_names()) + [
+            call.result_column_name for call in calls
+        ]
+        needed_bare = {name.partition(".")[2] if "." in name else name for name in needed}
+        kept = [
+            name
+            for name in extended_names
+            if name in needed
+            or (name.partition(".")[2] if "." in name else name) in needed_bare
+        ]
+        if not kept:
+            return None
+        return kept
 
     def _apply_one_udf(
         self, plan: Operator, call: ClientUdfCall, remaining_calls: List[ClientUdfCall]

@@ -29,6 +29,20 @@ class QueryResult:
         #: this run, when an observer was attached to the executor.
         self.observation = observation
 
+    # -- adaptive introspection ---------------------------------------------------------
+
+    @property
+    def shapes_used(self) -> tuple:
+        """The plan shapes a re-optimizing run moved through, in first-use order.
+
+        Each entry is a ``PlanShape.describe()`` rendering — the UDF
+        application order with each UDF's shipping strategy, e.g.
+        ``"slim[client_site_join] -> heavy[semi_join]"``.  Empty for runs
+        without mid-query re-optimization, so callers can introspect plan
+        migration without digging into :class:`ExecutionMetrics`.
+        """
+        return self.metrics.shapes_used or ()
+
     # -- row access --------------------------------------------------------------------
 
     def __len__(self) -> int:

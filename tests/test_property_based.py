@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.adaptive import (
     BatchSizeController,
+    OverlapWindowController,
     ReOptimizationPolicy,
     ReOptimizer,
     SwitchPolicy,
@@ -246,6 +247,7 @@ def single_site_reference(workload: SyntheticWorkload):
     reoptimize=st.booleans(),
     interleaved=st.booleans(),
     declared_selectivity=st.sampled_from([None, 0.05, 0.95]),
+    overlap_window=st.sampled_from([None, 1, 4]),
 )
 @settings(max_examples=80, deadline=None)
 def test_every_execution_mode_matches_single_site(
@@ -259,16 +261,21 @@ def test_every_execution_mode_matches_single_site(
     reoptimize,
     interleaved,
     declared_selectivity,
+    overlap_window,
 ):
-    """Strategy x batch x adaptive batching x switching x re-optimization —
-    every combination returns the exact single-site result multiset.
+    """Strategy x batch x adaptive batching x switching x re-optimization x
+    overlap window — every combination returns the exact single-site result
+    multiset.
 
     The declared selectivity is deliberately allowed to lie (it only feeds
     the switcher's and re-optimizer's priors), and the tiny segment policies
     force multiple segments — and realistic switches / plan migrations —
     even on small inputs.  ``reoptimize`` routes execution through the
     :class:`PlanMigrationOperator` (it supersedes per-UDF switching when
-    both are armed, like the engine path).
+    both are armed, like the engine path).  ``overlap_window`` exercises the
+    overlapped shipping protocol from fully synchronous (1) through bounded
+    overlap (4) to each strategy's default; with ``adaptive`` and no pinned
+    window, the window is additionally adapted mid-query.
     """
     workload = SyntheticWorkload(
         row_count=row_count,
@@ -281,9 +288,13 @@ def test_every_execution_mode_matches_single_site(
         interleaved=interleaved,
         declared_selectivity=declared_selectivity,
     )
-    config = StrategyConfig(strategy=strategy, batch_size=batch_size)
+    config = StrategyConfig(
+        strategy=strategy, batch_size=batch_size, overlap_window=overlap_window
+    )
     if adaptive:
         config = config.with_batch_controller(BatchSizeController())
+        if overlap_window is None:
+            config = config.with_overlap_controller(OverlapWindowController())
     if switching:
         config = config.with_switch_policy(
             SwitchPolicy(

@@ -810,3 +810,100 @@ class TestEngineReoptimization:
             if reference is None:
                 reference = rows
             assert rows == reference
+
+
+# ---------------------------------------------------------------------------
+# shapes_used surfaced on QueryResult (PR 4 follow-up)
+# ---------------------------------------------------------------------------
+
+
+class TestShapesUsedSurface:
+    def test_shapes_used_trace_on_query_result(self):
+        scenario = MisorderedUdfScenario()
+        result = scenario.build_database().execute(
+            scenario.sql, reoptimize=True, replan_policy=scenario.replan_policy()
+        )
+        shapes = result.shapes_used
+        assert shapes == result.metrics.shapes_used
+        assert len(shapes) >= 2  # the committed shape plus the migration
+        # Each entry renders the full shape: order plus per-UDF strategies.
+        for shape in shapes:
+            assert "->" in shape and "[" in shape
+        assert shapes[0].startswith(scenario.committed_udf_order[0].lower())
+        assert shapes[-1].startswith(scenario.oracle_udf_order[0].lower())
+
+    def test_shapes_used_empty_without_reoptimization(self):
+        scenario = MisorderedUdfScenario()
+        result = scenario.build_database().execute(scenario.sql, optimize=True)
+        assert result.shapes_used == ()
+        assert result.metrics.shapes_used is None
+
+
+# ---------------------------------------------------------------------------
+# Pushable projections inside migrated chains (PR 4 follow-up)
+# ---------------------------------------------------------------------------
+
+
+class TestChainProjectionPush:
+    def _run_chain(self, output_columns):
+        """A two-stage CSJ migration chain over wide records; the final
+        output needs only the key and the second result column."""
+        from repro.client.registry import UdfRegistry
+        from repro.core.execution.adaptive import MigrationStage
+        from repro.relational.schema import Schema
+        from repro.relational.table import Table
+        from repro.relational.types import FLOAT, INTEGER, STRING
+
+        table = Table(
+            "T",
+            Schema.of(("K", INTEGER), ("Pad", STRING)),
+            rows=[[i, "x" * 120] for i in range(48)],
+        )
+        registry = UdfRegistry()
+        first = registry.register_function("FA", lambda k: float(k), result_dtype=FLOAT)
+        second = registry.register_function(
+            "FB", lambda k: float(k * 2), result_dtype=FLOAT
+        )
+        context = RemoteExecutionContext.create(
+            NETWORK, client=ClientRuntime(registry=registry)
+        )
+        stages = [
+            MigrationStage(
+                udf=first,
+                argument_columns=("T.K",),
+                result_column_name="FA_result",
+                strategy=ExecutionStrategy.CLIENT_SITE_JOIN,
+            ),
+            MigrationStage(
+                udf=second,
+                argument_columns=("T.K",),
+                result_column_name="FB_result",
+                strategy=ExecutionStrategy.CLIENT_SITE_JOIN,
+            ),
+        ]
+        operator = PlanMigrationOperator(
+            TableScan(table),
+            stages,
+            context,
+            config=StrategyConfig(
+                strategy=ExecutionStrategy.CLIENT_SITE_JOIN, batch_size=8
+            ),
+            output_columns=output_columns,
+            reoptimizer=ReOptimizer(policy=ReOptimizationPolicy(max_replans=0)),
+        )
+        rows = operator.run()
+        return rows, context
+
+    def test_mid_chain_projection_cuts_uplink_bytes(self):
+        projected_rows, projected_context = self._run_chain(["T.K", "FB_result"])
+        full_rows, full_context = self._run_chain(None)
+        # Same rows once the unprojected output is narrowed by hand.
+        narrowed = sorted(
+            (row[0], row[3]) for row in full_rows
+        )
+        assert sorted(tuple(row) for row in projected_rows) == narrowed
+        # The pushed projection drops the 120-byte pad (and FA's result)
+        # from every mid-chain and final CSJ uplink row.
+        assert (
+            projected_context.uplink_bytes < full_context.uplink_bytes / 2
+        )
