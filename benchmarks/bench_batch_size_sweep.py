@@ -108,6 +108,10 @@ def test_batch_sweep_asymmetric(benchmark, once):
     print("\nBatch-size sweep — asymmetric network (N = 100)")
     print(format_records(records, ["strategy", "batch_size", "elapsed_s", "rows_per_s", "speedup", "up_msgs", "up_bytes"]))
 
+    from conftest import write_snapshot
+
+    write_snapshot("batch_sweep", {"network": "asymmetric-100", "records": records})
+
     _assert_equivalence(points)
 
     for strategy in STRATEGIES:

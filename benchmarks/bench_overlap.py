@@ -108,6 +108,26 @@ def test_overlapped_beats_synchronous_shipping(benchmark, once):
             f"{overlapped.elapsed_seconds:>10.3f} {speedup:>8.2f}x"
         )
 
+    from conftest import write_snapshot
+
+    write_snapshot(
+        "overlap",
+        {
+            "rows": ROW_COUNT,
+            "batch_size": BATCH_SIZE,
+            "window": WINDOW,
+            "records": [
+                {
+                    "strategy": strategy.value,
+                    "sync_s": synchronous.elapsed_seconds,
+                    "overlap_s": overlapped.elapsed_seconds,
+                    "speedup": synchronous.elapsed_seconds / overlapped.elapsed_seconds,
+                }
+                for strategy, (synchronous, overlapped) in results.items()
+            ],
+        },
+    )
+
     parameters = CostParameters.paper_experiment(
         input_record_bytes=workload.input_record_bytes,
         argument_fraction=workload.argument_fraction,

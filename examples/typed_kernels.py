@@ -1,0 +1,135 @@
+"""Typed column buffers and vectorized kernels: fast, and invisible on the wire.
+
+Two demonstrations in one script:
+
+1. **Kernel speed.**  A predicate compiled with
+   :func:`repro.relational.kernels.compile_filter` evaluates a whole batch
+   in one NumPy pass; against the scalar row-at-a-time path the speedup is
+   one to two orders of magnitude on large batches.
+
+2. **Wire-trace invariance.**  Typed buffers are a *storage* change, not a
+   protocol change: running the same UDF query with typed buffers enabled
+   and with the fully-scalar fallback (``scalar_fallback()``) produces the
+   identical message counts, byte totals, and result rows under every
+   execution strategy.
+
+Run with::
+
+    python examples/typed_kernels.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import NetworkConfig, StrategyConfig
+from repro.client.registry import UdfRegistry
+from repro.client.runtime import ClientRuntime
+from repro.core.execution.context import RemoteExecutionContext
+from repro.core.execution.rewrite import build_operator
+from repro.relational.columns import HAVE_NUMPY, scalar_fallback
+from repro.relational.expressions import BooleanOp, ColumnRef, Comparison, Literal
+from repro.relational.kernels import compile_filter
+from repro.relational.operators import TableScan
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+from repro.relational.tuples import RowBatch
+from repro.relational.types import FLOAT, INTEGER
+
+
+def kernel_speed() -> None:
+    rows = 200_000
+    schema = Schema.of(("key", INTEGER), ("value", FLOAT), table="t")
+    data = [(index % 1000, float(index % 513) * 0.25) for index in range(rows)]
+    predicate = BooleanOp(
+        "AND",
+        [
+            Comparison("<", ColumnRef("key"), Literal(700)),
+            Comparison(">=", ColumnRef("value"), Literal(25.0)),
+        ],
+    )
+
+    bound = predicate.bind(schema)
+    start = time.perf_counter()
+    scalar_result = [row for row in data if bound(row)]
+    scalar_seconds = time.perf_counter() - start
+
+    print(f"Filtering {rows} rows with: {predicate}")
+    print(f"  scalar path: {scalar_seconds * 1e3:8.2f} ms ({len(scalar_result)} rows kept)")
+
+    if not HAVE_NUMPY:
+        print("  (NumPy not installed — vectorized kernels unavailable; the")
+        print("   array-backed typed buffers still cut memory and sizing cost.)")
+        return
+
+    batch = RowBatch(data).ensure_typed(schema)
+    kernel = compile_filter(predicate, schema)
+    start = time.perf_counter()
+    typed_result = batch.take_mask(kernel(batch))
+    typed_seconds = time.perf_counter() - start
+
+    assert len(typed_result) == len(scalar_result)
+    print(f"  typed kernel:{typed_seconds * 1e3:8.2f} ms "
+          f"— {scalar_seconds / typed_seconds:.0f}x faster")
+
+
+def run_query(config: StrategyConfig):
+    """One client-site UDF query; returns its wire trace and result."""
+    schema = Schema.of(("key", INTEGER), ("payload", FLOAT), table="t")
+    table = Table(
+        "t", schema, rows=[[index % 7, float(index) * 1.5] for index in range(60)]
+    )
+    registry = UdfRegistry()
+    registry.register_function(
+        "twice", lambda v: v * 2, result_dtype=INTEGER, result_size_bytes=4
+    )
+    udf = registry.get("twice")
+    context = RemoteExecutionContext.create(
+        NetworkConfig.paper_asymmetric(asymmetry=100.0),
+        client=ClientRuntime(registry=registry),
+    )
+    operator = build_operator(
+        child=TableScan(table),
+        udf=udf,
+        argument_columns=["t.key"],
+        context=context,
+        config=config,
+        pushable_predicate=Comparison("<", ColumnRef(udf.result_column_name), Literal(8)),
+        output_columns=["t.payload", udf.result_column_name],
+    )
+    result = operator.run()
+    stats = context.channel_stats
+    return {
+        "messages": (stats.downlink.message_count, stats.uplink.message_count),
+        "bytes": (stats.downlink.total_bytes, stats.uplink.total_bytes),
+        "rows": sorted(tuple(row) for row in result),
+    }
+
+
+def wire_invariance() -> None:
+    print("\nWire traces, typed buffers vs. fully-scalar fallback:")
+    print(f"{'strategy':<18} {'msgs (down/up)':>16} {'bytes (down/up)':>20} {'identical':>10}")
+    for name, make in (
+        ("naive", StrategyConfig.naive),
+        ("semi_join", StrategyConfig.semi_join),
+        ("client_site_join", StrategyConfig.client_site_join),
+    ):
+        typed = run_query(make(batch_size=8))
+        with scalar_fallback():
+            scalar = run_query(make(batch_size=8))
+        down, up = typed["messages"]
+        down_b, up_b = typed["bytes"]
+        print(
+            f"{name:<18} {f'{down}/{up}':>16} {f'{down_b}/{up_b}':>20} "
+            f"{str(typed == scalar):>10}"
+        )
+        assert typed == scalar, f"{name}: typed and scalar traces diverged"
+
+
+def main() -> None:
+    kernel_speed()
+    wire_invariance()
+
+
+if __name__ == "__main__":
+    main()

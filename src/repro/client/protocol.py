@@ -18,11 +18,12 @@ Three request shapes cover the paper's execution strategies:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.relational.expressions import Expression
 from repro.relational.schema import Schema
+from repro.relational.tuples import Row, RowBatch
 
 
 @dataclass
@@ -83,20 +84,62 @@ class PushedOperations:
         return self.predicate is not None or self.projection is not None
 
 
-@dataclass
-class RecordBatch:
-    """Client-site join downlink payload: whole records plus pushed operations."""
+class _BatchRows:
+    """Payload rows held as a columnar :class:`RowBatch` or as value tuples.
 
-    calls: List[RemoteCall]
-    rows: List[Tuple[Any, ...]]
-    pushed: PushedOperations = field(default_factory=PushedOperations)
+    The execution operators hand over whole :class:`RowBatch` es, so column
+    buffers (typed arrays included) travel by reference end to end; tests and
+    older call sites still pass plain row tuples.  Either reading — ``batch``
+    or ``rows`` — is available whatever was stored, converted lazily and
+    cached.
+    """
+
+    __slots__ = ("_batch", "_row_tuples")
+
+    def _store_rows(self, rows: Union[RowBatch, Sequence[Sequence[Any]]]) -> None:
+        if isinstance(rows, RowBatch):
+            self._batch: Optional[RowBatch] = rows
+            self._row_tuples: Optional[List[Tuple[Any, ...]]] = None
+        else:
+            self._batch = None
+            self._row_tuples = [tuple(values) for values in rows]
+
+    @property
+    def batch(self) -> RowBatch:
+        """The payload as a columnar batch."""
+        if self._batch is None:
+            self._batch = RowBatch([Row(values) for values in self._row_tuples])
+        return self._batch
+
+    @property
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """The payload as plain value tuples, in shipping order."""
+        if self._row_tuples is None:
+            self._row_tuples = self._batch.key_tuples()
+        return self._row_tuples
 
     def __len__(self) -> int:
-        return len(self.rows)
+        batch = self._batch
+        return len(batch) if batch is not None else len(self._row_tuples)
 
 
-@dataclass
-class RecordResultBatch:
+class RecordBatch(_BatchRows):
+    """Client-site join downlink payload: whole records plus pushed operations."""
+
+    __slots__ = ("calls", "pushed")
+
+    def __init__(
+        self,
+        calls: Sequence[RemoteCall],
+        rows: Union[RowBatch, Sequence[Sequence[Any]]],
+        pushed: Optional[PushedOperations] = None,
+    ) -> None:
+        self.calls = list(calls)
+        self.pushed = pushed if pushed is not None else PushedOperations()
+        self._store_rows(rows)
+
+
+class RecordResultBatch(_BatchRows):
     """Client-site join uplink payload: surviving rows, projected, plus result values.
 
     ``rows`` are already in their final (projected) shape; ``origin_indexes``
@@ -104,18 +147,21 @@ class RecordResultBatch:
     accounting and tests.
     """
 
-    rows: List[Tuple[Any, ...]]
-    origin_indexes: List[int]
+    __slots__ = ("origin_indexes",)
 
-    def __len__(self) -> int:
-        return len(self.rows)
+    def __init__(
+        self,
+        rows: Union[RowBatch, Sequence[Sequence[Any]]],
+        origin_indexes: Sequence[int],
+    ) -> None:
+        self.origin_indexes = list(origin_indexes)
+        self._store_rows(rows)
 
 
-@dataclass
-class FinalResultBatch:
+class FinalResultBatch(_BatchRows):
     """Result-delivery payload: rows of the query answer shipped to the client."""
 
-    rows: List[Tuple[Any, ...]]
+    __slots__ = ()
 
-    def __len__(self) -> int:
-        return len(self.rows)
+    def __init__(self, rows: Union[RowBatch, Sequence[Sequence[Any]]]) -> None:
+        self._store_rows(rows)

@@ -33,7 +33,9 @@ from repro.network.message import (
     is_end_of_stream,
 )
 from repro.network.simulator import Simulator
-from repro.relational.tuples import values_size
+from repro.relational.columns import build_typed_column
+from repro.relational.kernels import compile_filter
+from repro.relational.tuples import RowBatch
 
 
 class ClientRuntime:
@@ -153,18 +155,22 @@ class ClientRuntime:
             yield channel.send_to_server(error_message(exc, sender=self.name))
             return
 
+        record = batch.batch
         compute = 0.0
-        extended_rows: List[Tuple[Any, ...]] = []
+        result_columns: List[List[Any]] = [[] for _ in batch.calls]
+        # Argument tuples come off the column buffers in bulk; invocation
+        # stays row-major (all calls for row i before row i+1) so the
+        # invocation order — and any injected failure — is unchanged.
+        arguments_per_call = [
+            record.key_tuples(call.argument_positions) for call in batch.calls
+        ]
         try:
-            for row in batch.rows:
+            for index in range(len(record)):
                 self.rows_received += 1
-                values = list(row)
-                for call, udf in zip(batch.calls, udfs):
-                    arguments = call.arguments_from(row)
-                    result, cost = self._invoke(udf, arguments)
+                for slot, udf in enumerate(udfs):
+                    result, cost = self._invoke(udf, arguments_per_call[slot][index])
                     compute += cost
-                    values.append(result)
-                extended_rows.append(tuple(values))
+                    result_columns[slot].append(result)
         except UdfExecutionError as exc:
             yield channel.send_to_server(error_message(exc, sender=self.name))
             return
@@ -172,16 +178,23 @@ class ClientRuntime:
         if compute > 0:
             yield simulator.timeout(compute)
 
-        surviving, origins = self._apply_pushed_operations(batch, extended_rows)
+        extended = RowBatch.from_columns(
+            list(record.columns)
+            + [
+                build_typed_column(column, udf.result_dtype) or column
+                for udf, column in zip(udfs, result_columns)
+            ],
+            len(record),
+        )
+        surviving, origins = self._apply_pushed_operations(batch, extended)
         self.rows_returned += len(surviving)
-        payload_bytes = sum(values_size(row) for row in surviving)
         reply = batch_message(
             MessageKind.RECORDS_WITH_RESULTS,
             RecordResultBatch(rows=surviving, origin_indexes=origins),
-            payload_bytes=payload_bytes,
+            payload_bytes=surviving.values_bytes(),
             row_count=len(surviving),
             sender=self.name,
-            description=f"{len(surviving)}/{len(batch.rows)} rows",
+            description=f"{len(surviving)}/{len(record)} rows",
         )
         yield channel.send_to_server(reply)
 
@@ -193,26 +206,30 @@ class ClientRuntime:
             self.largest_batch = size
 
     def _apply_pushed_operations(
-        self, batch: RecordBatch, extended_rows: List[Tuple[Any, ...]]
-    ) -> Tuple[List[Tuple[Any, ...]], List[int]]:
-        """Apply pushed predicate and projection to the UDF-extended rows."""
+        self, batch: RecordBatch, extended: RowBatch
+    ) -> Tuple[RowBatch, List[int]]:
+        """Apply pushed predicate and projection to the UDF-extended batch."""
         pushed = batch.pushed
-        bound = None
         if pushed.predicate is not None and pushed.extended_schema is not None:
-            bound = pushed.predicate.bind(
-                pushed.extended_schema, self.registry.callables(UdfSite.CLIENT)
-            )
-        surviving: List[Tuple[Any, ...]] = []
-        origins: List[int] = []
-        for index, values in enumerate(extended_rows):
-            if bound is not None and not bound(values):
-                continue
-            if pushed.projection is not None:
-                output = tuple(values[position] for position in pushed.projection)
+            kernel = compile_filter(pushed.predicate, pushed.extended_schema)
+            mask = kernel(extended) if kernel is not None else None
+            if mask is not None:
+                origins = mask.nonzero()[0].tolist()
             else:
-                output = values
-            surviving.append(output)
-            origins.append(index)
+                bound = pushed.predicate.bind(
+                    pushed.extended_schema, self.registry.callables(UdfSite.CLIENT)
+                )
+                origins = [
+                    index
+                    for index, values in enumerate(extended.key_tuples())
+                    if bound(values)
+                ]
+            surviving = extended.take(origins)
+        else:
+            surviving = extended
+            origins = list(range(len(extended)))
+        if pushed.projection is not None:
+            surviving = surviving.project(pushed.projection)
         return surviving, origins
 
     def _invoke(self, udf: UdfDefinition, arguments: Tuple[Any, ...]) -> Tuple[Any, float]:

@@ -62,7 +62,7 @@ from repro.core.execution.semijoin import SemiJoinSegmentState
 from repro.core.strategies import StrategyConfig
 from repro.relational.expressions import Expression, conjoin
 from repro.relational.operators.base import CollectingOperator, Operator
-from repro.relational.tuples import Row, row_size, values_size
+from repro.relational.tuples import RowBatch, concat_batches
 
 
 class AdaptiveStrategyOperator(ClientSiteJoinOperator):
@@ -123,20 +123,26 @@ class AdaptiveStrategyOperator(ClientSiteJoinOperator):
 
     # -- execution ---------------------------------------------------------------------
 
-    def _execute(self):
+    def _execute_batches(self, batch_size):
         from repro.core.execution.rewrite import build_operator
 
-        rows = list(self.child().execute())
-        self.input_row_count = len(rows)
-        self._precompute_suffixes(rows)
-        self.distinct_argument_count = self._suffix_distinct[0] if rows else 0
+        batch = concat_batches(
+            list(self.child().execute_batches(batch_size)),
+            column_count=len(self.child_schema),
+        )
+        self.input_row_count = len(batch)
+        self._precompute_suffixes(batch)
+        self.distinct_argument_count = self._suffix_distinct[0] if len(batch) else 0
 
-        outputs: List[Row] = []
+        outputs: List[RowBatch] = []
         position = 0
         index = 0
-        while position < len(rows):
+        total = len(batch)
+        while position < total:
             strategy = self.switcher.current_strategy
-            segment = rows[position : position + self.switcher.next_segment_rows(index)]
+            segment = batch.slice(
+                position, position + self.switcher.next_segment_rows(index)
+            )
             position += len(segment)
 
             # One plain (non-switching) strategy operator per segment, over
@@ -160,27 +166,35 @@ class AdaptiveStrategyOperator(ClientSiteJoinOperator):
                 semi_join_state=self._semi_join_state,
             )
             before = self._snapshot()
-            segment_rows = operator.run()
-            outputs.extend(segment_rows)
+            segment_output = concat_batches(
+                list(operator.execute_batches(batch_size)),
+                column_count=len(self.schema),
+            )
+            outputs.append(segment_output)
             self.segments.append((strategy, len(segment)))
             self._carry_instrumentation(operator)
 
-            if position < len(rows):
+            if position < total:
                 self.switcher.observe_segment(
-                    self._segment_observation(len(segment), len(segment_rows), position, before)
+                    self._segment_observation(
+                        len(segment), len(segment_output), position, before
+                    )
                 )
             index += 1
 
-        self.output_row_count = len(outputs)
-        yield from outputs
+        output = concat_batches(outputs, column_count=len(self.schema))
+        self.output_row_count = len(output)
+        for start in range(0, len(output), batch_size):
+            yield output.slice(start, start + batch_size)
 
-    def _precompute_suffixes(self, rows: List[Row]) -> None:
+    def _precompute_suffixes(self, batch: RowBatch) -> None:
         """Per-suffix aggregates of the input, computed in one backward pass.
 
         Segment boundaries need the byte shape and duplicate structure of the
         unprocessed tail; precomputing suffix sums keeps each boundary O(1)
         instead of rescanning the tail (which would make long adaptive runs
-        quadratic in the input size).
+        quadratic in the input size).  The per-row sizes come off the column
+        buffers in bulk (constant-folded for NULL-free typed columns).
         """
         if self._projection_positions is not None:
             child_positions: Tuple[int, ...] = tuple(
@@ -191,25 +205,28 @@ class AdaptiveStrategyOperator(ClientSiteJoinOperator):
         else:
             child_positions = tuple(range(len(self.child_schema)))
 
-        count = len(rows)
+        count = len(batch)
+        record_sizes = batch.row_sizes(self.child_schema)
+        argument_sizes = batch.value_sizes(self._argument_positions)
+        projected_sizes = batch.value_sizes(child_positions)
+        argument_tuples = self.argument_tuples(batch)
+
         self._suffix_record_bytes = [0.0] * (count + 1)
         self._suffix_argument_bytes = [0.0] * (count + 1)
         self._suffix_projected_bytes = [0.0] * (count + 1)
         self._suffix_distinct = [0] * (count + 1)
         seen: set = set()
         for position in range(count - 1, -1, -1):
-            row = rows[position]
-            arguments = self.argument_tuple(row)
-            seen.add(arguments)
+            seen.add(argument_tuples[position])
             self._suffix_record_bytes[position] = (
-                self._suffix_record_bytes[position + 1] + self.record_bytes(row)
+                self._suffix_record_bytes[position + 1] + record_sizes[position]
             )
             self._suffix_argument_bytes[position] = (
-                self._suffix_argument_bytes[position + 1] + values_size(arguments)
+                self._suffix_argument_bytes[position + 1] + argument_sizes[position]
             )
-            self._suffix_projected_bytes[position] = self._suffix_projected_bytes[
-                position + 1
-            ] + values_size([row[index] for index in child_positions])
+            self._suffix_projected_bytes[position] = (
+                self._suffix_projected_bytes[position + 1] + projected_sizes[position]
+            )
             self._suffix_distinct[position] = len(seen)
 
     # -- observation plumbing ----------------------------------------------------------
@@ -510,16 +527,20 @@ class PlanMigrationOperator(Operator):
 
     # -- execution ---------------------------------------------------------------------
 
-    def _execute(self):
-        rows = list(self.child().execute())
-        self.input_row_count = len(rows)
-        self._precompute_suffixes(rows)
+    def _execute_batches(self, batch_size):
+        batch = concat_batches(
+            list(self.child().execute_batches(batch_size)),
+            column_count=len(self.child_schema),
+        )
+        self.input_row_count = len(batch)
+        self._precompute_suffixes(batch)
 
         policy = self.reoptimizer.policy
-        outputs: List[Row] = []
+        outputs: List[RowBatch] = []
         position = 0
         index = 0
-        while position < len(rows):
+        total = len(batch)
+        while position < total:
             shape = self.reoptimizer.current_shape
             # Once the controller settles — re-plan budget spent, or enough
             # consecutive boundaries confirmed the incumbent shape — no
@@ -527,31 +548,37 @@ class PlanMigrationOperator(Operator):
             # would be pure overhead (extra messages, pipeline fills), so
             # the whole tail drains as one final segment.
             exhausted = self.reoptimizer.settled
-            take = len(rows) - position if exhausted else policy.next_segment_rows(index)
-            segment = rows[position : position + take]
+            take = total - position if exhausted else policy.next_segment_rows(index)
+            segment = batch.slice(position, position + take)
             position += len(segment)
 
             units, stage_keys = self._build_pipeline(shape, segment)
-            segment_rows = units[-1].run()
+            segment_output = concat_batches(
+                list(units[-1].execute_batches(batch_size)),
+                column_count=len(self.schema),
+            )
             self._account_segment(shape, units, stage_keys, len(segment))
-            if self.output_columns is not None:
-                # With a pushable projection the pipeline's stages already
-                # prune to the needed columns and the last stage projects to
-                # the final output shape, identically under every plan shape.
-                outputs.extend(segment_rows)
-            else:
-                outputs.extend(self._canonicalise(shape, segment_rows))
+            if self.output_columns is None:
+                # Without a pushable projection each shape extends rows with
+                # the same result columns in its own order; re-order into the
+                # canonical schema before merging.  (With one, the pipeline's
+                # last stage already projects to the final output shape,
+                # identically under every plan shape.)
+                segment_output = self._canonicalise(shape, segment_output)
+            outputs.append(segment_output)
             self.segments.append((shape, len(segment)))
 
-            if position < len(rows) and not exhausted:
+            if position < total and not exhausted:
                 self.reoptimizer.consider(self._observation(position))
             index += 1
 
-        self.output_row_count = len(outputs)
-        yield from outputs
+        output = concat_batches(outputs, column_count=len(self.schema))
+        self.output_row_count = len(output)
+        for start in range(0, len(output), batch_size):
+            yield output.slice(start, start + batch_size)
 
     def _build_pipeline(
-        self, shape: PlanShape, segment: List[Row]
+        self, shape: PlanShape, segment: RowBatch
     ) -> Tuple[List[Operator], List[Optional[str]]]:
         """The per-segment operator chain under ``shape``.
 
@@ -676,21 +703,21 @@ class PlanMigrationOperator(Operator):
             )
             rows_in = rows_out
 
-    def _canonicalise(self, shape: PlanShape, rows: List[Row]) -> List[Row]:
+    def _canonicalise(self, shape: PlanShape, batch: RowBatch) -> RowBatch:
         """Re-order a segment's output columns into the canonical schema."""
         if shape.udf_order == self._declared_order:
-            return rows
+            return batch
         child_count = len(self.child_schema)
         positions = list(range(child_count)) + [
             child_count + shape.udf_order.index(name) for name in self._declared_order
         ]
-        return [Row(tuple(row[p] for p in positions)) for row in rows]
+        return batch.project(positions)
 
     # -- observation plumbing ----------------------------------------------------------
 
-    def _precompute_suffixes(self, rows: List[Row]) -> None:
+    def _precompute_suffixes(self, batch: RowBatch) -> None:
         """Suffix aggregates of the input (byte shape and per-stage distincts)."""
-        count = len(rows)
+        count = len(batch)
         self._suffix_record_bytes = [0.0] * (count + 1)
         self._suffix_argument_bytes: Dict[str, List[float]] = {
             name: [0.0] * (count + 1) for name in self._declared_order
@@ -705,18 +732,25 @@ class PlanMigrationOperator(Operator):
             )
             for name in self._declared_order
         }
+        record_sizes = batch.row_sizes(self.child_schema)
+        stage_sizes = {
+            name: batch.value_sizes(stage_positions[name])
+            for name in self._declared_order
+        }
+        stage_tuples = {
+            name: batch.key_tuples(stage_positions[name])
+            for name in self._declared_order
+        }
         seen: Dict[str, set] = {name: set() for name in self._declared_order}
         for position in range(count - 1, -1, -1):
-            row = rows[position]
-            self._suffix_record_bytes[position] = self._suffix_record_bytes[
-                position + 1
-            ] + row_size(row, self.child_schema)
+            self._suffix_record_bytes[position] = (
+                self._suffix_record_bytes[position + 1] + record_sizes[position]
+            )
             for name in self._declared_order:
-                arguments = tuple(row[p] for p in stage_positions[name])
-                seen[name].add(arguments)
+                seen[name].add(stage_tuples[name][position])
                 self._suffix_argument_bytes[name][position] = (
                     self._suffix_argument_bytes[name][position + 1]
-                    + values_size(arguments)
+                    + stage_sizes[name][position]
                 )
                 self._suffix_distinct[name][position] = len(seen[name])
 

@@ -12,20 +12,29 @@ from repro.core.execution.context import RemoteExecutionContext
 from repro.core.execution.overlap import InFlightWindow
 from repro.core.strategies import StrategyConfig
 from repro.network.message import Message, MessageKind
+from repro.relational.columns import TypedColumn, build_typed_column
 from repro.relational.operators.base import Operator
 from repro.relational.operators.sort import _NullsFirstKey
 from repro.relational.schema import Column, Schema
-from repro.relational.tuples import Row, row_size, rows_size, values_size
+from repro.relational.tuples import (
+    Row,
+    RowBatch,
+    concat_batches,
+    row_size,
+    rows_size,
+    values_size,
+)
 
 
 class RemoteUdfOperator(Operator):
     """Base class for operators that apply a client-site UDF to their input.
 
-    The child's rows are materialised, the strategy-specific coordination
-    coroutine (``_drive``) is run on the shared simulator via the execution
-    context, and the resulting rows are streamed to the parent.  The output
-    schema is the child schema extended with one result column named after
-    the UDF (``<name>_result``), unless a subclass projects it differently.
+    The child's batches are materialised into one columnar input batch, the
+    strategy-specific coordination coroutine (``_drive``) is run on the
+    shared simulator via the execution context, and the resulting batch is
+    re-chunked to the parent.  The output schema is the child schema
+    extended with one result column named after the UDF (``<name>_result``),
+    unless a subclass projects it differently.
     """
 
     def __init__(
@@ -68,22 +77,26 @@ class RemoteUdfOperator(Operator):
 
     # -- operator protocol ------------------------------------------------------------
 
-    def _execute(self) -> Iterator[Row]:
-        input_rows = list(self.child().execute())
-        self.input_row_count = len(input_rows)
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
+        batch = concat_batches(
+            list(self.child().execute_batches(batch_size)),
+            column_count=len(self.child_schema),
+        )
+        self.input_row_count = len(batch)
         controller = self.config.controller_for(self.udf.name)
         if controller is not None:
             # Start the controller's inter-arrival clock at this operator's
             # first simulated instant, so idle time between remote operators
             # is not charged to the first batch.
             controller.begin_operation(self.context.simulator.now)
-        output_rows: List[Row] = self.context.run_remote(
-            self._drive(input_rows), name=self.describe()
+        output: RowBatch = self.context.run_remote(
+            self._drive(batch), name=self.describe()
         )
-        self.output_row_count = len(output_rows)
-        yield from output_rows
+        self.output_row_count = len(output)
+        for start in range(0, len(output), batch_size):
+            yield output.slice(start, start + batch_size)
 
-    def _drive(self, rows: List[Row]):
+    def _drive(self, batch: RowBatch):
         """Strategy-specific coordination coroutine (a simulation process)."""
         raise NotImplementedError
 
@@ -147,19 +160,70 @@ class RemoteUdfOperator(Operator):
         """Extract the UDF's argument values from a child row."""
         return tuple(row[position] for position in self._argument_positions)
 
+    def argument_tuples(self, batch: RowBatch) -> List[Tuple[Any, ...]]:
+        """All argument tuples of the batch, straight off the column buffers."""
+        return batch.key_tuples(self._argument_positions)
+
     def argument_bytes(self, arguments: Sequence[Any]) -> int:
         return values_size(arguments)
+
+    def argument_sizer(self, batch: RowBatch):
+        """A ``tuples -> payload bytes`` sizer specialised to this batch.
+
+        When every argument column is typed and NULL-free, each tuple sizes
+        to the same constant (the columns' widths), so a batch payload is
+        one multiply; otherwise the sizer sums values exactly like
+        :func:`values_size` per tuple.
+        """
+        if len(batch):
+            columns = batch.columns
+            widths = []
+            for position in self._argument_positions:
+                column = columns[position]
+                if isinstance(column, TypedColumn) and column.null_count == 0:
+                    widths.append(column.width)
+                else:
+                    widths.append(None)
+            if widths and all(width is not None for width in widths):
+                tuple_width = sum(widths)
+                return lambda tuples: tuple_width * len(tuples)
+        return lambda tuples: sum(values_size(arguments) for arguments in tuples)
 
     def record_bytes(self, row: Sequence[Any]) -> int:
         return row_size(row, self.child_schema)
 
     def records_size(self, rows: Sequence[Sequence[Any]]) -> int:
-        """Wire size of many child rows, via the schema's cached size plan."""
+        """Wire size of many child rows, via the schema's cached size plan.
+
+        Accepts a :class:`RowBatch` directly — its typed columns and size
+        memo make repeated costing of the same payload O(1).
+        """
         return rows_size(rows, self.child_schema)
 
     def sorted_by_arguments(self, rows: List[Row]) -> List[Row]:
         """Rows ordered (stably) by their argument tuples, grouping duplicates."""
         return sorted(rows, key=lambda row: _NullsFirstKey(self.argument_tuple(row)))
+
+    def sorted_batch_by_arguments(
+        self, batch: RowBatch
+    ) -> Tuple[RowBatch, List[Tuple[Any, ...]]]:
+        """``(batch stably sorted by argument tuples, the sorted tuples)``.
+
+        Column-wise equivalent of :meth:`sorted_by_arguments`; an input
+        already in argument order comes back unchanged (identity).
+        """
+        arguments = self.argument_tuples(batch)
+        order = sorted(
+            range(len(arguments)), key=lambda index: _NullsFirstKey(arguments[index])
+        )
+        if all(index == position for position, index in enumerate(order)):
+            return batch, arguments
+        return batch.take(order), [arguments[index] for index in order]
+
+    def extended_batch(self, batch: RowBatch, results: List[Any]) -> RowBatch:
+        """The input batch plus the UDF result column (typed when eligible)."""
+        column = build_typed_column(results, self.udf.result_dtype) or results
+        return RowBatch.from_columns(list(batch.columns) + [column], len(batch))
 
     def check_reply(self, message: Message) -> Message:
         """Raise :class:`ExecutionError` when the client reported a failure."""

@@ -25,8 +25,9 @@ from repro.core.strategies import StrategyConfig
 from repro.client.udf import UdfDefinition
 from repro.network.message import MessageKind, is_end_of_stream, end_of_stream
 from repro.relational.expressions import Expression
+from repro.relational.kernels import compile_filter
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row
+from repro.relational.tuples import RowBatch, concat_batches
 
 
 class ClientSiteJoinOperator(RemoteUdfOperator):
@@ -77,14 +78,14 @@ class ClientSiteJoinOperator(RemoteUdfOperator):
 
     # -- coordination -------------------------------------------------------------------
 
-    def _drive(self, rows: List[Row]):
+    def _drive(self, batch: RowBatch):
         simulator = self.context.simulator
         channel = self.context.channel
 
         if self.config.sort_by_arguments:
             # Sorting groups argument duplicates so the client's result cache
             # avoids recomputation; it does not change what is shipped.
-            rows = self.sorted_by_arguments(rows)
+            batch, _sorted_arguments = self.sorted_batch_by_arguments(batch)
 
         call = RemoteCall(udf_name=self.udf.name, argument_positions=self._argument_positions)
         push_predicate = self.config.push_predicates and self.pushable_predicate is not None
@@ -114,17 +115,18 @@ class ClientSiteJoinOperator(RemoteUdfOperator):
 
         def sender():
             start = 0
-            while start < len(rows):
+            total = len(batch)
+            while start < total:
                 # Re-read the targets at every batch boundary: adaptive
                 # controllers may have moved them since the last send.
-                chunk = rows[start : start + self.next_batch_size()]
+                chunk = batch.slice(start, start + self.next_batch_size())
                 start += len(chunk)
                 sent_sizes.append(len(chunk))
                 self.refresh_window(window)
                 yield window.acquire()
                 yield channel.send_batch_to_client(
                     MessageKind.RECORDS,
-                    RecordBatch(calls=[call], rows=[tuple(row) for row in chunk], pushed=pushed),
+                    RecordBatch(calls=[call], rows=chunk, pushed=pushed),
                     payload_bytes=self.records_size(chunk),
                     row_count=len(chunk),
                     description=f"csj {self.udf.name} x{len(chunk)}",
@@ -132,37 +134,45 @@ class ClientSiteJoinOperator(RemoteUdfOperator):
             yield channel.send_to_client(end_of_stream())
 
         def receiver():
-            output: List[Row] = []
+            collected: List[RowBatch] = []
             while True:
                 reply = yield channel.receive_at_server()
                 if is_end_of_stream(reply):
                     break
                 self.check_reply(reply)
                 window.release()
-                for values in reply.payload.rows:
-                    output.append(Row(values))
+                collected.append(reply.payload.batch)
                 if sent_sizes:
                     self.observe_batch(sent_sizes.popleft())
-            return output
+            return collected
 
         sender_process = simulator.process(sender(), name="clientjoin.sender")
         receiver_process = simulator.process(receiver(), name="clientjoin.receiver")
-        output = yield receiver_process
+        collected = yield receiver_process
         yield sender_process
         self.finish_window(window)
 
-        self.distinct_argument_count = len({self.argument_tuple(row) for row in rows})
+        self.distinct_argument_count = len(set(self.argument_tuples(batch)))
+        reply_width = (
+            len(self.schema) if push_projection else len(self.extended_schema)
+        )
+        output = concat_batches(collected, column_count=reply_width)
         return self._finish_on_server(output, push_predicate, push_projection)
 
     # -- server-side completion (ablation paths) ------------------------------------------
 
     def _finish_on_server(
-        self, rows: List[Row], pushed_predicate: bool, pushed_projection: bool
-    ) -> List[Row]:
+        self, batch: RowBatch, pushed_predicate: bool, pushed_projection: bool
+    ) -> RowBatch:
         """Apply whatever was *not* pushed to the client, so results are identical."""
         if not pushed_predicate and self.pushable_predicate is not None:
-            bound = self.pushable_predicate.bind(self.extended_schema)
-            rows = [row for row in rows if bound(row)]
+            kernel = compile_filter(self.pushable_predicate, self.extended_schema)
+            mask = kernel(batch) if kernel is not None else None
+            if mask is not None:
+                batch = batch.take_mask(mask)
+            else:
+                bound = self.pushable_predicate.bind(self.extended_schema)
+                batch = batch.filter(bound)
         if not pushed_projection and self._projection_positions is not None:
-            rows = [row.project(self._projection_positions) for row in rows]
-        return rows
+            batch = batch.project(self._projection_positions)
+        return batch

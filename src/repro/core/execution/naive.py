@@ -30,7 +30,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 from repro.client.protocol import ArgumentBatch, RemoteCall, ResultBatch
 from repro.core.execution.base import RemoteUdfOperator
 from repro.network.message import MessageKind, end_of_stream, is_end_of_stream
-from repro.relational.tuples import Row
+from repro.relational.tuples import RowBatch
 
 
 class NaiveUdfOperator(RemoteUdfOperator):
@@ -46,7 +46,7 @@ class NaiveUdfOperator(RemoteUdfOperator):
         super().__init__(*args, **kwargs)
         self.carry_state = carry_state
 
-    def _drive(self, rows: List[Row]):
+    def _drive(self, batch: RowBatch):
         simulator = self.context.simulator
         channel = self.context.channel
         call = RemoteCall(
@@ -62,12 +62,15 @@ class NaiveUdfOperator(RemoteUdfOperator):
         # window 1 unless the config (or its controller) says otherwise.
         window = self.make_window(default=1)
 
+        arguments_list = self.argument_tuples(batch)
+        sizer = self.argument_sizer(batch)
+
         distinct_arguments = set()
-        # How each input row resolves, in input order: ``(row, arguments,
+        # How each input row resolves, in input order: ``(arguments,
         # batch_id, offset)`` — ``batch_id`` None for rows answered from the
         # server cache at enqueue time, else the index of the request batch
         # (and the offset within it) that carries the row's arguments.
-        resolution: List[Tuple[Row, Tuple[Any, ...], Optional[int], Optional[int]]] = []
+        resolution: List[Tuple[Tuple[Any, ...], Optional[int], Optional[int]]] = []
         # One slot per request batch, filled by the receiver in FIFO order.
         batch_results: List[Optional[List[Any]]] = []
         # Input rows acknowledged by each reply (cache-resolved rows between
@@ -81,23 +84,22 @@ class NaiveUdfOperator(RemoteUdfOperator):
             shipped_index: Dict[Tuple[Any, ...], Tuple[int, int]] = {}
             covered = 0
             next_batch_id = 0
-            for row in rows:
-                arguments = self.argument_tuple(row)
+            for arguments in arguments_list:
                 distinct_arguments.add(arguments)
                 covered += 1
                 if use_cache:
                     if arguments in cache:
-                        resolution.append((row, arguments, None, None))
+                        resolution.append((arguments, None, None))
                         continue
                     shipped = shipped_index.get(arguments)
                     if shipped is not None:
-                        resolution.append((row, arguments) + shipped)
+                        resolution.append((arguments,) + shipped)
                         continue
                 offset = len(pending)
                 pending.append(arguments)
                 if use_cache:
                     shipped_index[arguments] = (next_batch_id, offset)
-                resolution.append((row, arguments, next_batch_id, offset))
+                resolution.append((arguments, next_batch_id, offset))
                 # Re-read the targets each time: adaptive controllers may
                 # have moved the batch size or the window since the last send.
                 if len(pending) >= self.next_batch_size():
@@ -106,7 +108,7 @@ class NaiveUdfOperator(RemoteUdfOperator):
                     yield channel.send_batch_to_client(
                         MessageKind.UDF_ARGUMENTS,
                         ArgumentBatch(call=call, argument_tuples=list(pending)),
-                        payload_bytes=sum(self.argument_bytes(args) for args in pending),
+                        payload_bytes=sizer(pending),
                         row_count=len(pending),
                         description=f"naive {self.udf.name} x{len(pending)}",
                     )
@@ -121,7 +123,7 @@ class NaiveUdfOperator(RemoteUdfOperator):
                 yield channel.send_batch_to_client(
                     MessageKind.UDF_ARGUMENTS,
                     ArgumentBatch(call=call, argument_tuples=list(pending)),
-                    payload_bytes=sum(self.argument_bytes(args) for args in pending),
+                    payload_bytes=sizer(pending),
                     row_count=len(pending),
                     description=f"naive {self.udf.name} x{len(pending)}",
                 )
@@ -152,8 +154,8 @@ class NaiveUdfOperator(RemoteUdfOperator):
         yield sender_process
         self.finish_window(window)
 
-        output: List[Row] = []
-        for row, arguments, batch_id, offset in resolution:
+        results: List[Any] = []
+        for arguments, batch_id, offset in resolution:
             if batch_id is None:
                 result = cache[arguments]
             else:
@@ -166,7 +168,7 @@ class NaiveUdfOperator(RemoteUdfOperator):
                     # treat it as already shipped (its receiver answers
                     # from carried.results).
                     carried.seen.add(arguments)
-            output.append(row.append(result))
+            results.append(result)
 
         self.distinct_argument_count = len(distinct_arguments)
-        return output
+        return self.extended_batch(batch, results)

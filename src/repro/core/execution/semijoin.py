@@ -31,7 +31,7 @@ from repro.core.concurrency import recommended_batched_concurrency_factor
 from repro.core.execution.base import RemoteUdfOperator
 from repro.network.message import MessageKind, batch_message, end_of_stream
 from repro.network.resources import Store
-from repro.relational.tuples import Row
+from repro.relational.tuples import Row, RowBatch
 
 #: Sentinel marking the end of the record stream between sender and receiver.
 _DONE = object()
@@ -98,14 +98,17 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
             batch_size=self.config.batch_size,
         )
 
-    def _drive(self, rows: List[Row]):
+    def _drive(self, batch: RowBatch):
         simulator = self.context.simulator
         channel = self.context.channel
 
         if self.config.sort_by_arguments:
-            rows = self.sorted_by_arguments(rows)
+            batch, arguments_list = self.sorted_batch_by_arguments(batch)
+        else:
+            arguments_list = self.argument_tuples(batch)
+        sizer = self.argument_sizer(batch)
 
-        factor = self.effective_concurrency_factor(rows[0] if rows else None)
+        factor = self.effective_concurrency_factor(batch[0] if len(batch) else None)
         # A batch only leaves the sender once it is full, so the pipeline must
         # admit at least one whole batch or the sender would block on a slot
         # while holding an unsent batch (deadlock).  An explicitly pinned
@@ -153,21 +156,20 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
                 message = batch_message(
                     MessageKind.UDF_ARGUMENTS,
                     ArgumentBatch(call=call, argument_tuples=list(pending_batch)),
-                    payload_bytes=sum(self.argument_bytes(args) for args in pending_batch),
+                    payload_bytes=sizer(pending_batch),
                     row_count=len(pending_batch),
                     description=f"semijoin {self.udf.name} x{len(pending_batch)}",
                 )
                 pending_batch.clear()
                 return message
 
-            for row in rows:
-                arguments = self.argument_tuple(row)
+            for arguments in arguments_list:
                 is_new = True
                 if eliminate:
                     is_new = arguments not in seen
                     if is_new:
                         seen.add(arguments)
-                yield records.put((row, arguments, is_new))
+                yield records.put((arguments, is_new))
                 if is_new:
                     # Re-read the target at every batch boundary: an adaptive
                     # controller may have changed it since the last flush.
@@ -192,7 +194,7 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
             yield channel.send_to_client(end_of_stream())
 
         def receiver():
-            output: List[Row] = []
+            results: List[Any] = []
             result_cache: Dict[Tuple[Any, ...], Any] = (
                 carried.results if carried is not None else {}
             )
@@ -203,37 +205,39 @@ class SemiJoinUdfOperator(RemoteUdfOperator):
                 item = yield records.get()
                 if item is _DONE:
                     break
-                row, arguments, is_new = item
+                arguments, is_new = item
                 distinct_arguments.add(arguments)
                 if is_new:
                     while not pending_results:
                         reply = yield channel.receive_at_server()
                         self.check_reply(reply)
                         window.release()
-                        batch: ResultBatch = reply.payload
-                        pending_results.extend(batch.results)
-                        self.observe_batch(len(batch.results))
+                        result_batch: ResultBatch = reply.payload
+                        pending_results.extend(result_batch.results)
+                        self.observe_batch(len(result_batch.results))
                     result = pending_results.popleft()
                     result_cache[arguments] = result
                     yield in_flight.get()
                 else:
                     result = result_cache[arguments]
-                output.append(row.append(result))
+                results.append(result)
 
             # Absorb the client's end-of-stream acknowledgement.
             yield channel.receive_at_server()
             self.distinct_argument_count = len(distinct_arguments)
-            return output
+            return results
 
         sender_process = simulator.process(sender(), name="semijoin.sender")
         receiver_process = simulator.process(receiver(), name="semijoin.receiver")
         # Wait for the receiver first: if the client reports a failure the
         # receiver raises immediately, even while the sender is still blocked
         # on a pipeline slot that will never be released.
-        output = yield receiver_process
+        results = yield receiver_process
         yield sender_process
         self.peak_pipeline_occupancy = in_flight.peak_occupancy
         # The window may have grown with the controller; report what it ended at.
         self.concurrency_factor_used = int(in_flight.capacity)
         self.finish_window(window)
-        return output
+        # Results arrive in record order — the (possibly argument-sorted)
+        # input order — so the output is the input batch plus one column.
+        return self.extended_batch(batch, results)

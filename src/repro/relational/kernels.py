@@ -1,0 +1,339 @@
+"""Vectorized expression kernels over typed column buffers.
+
+:func:`compile_filter` and :func:`compile_expression` translate a scalar
+expression tree (:mod:`repro.relational.expressions`) into a NumPy kernel
+that evaluates the whole batch at once, with SQL three-valued logic carried
+in validity masks.  Compilation is *conservative*: it returns ``None`` —
+leaving the caller on the scalar row-at-a-time path — whenever vectorized
+evaluation could diverge from the scalar semantics:
+
+* function calls (UDFs) are never vectorized;
+* column references must be fixed-width (INTEGER/FLOAT/BOOLEAN);
+* arithmetic over booleans is rejected (``True + True`` is ``2`` in Python
+  but ``True`` in NumPy);
+* literals must be plain ``bool``/``int``/``float`` within int64 range.
+
+A compiled kernel can still decline *per batch*: when a referenced column is
+not stored typed in some batch (mixed-type data that failed the strict
+builder), the kernel returns ``None`` for that batch and the caller falls
+back to the scalar path for it.
+
+Three-valued logic: every compiled node produces ``(values, valid)`` where
+``valid`` is ``None`` (everything valid) or a boolean mask.  Comparisons and
+arithmetic are NULL when either operand is NULL; AND/OR follow Kleene logic
+(``x AND FALSE`` is FALSE even when ``x`` is NULL).  Division by zero raises
+:class:`~repro.errors.ExpressionError` exactly like the scalar path —
+checked only where both operands are valid, so a NULL-masked zero divisor
+does not raise.
+
+Documented divergences from the scalar path (accepted for speed): integer
+arithmetic wraps at int64 instead of growing arbitrarily, and int-vs-float
+comparisons round the int to float64 first.  Both are out of range for the
+workloads here; the equivalence tests bound their inputs accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExpressionError
+from repro.relational import columns as _columns
+from repro.relational.columns import TypedColumn, vectorization_enabled
+from repro.relational.expressions import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    Literal,
+)
+from repro.relational.schema import Schema
+
+#: Static type kinds propagated through compilation.
+_BOOL, _INT, _FLOAT = "b", "i", "f"
+
+_KIND_BY_DTYPE = {"BOOLEAN": _BOOL, "INTEGER": _INT, "FLOAT": _FLOAT}
+_DTYPE_BY_KIND = {_BOOL: "BOOLEAN", _INT: "INTEGER", _FLOAT: "FLOAT"}
+
+#: A compiled node: ``(typed columns by position, batch length) -> (values, valid)``.
+#: ``values`` is an ndarray or a Python scalar; ``valid`` is a boolean ndarray
+#: or ``None`` meaning "every slot valid".
+_Node = Callable[[Dict[int, TypedColumn], int], Tuple[Any, Any]]
+
+
+class _NotVectorizable(Exception):
+    """Raised during compilation when the tree cannot be vectorized."""
+
+
+def _np():
+    return _columns.np
+
+
+def _as_bool_array(values: Any, length: int):
+    np = _np()
+    if isinstance(values, np.ndarray):
+        if values.dtype == np.bool_:
+            return values
+        return values.astype(bool)
+    return np.full(length, bool(values))
+
+
+def _and_valid(left: Any, right: Any):
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return left & right
+
+
+def _compile_node(expression: Expression, schema: Schema) -> Tuple[_Node, str, List[int]]:
+    """Compile one node; returns (node fn, static kind, referenced positions)."""
+    np = _np()
+
+    if isinstance(expression, Literal):
+        value = expression.value
+        if type(value) is bool:
+            kind = _BOOL
+        elif type(value) is int:
+            if not (-(2**63) <= value <= 2**63 - 1):
+                raise _NotVectorizable("integer literal out of int64 range")
+            kind = _INT
+        elif type(value) is float:
+            kind = _FLOAT
+        else:
+            raise _NotVectorizable(f"literal {value!r} is not vectorizable")
+
+        def literal_node(arrays, length):
+            return value, None
+
+        return literal_node, kind, []
+
+    if isinstance(expression, ColumnRef):
+        position = schema.index_of(expression.name)
+        dtype_name = schema.columns[position].dtype.name
+        kind = _KIND_BY_DTYPE.get(dtype_name)
+        if kind is None:
+            raise _NotVectorizable(f"column {expression.name} is not fixed-width")
+
+        def column_node(arrays, length):
+            column = arrays[position]
+            return column.data, column.validity
+
+        return column_node, kind, [position]
+
+    if isinstance(expression, Comparison):
+        left, _lk, left_positions = _compile_node(expression.left, schema)
+        right, _rk, right_positions = _compile_node(expression.right, schema)
+        operator = expression.operator
+        ops = {
+            "=": np.equal,
+            "<>": np.not_equal,
+            "!=": np.not_equal,
+            "<": np.less,
+            "<=": np.less_equal,
+            ">": np.greater,
+            ">=": np.greater_equal,
+        }
+        op = ops[operator]
+
+        def comparison_node(arrays, length):
+            a, a_valid = left(arrays, length)
+            b, b_valid = right(arrays, length)
+            return op(a, b), _and_valid(a_valid, b_valid)
+
+        return comparison_node, _BOOL, left_positions + right_positions
+
+    if isinstance(expression, Arithmetic):
+        left, left_kind, left_positions = _compile_node(expression.left, schema)
+        right, right_kind, right_positions = _compile_node(expression.right, schema)
+        if _BOOL in (left_kind, right_kind):
+            raise _NotVectorizable("arithmetic over booleans diverges from Python")
+        operator = expression.operator
+        kind = _FLOAT if (operator == "/" or _FLOAT in (left_kind, right_kind)) else _INT
+        positions = left_positions + right_positions
+
+        if operator == "/":
+
+            def divide_node(arrays, length):
+                a, a_valid = left(arrays, length)
+                b, b_valid = right(arrays, length)
+                valid = _and_valid(a_valid, b_valid)
+                divisor = np.asarray(b)
+                zero = divisor == 0
+                bad = zero if valid is None else (zero & valid)
+                if np.any(bad):
+                    raise ExpressionError(f"division by zero in {expression}")
+                if np.any(zero):
+                    divisor = np.where(zero, 1, divisor)
+                return np.true_divide(a, divisor), valid
+
+            return divide_node, kind, positions
+
+        ops = {"+": np.add, "-": np.subtract, "*": np.multiply}
+        op = ops[operator]
+
+        def arithmetic_node(arrays, length):
+            a, a_valid = left(arrays, length)
+            b, b_valid = right(arrays, length)
+            return op(a, b), _and_valid(a_valid, b_valid)
+
+        return arithmetic_node, kind, positions
+
+    if isinstance(expression, BooleanOp):
+        compiled = [_compile_node(operand, schema) for operand in expression.operands]
+        operands = [node for node, _kind, _positions in compiled]
+        positions = [
+            position for _node, _kind, nested in compiled for position in nested
+        ]
+        operator = expression.operator
+
+        if operator == "NOT":
+            inner = operands[0]
+
+            def not_node(arrays, length):
+                values, valid = inner(arrays, length)
+                return ~_as_bool_array(values, length), valid
+
+            return not_node, _BOOL, positions
+
+        if operator == "AND":
+
+            def and_node(arrays, length):
+                any_false = None
+                all_valid_true = None
+                for operand in operands:
+                    values, valid = operand(arrays, length)
+                    truth = _as_bool_array(values, length)
+                    if valid is None:
+                        false_here = ~truth
+                        valid_true = truth
+                    else:
+                        false_here = valid & ~truth
+                        valid_true = valid & truth
+                    any_false = (
+                        false_here if any_false is None else any_false | false_here
+                    )
+                    all_valid_true = (
+                        valid_true
+                        if all_valid_true is None
+                        else all_valid_true & valid_true
+                    )
+                return all_valid_true, any_false | all_valid_true
+
+            return and_node, _BOOL, positions
+
+        def or_node(arrays, length):
+            any_true = None
+            all_valid_false = None
+            for operand in operands:
+                values, valid = operand(arrays, length)
+                truth = _as_bool_array(values, length)
+                if valid is None:
+                    true_here = truth
+                    valid_false = ~truth
+                else:
+                    true_here = valid & truth
+                    valid_false = valid & ~truth
+                any_true = true_here if any_true is None else any_true | true_here
+                all_valid_false = (
+                    valid_false
+                    if all_valid_false is None
+                    else all_valid_false & valid_false
+                )
+            return any_true, any_true | all_valid_false
+
+        return or_node, _BOOL, positions
+
+    # FunctionCall and anything unknown: never vectorized.
+    raise _NotVectorizable(f"{type(expression).__name__} is not vectorizable")
+
+
+def _gather_typed(batch, positions) -> Optional[Dict[int, TypedColumn]]:
+    arrays: Dict[int, TypedColumn] = {}
+    for position in positions:
+        column = batch.typed_column(position)
+        if column is None:
+            return None
+        arrays[position] = column
+    return arrays
+
+
+def compile_filter(
+    expression: Expression, schema: Schema
+) -> Optional[Callable[[Any], Optional[Any]]]:
+    """Compile a predicate to a batch kernel returning a keep-mask.
+
+    The kernel maps a :class:`~repro.relational.tuples.RowBatch` to a boolean
+    ndarray marking the rows a Filter keeps — predicate TRUE only; FALSE and
+    NULL rows are dropped, exactly like the scalar path.  Returns ``None``
+    when the expression cannot be vectorized at all; the kernel itself
+    returns ``None`` for batches whose referenced columns are not typed.
+    """
+    if not vectorization_enabled():
+        return None
+    try:
+        root, _kind, positions = _compile_node(expression, schema)
+    except _NotVectorizable:
+        return None
+    unique_positions = sorted(set(positions))
+
+    def kernel(batch):
+        arrays = _gather_typed(batch, unique_positions)
+        if arrays is None:
+            return None
+        length = len(batch)
+        values, valid = root(arrays, length)
+        mask = _as_bool_array(values, length)
+        if valid is not None:
+            mask = mask & valid
+        return mask
+
+    return kernel
+
+
+def compile_expression(
+    expression: Expression, schema: Schema
+) -> Optional[Callable[[Any], Optional[TypedColumn]]]:
+    """Compile a scalar expression to a batch kernel producing a typed column.
+
+    The kernel maps a :class:`~repro.relational.tuples.RowBatch` to a
+    :class:`TypedColumn` holding the expression's value per row (NULLs
+    carried in the validity mask), with the column's dtype derived from the
+    expression — BOOLEAN for predicates, INTEGER/FLOAT for arithmetic — so
+    the values match what the scalar evaluator would produce.  ``None``
+    semantics mirror :func:`compile_filter`.
+    """
+    if not vectorization_enabled():
+        return None
+    try:
+        root, kind, positions = _compile_node(expression, schema)
+    except _NotVectorizable:
+        return None
+    unique_positions = sorted(set(positions))
+    dtype_name = _DTYPE_BY_KIND[kind]
+    np_module = _np()
+    np_dtype = {
+        "BOOLEAN": "bool",
+        "INTEGER": "int64",
+        "FLOAT": "float64",
+    }[dtype_name]
+
+    def kernel(batch):
+        arrays = _gather_typed(batch, unique_positions)
+        if arrays is None:
+            return None
+        length = len(batch)
+        values, valid = root(arrays, length)
+        if not isinstance(values, np_module.ndarray):
+            values = np_module.full(length, values)
+        values = values.astype(np_dtype, copy=False)
+        if valid is None:
+            return TypedColumn(dtype_name, values, None, 0)
+        nulls = int(length - int(valid.sum()))
+        if nulls == 0:
+            return TypedColumn(dtype_name, values, None, 0)
+        # Canonical zero at NULL slots, matching the column builders.
+        values = np_module.where(valid, values, values.dtype.type(0))
+        return TypedColumn(dtype_name, values, valid, nulls)
+
+    return kernel

@@ -93,11 +93,9 @@ class Aggregate(Operator):
         groups: Dict[Tuple, List[List]] = {}
         order: List[Tuple] = []
         for batch in self.child().execute_batches(batch_size):
-            columns = batch.columns
-            group_columns = [columns[position] for position in self._group_positions]
-            keys = list(zip(*group_columns)) if group_columns else [()] * len(batch)
+            keys = batch.key_tuples(self._group_positions)
             input_columns = [
-                columns[position] if position is not None else None
+                batch.column_values(position) if position is not None else None
                 for position in self._input_positions
             ]
             for index, key in enumerate(keys):

@@ -128,15 +128,22 @@ class Operator:
 
 
 class CollectingOperator(Operator):
-    """A leaf operator over an already materialised list of rows."""
+    """A leaf operator over already materialised rows (or a whole batch).
 
-    def __init__(self, schema: Schema, rows: Sequence[Row]) -> None:
+    Accepts a :class:`RowBatch` directly so columnar callers (segmented
+    adaptive execution re-running a slice of its input) keep typed column
+    buffers through the leaf instead of round-tripping via rows.
+    """
+
+    def __init__(self, schema: Schema, rows) -> None:
         super().__init__()
         self.schema = schema
-        self._rows = list(rows)
+        self._batch = rows if isinstance(rows, RowBatch) else RowBatch(list(rows))
 
     def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
-        yield from batches_of(iter(self._rows), batch_size)
+        batch = self._batch
+        for start in range(0, len(batch), batch_size):
+            yield batch.slice(start, start + batch_size)
 
     def describe(self) -> str:
-        return f"Collected({len(self._rows)} rows)"
+        return f"Collected({len(self._batch)} rows)"

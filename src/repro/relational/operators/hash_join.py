@@ -6,7 +6,7 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import OperatorError
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row, RowBatch
+from repro.relational.tuples import RowBatch
 
 
 class HashJoin(Operator):
@@ -36,31 +36,39 @@ class HashJoin(Operator):
 
     def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
         left, right = self.children
-        table: Dict[Tuple, List[Row]] = {}
+        # Build side stores plain value tuples (no Row objects); the probe
+        # side collects matching left indexes so the output's left half is a
+        # column-wise take that keeps typed buffers typed.
+        table: Dict[Tuple, List[Tuple]] = {}
         for batch in right.execute_batches(batch_size):
-            rows = None
+            value_tuples = None
             for index, key in enumerate(batch.key_tuples(self._right_positions)):
                 if any(value is None for value in key):
                     continue
-                if rows is None:
-                    rows = batch.rows
-                table.setdefault(key, []).append(rows[index])
+                if value_tuples is None:
+                    value_tuples = batch.key_tuples()
+                table.setdefault(key, []).append(value_tuples[index])
         # Probe one input batch at a time; an output batch holds the matches
         # of one probe batch (it may be smaller or larger than batch_size
         # depending on the join fan-out).
         for batch in left.execute_batches(batch_size):
-            matches: List[Row] = []
-            rows = None
+            left_indexes: List[int] = []
+            right_rows: List[Tuple] = []
             for index, key in enumerate(batch.key_tuples(self._left_positions)):
                 matched = table.get(key)
                 if matched is None or any(value is None for value in key):
                     continue
-                if rows is None:
-                    rows = batch.rows
-                left_row = rows[index]
-                for right_row in matched:
-                    matches.append(left_row.concat(right_row))
-            yield RowBatch(matches)
+                for right_tuple in matched:
+                    left_indexes.append(index)
+                    right_rows.append(right_tuple)
+            if not left_indexes:
+                yield RowBatch([])
+                continue
+            left_part = batch.take(left_indexes)
+            right_columns = [list(values) for values in zip(*right_rows)]
+            yield RowBatch.from_columns(
+                list(left_part.columns) + right_columns, len(left_indexes)
+            )
 
     def describe(self) -> str:
         pairs = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))

@@ -5,9 +5,10 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.relational.expressions import ColumnRef, Expression, ScalarFunction
+from repro.relational.kernels import compile_expression
 from repro.relational.operators.base import Operator
 from repro.relational.schema import Column, Schema
-from repro.relational.tuples import Row, RowBatch
+from repro.relational.tuples import RowBatch
 from repro.relational.types import DataType, FLOAT
 
 
@@ -59,13 +60,40 @@ class ProjectExpressions(Operator):
         self.schema = Schema(columns)
 
     def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
+        # Per-output plans, resolved once: plain column references share the
+        # child's column buffer, vectorizable expressions run as kernels, and
+        # everything else evaluates scalar over plain value tuples.
         child_schema = self.child().output_schema()
-        bound = [
-            expression.bind(child_schema, self.functions)
-            for _, expression, _ in self.outputs
-        ]
+        plans = []
+        for _, expression, _ in self.outputs:
+            if isinstance(expression, ColumnRef):
+                plans.append(("ref", child_schema.index_of(expression.name), None))
+            else:
+                kernel = compile_expression(expression, child_schema)
+                mode = "kernel" if kernel is not None else "scalar"
+                plans.append((mode, kernel, expression))
+        bound_cache: dict = {}
         for batch in self.child().execute_batches(batch_size):
-            yield RowBatch([Row(evaluate(row) for evaluate in bound) for row in batch])
+            columns = []
+            tuples = None
+            for index, (mode, payload, expression) in enumerate(plans):
+                if mode == "ref":
+                    columns.append(batch.columns[payload])
+                    continue
+                if mode == "kernel":
+                    column = payload(batch)
+                    if column is not None:
+                        columns.append(column)
+                        continue
+                bound = bound_cache.get(index)
+                if bound is None:
+                    bound = bound_cache[index] = expression.bind(
+                        child_schema, self.functions
+                    )
+                if tuples is None:
+                    tuples = batch.key_tuples()
+                columns.append([bound(values) for values in tuples])
+            yield RowBatch.from_columns(columns, len(batch))
 
     def describe(self) -> str:
         parts = ", ".join(f"{expr} AS {name}" for name, expr, _ in self.outputs)

@@ -7,7 +7,7 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro.relational.operators.base import Operator
 from repro.relational.schema import Schema
 from repro.relational.table import Table
-from repro.relational.tuples import Row, RowBatch, batches_of
+from repro.relational.tuples import Row, RowBatch
 
 
 class TableScan(Operator):
@@ -27,7 +27,11 @@ class TableScan(Operator):
         self.schema = base.qualify(self.alias)
 
     def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
-        yield from batches_of(self.table.scan(), batch_size)
+        # Slice the table's cached columnar batch so typed column buffers
+        # built once at ingestion flow into the pipeline.
+        batch = self.table.as_batch()
+        for start in range(0, len(batch), batch_size):
+            yield batch.slice(start, start + batch_size)
 
     def describe(self) -> str:
         if self.alias != self.table.name:

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
+from repro.relational import columns as typed_columns
+from repro.relational.columns import vectorization_enabled
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row
+from repro.relational.tuples import RowBatch, concat_batches
 
 
 class _NullsFirstKey:
@@ -44,14 +46,43 @@ class Sort(Operator):
         self.schema = child.output_schema()
         self._positions = tuple(self.schema.index_of(name) for name in self.column_names)
 
-    def _execute(self) -> Iterator[Row]:
+    def _execute_batches(self, batch_size: int) -> Iterator[RowBatch]:
+        batch = concat_batches(
+            list(self.child().execute_batches(batch_size)),
+            column_count=len(self.schema),
+        )
+        if not len(batch):
+            return
+        order = self._sort_order(batch)
+        result = batch.take(order)
+        for start in range(0, len(result), batch_size):
+            yield result.slice(start, start + batch_size)
+
+    def _sort_order(self, batch: RowBatch) -> List[int]:
+        """Row order after sorting, computed on key columns only.
+
+        Single typed NULL-free ascending keys argsort in NumPy (stable, like
+        ``list.sort``); everything else — multi-key, descending, NULLs,
+        untyped columns, NaNs (whose ordering must match Python's) — uses the
+        stable scalar sort with the NULLs-first key wrapper.
+        """
         positions = self._positions
-        rows = list(self.child().execute())
-        rows.sort(
-            key=lambda row: _NullsFirstKey(tuple(row[position] for position in positions)),
+        if not positions:
+            return list(range(len(batch)))
+        if len(positions) == 1 and not self.descending and vectorization_enabled():
+            column = batch.typed_column(positions[0])
+            if column is not None and column.null_count == 0:
+                data = column.data
+                np = typed_columns.np
+                if column.dtype_name != "FLOAT" or not np.isnan(data).any():
+                    return np.argsort(data, kind="stable").tolist()
+        key_columns = [batch.column_values(position) for position in positions]
+        keys = list(zip(*key_columns))
+        return sorted(
+            range(len(batch)),
+            key=lambda index: _NullsFirstKey(keys[index]),
             reverse=self.descending,
         )
-        yield from rows
 
     def describe(self) -> str:
         direction = " DESC" if self.descending else ""

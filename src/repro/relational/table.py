@@ -7,7 +7,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 from repro.errors import SchemaError, TypeMismatchError
 from repro.relational.schema import Schema
 from repro.relational.statistics import TableStatistics, compute_table_statistics
-from repro.relational.tuples import Row, row_size
+from repro.relational.tuples import Row, RowBatch, row_size
 
 
 class Table:
@@ -24,6 +24,7 @@ class Table:
         self.schema = schema if any(c.table for c in schema.columns) else schema.qualify(name)
         self._rows: List[Row] = []
         self._statistics: Optional[TableStatistics] = None
+        self._batch: Optional[RowBatch] = None
         if rows is not None:
             self.insert_many(rows)
 
@@ -44,6 +45,7 @@ class Table:
                 ) from exc
         self._rows.append(Row(values))
         self._statistics = None
+        self._batch = None
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
         for values in rows:
@@ -63,6 +65,7 @@ class Table:
     def clear(self) -> None:
         self._rows.clear()
         self._statistics = None
+        self._batch = None
 
     # -- access -----------------------------------------------------------------
 
@@ -80,6 +83,17 @@ class Table:
     def scan(self) -> Iterator[Row]:
         """Iterate over rows; semantically a sequential heap scan."""
         return iter(self._rows)
+
+    def as_batch(self) -> RowBatch:
+        """The whole table as one :class:`RowBatch`, cached until mutation.
+
+        Fixed-width columns are upgraded to typed buffers once here — the
+        ingestion point — so every scan hands typed columns to the pipeline
+        without re-scanning values.
+        """
+        if self._batch is None:
+            self._batch = RowBatch(list(self._rows)).ensure_typed(self.schema)
+        return self._batch
 
     @property
     def statistics(self) -> TableStatistics:

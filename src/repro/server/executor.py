@@ -11,7 +11,7 @@ from repro.core.strategies import ExecutionStrategy, StrategyConfig
 from repro.client.protocol import FinalResultBatch
 from repro.network.message import MessageKind
 from repro.relational.operators.base import Operator
-from repro.relational.tuples import Row, rows_size
+from repro.relational.tuples import Row, RowBatch
 from repro.server.metrics import ExecutionMetrics
 from repro.server.planner import PlanBuildResult, build_plan
 from repro.server.result import QueryResult
@@ -108,7 +108,8 @@ class Executor:
         same downlink the execution strategies use.
         """
         schema = root.output_schema()
-        payload_bytes = rows_size(rows, schema)
+        batch = RowBatch(list(rows))
+        payload_bytes = batch.size_bytes(schema)
         channel = self.context.channel
         client = self.context.client
         simulator = self.context.simulator
@@ -116,7 +117,7 @@ class Executor:
         def deliver():
             yield channel.send_batch_to_client(
                 MessageKind.FINAL_RESULTS,
-                FinalResultBatch(rows=[tuple(row) for row in rows]),
+                FinalResultBatch(rows=batch),
                 payload_bytes=payload_bytes,
                 row_count=len(rows),
                 description=f"final results ({len(rows)} rows)",

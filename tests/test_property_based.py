@@ -16,6 +16,7 @@ from repro.core.strategies import ExecutionStrategy, StrategyConfig
 from repro.network.resources import Store
 from repro.network.simulator import Simulator
 from repro.network.topology import NetworkConfig
+from repro.relational.columns import scalar_fallback
 from repro.relational.expressions import ColumnRef, Comparison, Literal
 from repro.relational.operators import Distinct, HashJoin, MergeJoin, Sort, TableScan
 from repro.relational.schema import Schema
@@ -248,6 +249,7 @@ def single_site_reference(workload: SyntheticWorkload):
     interleaved=st.booleans(),
     declared_selectivity=st.sampled_from([None, 0.05, 0.95]),
     overlap_window=st.sampled_from([None, 1, 4]),
+    typed_buffers=st.booleans(),
 )
 @settings(max_examples=80, deadline=None)
 def test_every_execution_mode_matches_single_site(
@@ -262,6 +264,7 @@ def test_every_execution_mode_matches_single_site(
     interleaved,
     declared_selectivity,
     overlap_window,
+    typed_buffers,
 ):
     """Strategy x batch x adaptive batching x switching x re-optimization x
     overlap window — every combination returns the exact single-site result
@@ -275,7 +278,10 @@ def test_every_execution_mode_matches_single_site(
     both are armed, like the engine path).  ``overlap_window`` exercises the
     overlapped shipping protocol from fully synchronous (1) through bounded
     overlap (4) to each strategy's default; with ``adaptive`` and no pinned
-    window, the window is additionally adapted mid-query.
+    window, the window is additionally adapted mid-query.  ``typed_buffers``
+    runs the identical point with typed column storage (and vectorized
+    kernels) disabled, so the typed and fully-scalar data planes face the
+    same combinatorial sweep.
     """
     workload = SyntheticWorkload(
         row_count=row_count,
@@ -312,5 +318,9 @@ def test_every_execution_mode_matches_single_site(
                 )
             )
         )
-    point = run_workload_point(workload, FAST, config)
+    if typed_buffers:
+        point = run_workload_point(workload, FAST, config)
+    else:
+        with scalar_fallback():
+            point = run_workload_point(workload, FAST, config)
     assert list(point.result_rows) == single_site_reference(workload)
