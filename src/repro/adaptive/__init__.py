@@ -55,7 +55,11 @@ from repro.adaptive.reoptimizer import (
     ReplanDecision,
     RuntimeStatisticsView,
 )
-from repro.adaptive.store import StatisticsStore, canonical_predicate_key
+from repro.adaptive.store import (
+    StatisticsStore,
+    TenantStatistics,
+    canonical_predicate_key,
+)
 from repro.adaptive.switcher import (
     SegmentObservation,
     StrategySwitcher,
@@ -82,6 +86,7 @@ __all__ = [
     "UdfObservation",
     "SegmentObservation",
     "StatisticsStore",
+    "TenantStatistics",
     "StrategySwitcher",
     "SwitchDecision",
     "SwitchPolicy",

@@ -54,6 +54,20 @@ class LinkObservation:
         return self.total_bytes / self.busy_seconds
 
     @property
+    def achieved_bandwidth(self) -> Optional[float]:
+        """Observed bytes/second *including* sender-side queueing delay.
+
+        On a private link this equals :attr:`effective_bandwidth`; on a
+        shared trunk the queueing time is mostly other tenants' traffic, so
+        this is the share of the trunk the flow actually achieved — the
+        number a contention-aware planner should use.
+        """
+        occupied = self.busy_seconds + self.queueing_seconds
+        if occupied <= 0:
+            return None
+        return self.total_bytes / occupied
+
+    @property
     def rows_per_message(self) -> float:
         if self.data_message_count <= 0:
             return 0.0

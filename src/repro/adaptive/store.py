@@ -135,10 +135,16 @@ class StatisticsStore:
     only the latest query's numbers, small values change estimates slowly.
     """
 
-    def __init__(self, smoothing: float = 0.5) -> None:
+    def __init__(self, smoothing: float = 0.5, contention_aware: bool = False) -> None:
         if not 0.0 < smoothing <= 1.0:
             raise ValueError("smoothing must be in (0, 1]")
         self.smoothing = smoothing
+        #: When set, bandwidth estimates fold in sender-side queueing time
+        #: (:attr:`LinkObservation.achieved_bandwidth`): on a shared trunk
+        #: the queueing is other tenants' traffic, so the calibrated network
+        #: reflects the *share* this store's queries actually get — plans and
+        #: controllers then adapt to contention, not just to the raw link.
+        self.contention_aware = contention_aware
         self.queries_observed = 0
 
         self._downlink_bandwidth = _Ewma(smoothing)
@@ -173,8 +179,13 @@ class StatisticsStore:
         ):
             if link is None:
                 continue
-            if link.effective_bandwidth is not None:
-                bandwidth.update(link.effective_bandwidth)
+            observed = (
+                link.achieved_bandwidth
+                if self.contention_aware
+                else link.effective_bandwidth
+            )
+            if observed is not None:
+                bandwidth.update(observed)
             if link.message_count > 0:
                 queueing.update(link.mean_queueing_seconds)
 
@@ -377,3 +388,46 @@ class StatisticsStore:
 
     def __repr__(self) -> str:
         return f"StatisticsStore(queries={self.queries_observed})"
+
+
+class TenantStatistics:
+    """Per-tenant :class:`StatisticsStore` isolation.
+
+    Under multi-tenancy one shared store would let tenant A's bulk scans
+    pollute tenant B's calibrated bandwidth and selectivities.  This registry
+    lazily creates one store (and one matching
+    :class:`~repro.adaptive.observer.RuntimeObserver`) per tenant id, all
+    with the same smoothing/contention settings, so each tenant's feedback
+    loop closes over its own traffic only.
+    """
+
+    def __init__(self, smoothing: float = 0.5, contention_aware: bool = False) -> None:
+        self.smoothing = smoothing
+        self.contention_aware = contention_aware
+        self._stores: Dict[str, StatisticsStore] = {}
+        self._observers: Dict[str, object] = {}
+
+    def for_tenant(self, tenant_id: str) -> StatisticsStore:
+        store = self._stores.get(tenant_id)
+        if store is None:
+            store = StatisticsStore(
+                smoothing=self.smoothing, contention_aware=self.contention_aware
+            )
+            self._stores[tenant_id] = store
+        return store
+
+    def observer_for(self, tenant_id: str) -> "object":
+        observer = self._observers.get(tenant_id)
+        if observer is None:
+            from repro.adaptive.observer import RuntimeObserver
+
+            observer = RuntimeObserver(self.for_tenant(tenant_id))
+            self._observers[tenant_id] = observer
+        return observer
+
+    @property
+    def tenant_ids(self) -> List[str]:
+        return sorted(self._stores)
+
+    def __repr__(self) -> str:
+        return f"TenantStatistics(tenants={len(self._stores)})"

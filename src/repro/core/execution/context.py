@@ -64,9 +64,21 @@ class RemoteExecutionContext:
         coordinator fails.
         """
         self.remote_operations += 1
+        return self.run_exchange(coordinator, name=name)
+
+    def run_exchange(self, coordinator: Generator, name: str = "remote-operation") -> Any:
+        """Drive one coordinator/serve-loop exchange to completion.
+
+        Result delivery reuses it too, so *all* exchange driving funnels
+        through here; :meth:`_drive_exchange` is the part a
+        shared-simulation context (multi-tenancy) overrides — instead of
+        running a private simulator to quiescence it parks the calling
+        worker on the coordinator process and lets the traffic driver
+        interleave every session's events on one clock.
+        """
         serve_process = self.client.start(self.simulator, self.channel)
         coordinator_process = self.simulator.process(coordinator, name=name)
-        self.simulator.run()
+        self._drive_exchange(coordinator_process)
 
         if not coordinator_process.triggered:
             raise ExecutionError(
@@ -83,6 +95,15 @@ class RemoteExecutionContext:
                 f"client runtime failed during {name!r}: {serve_process._exception}"
             ) from serve_process._exception
         return coordinator_process.value
+
+    def _drive_exchange(self, coordinator_process: Any) -> None:
+        """Advance simulated time until the exchange settles.
+
+        The private-context default simply runs the simulator dry (this
+        context owns it).  Shared-simulation contexts override this to yield
+        control to the multi-tenant driver instead.
+        """
+        self.simulator.run()
 
     # -- introspection -----------------------------------------------------------------
 

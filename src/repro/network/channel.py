@@ -32,9 +32,15 @@ class Channel:
         name: str = "channel",
         downlink_schedule=None,
         uplink_schedule=None,
+        downlink_scheduler=None,
+        uplink_scheduler=None,
+        flow: str = None,
     ) -> None:
         self.simulator = simulator
         self.name = name
+        #: The session flow this channel's traffic is attributed to on shared
+        #: (multi-tenant) trunks; ``None`` for a private single-query channel.
+        self.flow = flow
         #: Messages sent by the server arrive here (read by the client runtime).
         self.client_inbox = Store(simulator, name=f"{name}.client_inbox")
         #: Messages sent by the client arrive here (read by the server).
@@ -46,6 +52,8 @@ class Channel:
             latency_seconds=latency,
             destination=self.client_inbox,
             bandwidth_schedule=downlink_schedule,
+            scheduler=downlink_scheduler,
+            flow=flow,
         )
         self.uplink = Link(
             simulator,
@@ -54,6 +62,8 @@ class Channel:
             latency_seconds=latency,
             destination=self.server_inbox,
             bandwidth_schedule=uplink_schedule,
+            scheduler=uplink_scheduler,
+            flow=flow,
         )
         self._closed = False
 

@@ -12,6 +12,12 @@ A link's bandwidth may *drift* over simulated time via a piecewise-constant
 ``bandwidth_schedule`` — the mechanism behind the adaptive-runtime drift
 scenarios, where the effective bandwidth a query observes differs from the
 configured one and only runtime feedback can recover it.
+
+A link may also delegate its serialisation to a shared *scheduler* (a trunk
+shared by many sessions, see :mod:`repro.tenancy.fairqueue`): the link then
+keeps its own per-session statistics and destination mailbox, but the actual
+transmission order and timing are decided by the scheduler — FIFO or deficit
+round robin across all the flows sharing the trunk.
 """
 
 from __future__ import annotations
@@ -36,6 +42,8 @@ class Link:
         latency_seconds: float = 0.0,
         destination: Optional[Store] = None,
         bandwidth_schedule: Optional[Sequence[Tuple[float, float]]] = None,
+        scheduler: Optional[object] = None,
+        flow: Optional[str] = None,
     ) -> None:
         if bandwidth_bytes_per_sec <= 0:
             raise SimulationError("link bandwidth must be positive")
@@ -47,6 +55,12 @@ class Link:
         self.latency = float(latency_seconds)
         self.destination = destination if destination is not None else Store(simulator, name=f"{name}.inbox")
         self.stats = LinkStats(name=name)
+        #: A shared trunk scheduler (anything with ``submit(link, message)``):
+        #: when set, this link's messages are serialised by the trunk instead
+        #: of the link's private ``_free_at`` timeline.
+        self.scheduler = scheduler
+        #: The session flow this link's traffic is attributed to (tenancy).
+        self.flow = flow
         self._free_at = 0.0
         self._closed = False
         #: Piecewise-constant drift: sorted ``(start_time, bandwidth)`` steps.
@@ -84,13 +98,17 @@ class Link:
         """
         if self._closed:
             raise ChannelClosedError(f"link {self.name!r} is closed")
+        if self.scheduler is not None:
+            return self.scheduler.submit(self, message)
         now = self.simulator.now
         start = max(now, self._free_at)
         transmission = self.transmission_time(message, at_time=start)
         finish_tx = start + transmission
         self._free_at = finish_tx
 
-        self.stats.record(message, queued_for=start - now, transmission=transmission)
+        self.stats.record(
+            message, queued_for=start - now, transmission=transmission, flow=self.flow
+        )
 
         # Event for the sender: the link has finished serialising the message.
         sender_event = Event(self.simulator, name=f"{self.name}.tx#{message.sequence}")
@@ -121,6 +139,8 @@ class Link:
     @property
     def busy_until(self) -> float:
         """Simulation time at which the link finishes its current backlog."""
+        if self.scheduler is not None:
+            return getattr(self.scheduler, "busy_until", self._free_at)
         return self._free_at
 
     def utilization(self, elapsed: Optional[float] = None) -> float:

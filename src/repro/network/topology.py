@@ -88,8 +88,21 @@ class NetworkConfig:
     def bottleneck_bandwidth(self) -> float:
         return min(self.downlink_bandwidth, self.uplink_bandwidth)
 
-    def build_channel(self, simulator: Simulator, name: str = "channel") -> Channel:
-        """Instantiate a channel for this configuration on ``simulator``."""
+    def build_channel(
+        self,
+        simulator: Simulator,
+        name: str = "channel",
+        downlink_scheduler=None,
+        uplink_scheduler=None,
+        flow: Optional[str] = None,
+    ) -> Channel:
+        """Instantiate a channel for this configuration on ``simulator``.
+
+        ``downlink_scheduler``/``uplink_scheduler`` attach the channel's
+        links to shared trunk schedulers (multi-tenant fair queueing), and
+        ``flow`` names the session all of this channel's traffic is
+        attributed to on those trunks.
+        """
         return Channel(
             simulator,
             downlink_bandwidth=self.downlink_bandwidth,
@@ -98,6 +111,9 @@ class NetworkConfig:
             name=name,
             downlink_schedule=self.downlink_schedule or None,
             uplink_schedule=self.uplink_schedule or None,
+            downlink_scheduler=downlink_scheduler,
+            uplink_scheduler=uplink_scheduler,
+            flow=flow,
         )
 
     # -- presets -----------------------------------------------------------------------

@@ -194,6 +194,10 @@ class Database:
         switch_policy: Optional[SwitchPolicy] = None,
         reoptimize: bool = False,
         replan_policy: Optional[ReOptimizationPolicy] = None,
+        context: Optional["RemoteExecutionContext"] = None,
+        statistics: Optional[StatisticsStore] = None,
+        observer: Optional[RuntimeObserver] = None,
+        session: Optional[ClientSession] = None,
     ) -> QueryResult:
         """Execute ``query`` (SQL text or a bound query) and return the result.
 
@@ -249,8 +253,24 @@ class Database:
         budget — may migrate execution to a structurally different plan
         (reordered UDF applications, different per-UDF strategies), not just
         a different shipping strategy.
+
+        ``context`` / ``statistics`` / ``observer`` / ``session`` inject the
+        multi-tenant machinery: an externally-built execution context (e.g. a
+        shared-simulation context from :mod:`repro.tenancy.driver`), a
+        per-tenant statistics store replacing the database-wide one for this
+        query's planning and feedback, a matching observer, and the owning
+        :class:`~repro.server.session.ClientSession` whose identity stamps
+        the metrics.  All default to the database-wide singletons, so
+        single-query callers see no change.
         """
         bound = self.bind(query) if isinstance(query, str) else query
+        statistics = statistics if statistics is not None else self.statistics
+        if observer is None:
+            observer = (
+                self.observer
+                if statistics is self.statistics
+                else RuntimeObserver(statistics)
+            )
         if config is None:
             config = self.default_config
         if strategy is not None:
@@ -258,7 +278,9 @@ class Database:
         if overlap_window is not None:
             config = config.with_overlap_window(overlap_window)
         if adaptive:
-            config = config.with_batch_controller(self.new_controller_bank(config))
+            config = config.with_batch_controller(
+                self.new_controller_bank(config, statistics=statistics)
+            )
             if config.overlap_window is None and config.overlap_controller is None:
                 config = config.with_overlap_controller(OverlapWindowController())
         if switch_policy is not None:
@@ -274,15 +296,17 @@ class Database:
         if switch_strategies or reoptimize:
             # Runtime adaptation consults the store's measured priors for its
             # initial estimates (warm-started evidence floor).
-            config = config.with_statistics(self.statistics)
+            config = config.with_statistics(statistics)
         if calibrated is None:
             calibrated = adaptive
 
-        context = self.session.new_context()
+        if context is None:
+            context = self.session.new_context()
         executor = Executor(
             context,
             server_functions=self._server_functions(),
-            observer=self.observer if observe else None,
+            observer=observer if observe else None,
+            session=session if session is not None else self.session,
         )
 
         if optimize:
@@ -292,8 +316,8 @@ class Database:
                 self.network,
                 default_config=config,
                 statistics=(
-                    self.statistics
-                    if calibrated and self.statistics.queries_observed
+                    statistics
+                    if calibrated and statistics.queries_observed
                     else None
                 ),
             )
@@ -306,7 +330,7 @@ class Database:
                     policy=replan_policy,
                     query=bound,
                     network=self.network,
-                    statistics=self.statistics,
+                    statistics=statistics,
                     table_order=decision.table_order,
                 )
                 run_config = run_config.with_reoptimizer(reoptimizer)
@@ -342,7 +366,9 @@ class Database:
         return BatchSizeController(initial_batch_size=initial)
 
     def new_controller_bank(
-        self, config: Optional[StrategyConfig] = None
+        self,
+        config: Optional[StrategyConfig] = None,
+        statistics: Optional[StatisticsStore] = None,
     ) -> BatchControllerBank:
         """A per-UDF controller bank, each controller warm-started from feedback.
 
@@ -351,13 +377,16 @@ class Database:
         converged, falling back to the plan-wide converged size and then the
         configured batch size — so one UDF's learning never perturbs
         another's, but a brand-new UDF still benefits from what the
-        environment taught us.
+        environment taught us.  ``statistics`` selects which store the bank
+        warm-starts from (a tenant's private store under multi-tenancy);
+        the database-wide store by default.
         """
         config = config if config is not None else self.default_config
+        store = statistics if statistics is not None else self.statistics
         fallback = config.batch_size if config.batch_size > 1 else 8
 
         def factory(name: str) -> BatchSizeController:
-            initial = self.statistics.preferred_batch_size_for(name, default=fallback)
+            initial = store.preferred_batch_size_for(name, default=fallback)
             return BatchSizeController(initial_batch_size=initial)
 
         return BatchControllerBank(factory)

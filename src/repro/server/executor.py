@@ -18,6 +18,47 @@ from repro.server.result import QueryResult
 from repro.sql.logical import BoundQuery
 
 
+class ExecutorSlots:
+    """A bounded pool of server execution slots.
+
+    The multi-tenant admission scheduler acquires one slot per running query
+    and returns it on completion; ``capacity=None`` models the unbounded
+    (admit-everything) baseline.  This is plain counting — *when* a waiting
+    query gets a freed slot is the admission scheduler's decision.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("executor slot capacity must be at least 1")
+        self.capacity = capacity
+        self.in_use = 0
+        self.peak_in_use = 0
+
+    def try_acquire(self) -> bool:
+        """Take a slot if one is free; returns whether acquisition succeeded."""
+        if self.capacity is not None and self.in_use >= self.capacity:
+            return False
+        self.in_use += 1
+        self.peak_in_use = max(self.peak_in_use, self.in_use)
+        return True
+
+    def release(self) -> None:
+        if self.in_use <= 0:
+            raise RuntimeError("released an executor slot that was never acquired")
+        self.in_use -= 1
+
+    @property
+    def available(self) -> Optional[int]:
+        """Free slots, or ``None`` when unbounded."""
+        if self.capacity is None:
+            return None
+        return self.capacity - self.in_use
+
+    def __repr__(self) -> str:
+        capacity = "unbounded" if self.capacity is None else str(self.capacity)
+        return f"ExecutorSlots(in_use={self.in_use}, capacity={capacity})"
+
+
 class Executor:
     """Executes bound queries (or pre-built plans) on a remote execution context.
 
@@ -33,10 +74,15 @@ class Executor:
         context: RemoteExecutionContext,
         server_functions: Optional[Dict[str, Callable[..., Any]]] = None,
         observer: Optional[object] = None,
+        session: Optional[object] = None,
     ) -> None:
         self.context = context
         self.server_functions = server_functions or {}
         self.observer = observer
+        #: The owning :class:`~repro.server.session.ClientSession`, when known:
+        #: metrics get stamped with its tenant/session identity and fed into
+        #: its per-session aggregation.
+        self.session = session
 
     # -- query execution ------------------------------------------------------------------
 
@@ -80,6 +126,12 @@ class Executor:
             self._deliver_results(root, rows)
 
         metrics = self._collect_metrics(plan, rows, config)
+        if self.session is not None:
+            metrics.tenant_id = getattr(self.session, "tenant_id", None)
+            metrics.session_id = getattr(self.session, "session_id", None)
+            record = getattr(self.session, "record_query", None)
+            if record is not None:
+                record(metrics)
         observation = None
         if self.observer is not None:
             controller = config.batch_controller if config is not None else None
@@ -111,8 +163,6 @@ class Executor:
         batch = RowBatch(list(rows))
         payload_bytes = batch.size_bytes(schema)
         channel = self.context.channel
-        client = self.context.client
-        simulator = self.context.simulator
 
         def deliver():
             yield channel.send_batch_to_client(
@@ -127,13 +177,10 @@ class Executor:
             yield channel.send_to_client(end_of_stream())
             yield channel.receive_at_server()
 
-        serve = client.start(simulator, channel)
-        process = simulator.process(deliver(), name="result-delivery")
-        simulator.run()
-        if not process.triggered or process._exception is not None:
-            raise ExecutionError("result delivery to the client failed")
-        if serve.triggered and serve._exception is not None:
-            raise ExecutionError("client runtime failed during result delivery")
+        try:
+            self.context.run_exchange(deliver(), name="result-delivery")
+        except ExecutionError as exc:
+            raise ExecutionError(f"result delivery to the client failed: {exc}") from exc
 
     # -- observation ------------------------------------------------------------------------
 

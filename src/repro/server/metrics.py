@@ -62,6 +62,13 @@ class ExecutionMetrics:
     send_stall_seconds: float = 0.0
     overlap_window: Optional[int] = None
     plan_description: str = ""
+    #: Multi-tenant attribution, stamped by the executor when the query ran
+    #: inside a :class:`~repro.server.session.ClientSession` with a tenant,
+    #: plus the simulated time the query waited for an executor slot before
+    #: starting (0 for unbounded admission / single-query runs).
+    tenant_id: Optional[str] = None
+    session_id: Optional[str] = None
+    admission_wait_seconds: float = 0.0
 
     @classmethod
     def from_run(

@@ -1,0 +1,299 @@
+"""Shared-trunk link scheduling: FIFO and deficit round robin across flows.
+
+In the single-query experiments each query owns its channel and the two
+:class:`~repro.network.link.Link` objects serialise messages on a private
+timeline.  Under multi-tenancy many sessions share one physical connection:
+each session still gets its own :class:`~repro.network.channel.Channel`
+(private mailboxes, private per-session statistics), but the links delegate
+serialisation to a shared *trunk scheduler* attached via ``Link.scheduler``.
+
+Two disciplines are provided:
+
+* :class:`FifoLinkScheduler` — messages transmit in arrival order, exactly
+  like one big shared link.  A single bulk session can starve point queries.
+* :class:`DeficitRoundRobinScheduler` — classic DRR (Shreedhar & Varghese):
+  per-flow queues, a round-robin active list, and a byte *quantum* credited
+  once per visit.  A backlogged flow is guaranteed at least ``1/N`` of the
+  trunk's bytes (minus one maximum-message-size of slack) regardless of how
+  aggressively other flows push.
+
+Both disciplines are work-conserving, and with a single flow both degrade to
+the exact transmission timeline of the legacy private-link path — the same
+start times, the same sender-completion times, the same delivery times —
+which keeps single-session wire traces byte-identical with tenancy enabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.network.events import Event
+from repro.network.link import Link
+from repro.network.message import Message
+from repro.network.simulator import Simulator
+from repro.network.stats import LinkStats
+
+#: Default DRR quantum.  Roughly one typical mid-size batch frame; small
+#: enough that point-query messages interleave into bulk transfers promptly,
+#: large enough that bulk flows are not pathologically fragmented.
+DEFAULT_QUANTUM_BYTES = 2048
+
+
+class _Pending:
+    """A message waiting for the trunk, with its submitting link and event."""
+
+    __slots__ = ("link", "message", "sender_event", "enqueued_at")
+
+    def __init__(self, link: Link, message: Message, sender_event: Event, enqueued_at: float) -> None:
+        self.link = link
+        self.message = message
+        self.sender_event = sender_event
+        self.enqueued_at = enqueued_at
+
+    @property
+    def size_bytes(self) -> int:
+        return self.message.size_bytes
+
+    @property
+    def flow(self) -> str:
+        return self.link.flow or self.link.name
+
+
+class LinkScheduler:
+    """Base class for shared trunk schedulers.
+
+    Subclasses implement the queueing discipline via :meth:`_enqueue` and
+    :meth:`_dequeue`; the base class owns the transmission machinery: one
+    message serialises at a time (at the submitting link's bandwidth, so
+    per-direction drift schedules still apply), the sender event fires when
+    serialisation ends, and delivery lands in the submitting link's own
+    destination mailbox ``latency`` seconds later.
+
+    Statistics are double-booked deliberately: into the submitting link's
+    private :class:`LinkStats` (per-session accounting, flow-tagged) and
+    into the trunk's own :class:`LinkStats` (cross-session accounting, one
+    :class:`~repro.network.stats.FlowStats` per flow).
+    """
+
+    def __init__(self, simulator: Simulator, name: str = "trunk") -> None:
+        self.simulator = simulator
+        self.name = name
+        #: Trunk-level statistics across every flow sharing this scheduler.
+        self.stats = LinkStats(name=name)
+        self._transmitting = False
+        self._current_finish = 0.0
+        self._queued_count = 0
+
+    # -- discipline hooks ---------------------------------------------------------
+
+    def _enqueue(self, item: _Pending) -> None:
+        raise NotImplementedError
+
+    def _dequeue(self) -> Optional[_Pending]:
+        raise NotImplementedError
+
+    def _queued_bytes(self) -> int:
+        raise NotImplementedError
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(self, link: Link, message: Message) -> Event:
+        """Accept ``message`` from ``link``; returns the sender-side event.
+
+        The event fires when the trunk finishes serialising the message —
+        the shared-trunk analogue of :meth:`Link.send`'s return value.
+        """
+        sender_event = Event(
+            self.simulator, name=f"{self.name}.tx#{message.sequence}"
+        )
+        item = _Pending(link, message, sender_event, self.simulator.now)
+        self._enqueue(item)
+        self._queued_count += 1
+        if not self._transmitting:
+            self._start_next()
+        return sender_event
+
+    # -- transmission --------------------------------------------------------------
+
+    def _start_next(self) -> None:
+        item = self._dequeue()
+        if item is None:
+            self._transmitting = False
+            return
+        self._queued_count -= 1
+        self._transmitting = True
+        now = self.simulator.now
+        link = item.link
+        transmission = item.message.size_bytes / link.bandwidth_at(now)
+        queued_for = now - item.enqueued_at
+        self._current_finish = now + transmission
+
+        link.stats.record(
+            item.message, queued_for=queued_for, transmission=transmission, flow=link.flow
+        )
+        self.stats.record(
+            item.message, queued_for=queued_for, transmission=transmission, flow=item.flow
+        )
+
+        # Sender unblocks when serialisation ends.
+        item.sender_event.succeed(item.message, delay=transmission)
+
+        # Delivery into the submitting link's own mailbox after propagation.
+        delivery = Event(
+            self.simulator, name=f"{link.name}.rx#{item.message.sequence}"
+        )
+        delivery.add_callback(lambda event, store=link.destination: store.put(event.value))
+        delivery.succeed(item.message, delay=transmission + link.latency)
+
+        # Chain to the next queued message once the trunk frees up.
+        tick = Event(self.simulator, name=f"{self.name}.next")
+        tick.add_callback(lambda _event: self._start_next())
+        tick.succeed(None, delay=transmission)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._transmitting
+
+    @property
+    def queue_depth(self) -> int:
+        """Messages waiting behind the one currently serialising."""
+        return self._queued_count
+
+    @property
+    def busy_until(self) -> float:
+        """Estimated time the trunk drains its backlog (for cost heuristics)."""
+        now = self.simulator.now
+        if not self._transmitting:
+            return now
+        return max(now, self._current_finish)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, queued={self._queued_count}, "
+            f"{self.stats.message_count} msgs, {self.stats.total_bytes} B)"
+        )
+
+
+class FifoLinkScheduler(LinkScheduler):
+    """Strict arrival-order service: one shared serialisation timeline."""
+
+    def __init__(self, simulator: Simulator, name: str = "trunk-fifo") -> None:
+        super().__init__(simulator, name=name)
+        self._queue: Deque[_Pending] = deque()
+
+    def _enqueue(self, item: _Pending) -> None:
+        self._queue.append(item)
+
+    def _dequeue(self) -> Optional[_Pending]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def _queued_bytes(self) -> int:
+        return sum(item.size_bytes for item in self._queue)
+
+
+class DeficitRoundRobinScheduler(LinkScheduler):
+    """Deficit round robin across session flows sharing one trunk.
+
+    Each flow keeps a FIFO queue and a byte *deficit counter*.  The scheduler
+    visits active flows round-robin; on each visit the flow's deficit grows
+    by ``quantum_bytes`` and the flow transmits head-of-line messages while
+    its deficit covers them.  A flow that empties its queue forfeits its
+    remaining deficit (the standard rule that bounds unfairness to one
+    quantum plus one maximum message).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str = "trunk-drr",
+        quantum_bytes: int = DEFAULT_QUANTUM_BYTES,
+    ) -> None:
+        if quantum_bytes <= 0:
+            raise SimulationError("DRR quantum must be positive")
+        super().__init__(simulator, name=name)
+        self.quantum_bytes = int(quantum_bytes)
+        self._flows: Dict[str, Deque[_Pending]] = {}
+        self._active: Deque[str] = deque()
+        self._deficit: Dict[str, float] = {}
+        #: Whether the flow at the head of the active list still needs its
+        #: quantum credited for the current visit.
+        self._fresh_visit = True
+
+    def _enqueue(self, item: _Pending) -> None:
+        flow = item.flow
+        queue = self._flows.get(flow)
+        if queue is None:
+            queue = deque()
+            self._flows[flow] = queue
+        if not queue:
+            # (Re-)activation: join the round at the back with a clean slate.
+            self._deficit[flow] = 0.0
+            self._active.append(flow)
+            if len(self._active) == 1:
+                self._fresh_visit = True
+        queue.append(item)
+
+    def _dequeue(self) -> Optional[_Pending]:
+        while self._active:
+            flow = self._active[0]
+            queue = self._flows[flow]
+            if self._fresh_visit:
+                self._deficit[flow] += self.quantum_bytes
+                self._fresh_visit = False
+            head = queue[0]
+            if self._deficit[flow] >= head.size_bytes:
+                self._deficit[flow] -= head.size_bytes
+                queue.popleft()
+                if not queue:
+                    # Idle flows forfeit their deficit and leave the round.
+                    self._deficit[flow] = 0.0
+                    self._active.popleft()
+                    self._fresh_visit = True
+                return head
+            # Deficit exhausted: move this flow to the back of the round.
+            self._active.append(self._active.popleft())
+            self._fresh_visit = True
+        return None
+
+    def _queued_bytes(self) -> int:
+        return sum(
+            item.size_bytes for queue in self._flows.values() for item in queue
+        )
+
+    def backlog(self, flow: str) -> int:
+        """Messages queued for ``flow`` (0 if the flow is idle or unknown)."""
+        queue = self._flows.get(flow)
+        return len(queue) if queue else 0
+
+
+def shared_trunks(
+    simulator: Simulator,
+    discipline: str = "drr",
+    quantum_bytes: int = DEFAULT_QUANTUM_BYTES,
+    name: str = "trunk",
+) -> Tuple[Optional[LinkScheduler], Optional[LinkScheduler]]:
+    """Build a (downlink, uplink) pair of trunk schedulers.
+
+    ``discipline`` is ``"drr"``, ``"fifo"``, or ``"none"`` (private links —
+    returns ``(None, None)`` so callers can pass the pair straight through to
+    :meth:`NetworkConfig.build_channel` unconditionally).
+    """
+    if discipline == "none":
+        return None, None
+    if discipline == "fifo":
+        return (
+            FifoLinkScheduler(simulator, name=f"{name}.down"),
+            FifoLinkScheduler(simulator, name=f"{name}.up"),
+        )
+    if discipline == "drr":
+        return (
+            DeficitRoundRobinScheduler(simulator, name=f"{name}.down", quantum_bytes=quantum_bytes),
+            DeficitRoundRobinScheduler(simulator, name=f"{name}.up", quantum_bytes=quantum_bytes),
+        )
+    raise ValueError(f"unknown trunk discipline {discipline!r} (want 'drr', 'fifo', or 'none')")

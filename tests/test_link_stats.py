@@ -12,7 +12,7 @@ from repro.network.message import (
     error_message,
 )
 from repro.network.simulator import Simulator
-from repro.network.stats import LinkStats
+from repro.network.stats import FlowStats, LinkStats
 from repro.workloads.experiments import run_workload_point
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -97,6 +97,97 @@ class TestMerge:
         right = self.make_stats("l", rows=[40], kinds=["control"])
         merged = left.merge(right)
         assert merged.rows_per_message == pytest.approx(70 / 4)
+
+
+class TestFlowAttribution:
+    """Per-flow sub-counters: populated on tag, preserved by merge()."""
+
+    def test_record_with_flow_populates_sub_counters(self):
+        stats = LinkStats(name="trunk")
+        stats.record(data_message(10), queued_for=0.2, transmission=0.1, flow="a")
+        stats.record(data_message(30), queued_for=0.0, transmission=0.3, flow="b")
+        stats.record(data_message(5), queued_for=0.1, transmission=0.05, flow="a")
+        stats.record(end_of_stream(), queued_for=0.0, transmission=0.01, flow="a")
+
+        flow_a = stats.flow("a")
+        assert flow_a.message_count == 3
+        assert flow_a.data_message_count == 2
+        assert flow_a.rows_transferred == 15
+        assert flow_a.queueing_seconds == pytest.approx(0.3)
+        assert stats.flow("b").rows_transferred == 30
+        # An unknown flow reads as all-zero, never a KeyError.
+        assert stats.flow("ghost").total_bytes == 0
+        assert "ghost" not in stats.flows
+
+    def test_untagged_records_touch_no_flow(self):
+        stats = LinkStats(name="l")
+        stats.record(data_message(10), queued_for=0.0, transmission=0.1)
+        assert stats.flows == {}
+        assert stats.rows_transferred == 10
+
+    def test_flow_counters_sum_to_link_totals(self):
+        """Regression: two interleaved sessions' counters sum to the link
+        totals, message by message."""
+        stats = LinkStats(name="trunk")
+        for index in range(10):
+            flow = "s0" if index % 2 == 0 else "s1"
+            stats.record(
+                data_message(index + 1, payload_bytes=50 * (index + 1)),
+                queued_for=0.01 * index,
+                transmission=0.1,
+                flow=flow,
+            )
+            flows = stats.flows.values()
+            assert sum(f.total_bytes for f in flows) == stats.total_bytes
+            assert sum(f.payload_bytes for f in flows) == stats.payload_bytes
+            assert sum(f.message_count for f in flows) == stats.message_count
+            assert sum(f.rows_transferred for f in flows) == stats.rows_transferred
+            assert sum(f.busy_seconds for f in flows) == pytest.approx(
+                stats.busy_seconds
+            )
+            assert sum(f.queueing_seconds for f in flows) == pytest.approx(
+                stats.queueing_seconds
+            )
+        assert set(stats.flows) == {"s0", "s1"}
+
+    def test_merge_preserves_flows(self):
+        left = LinkStats(name="trunk")
+        left.record(data_message(10), queued_for=0.1, transmission=0.2, flow="a")
+        left.record(data_message(20), queued_for=0.0, transmission=0.4, flow="b")
+        right = LinkStats(name="trunk")
+        right.record(data_message(5), queued_for=0.3, transmission=0.1, flow="b")
+        right.record(data_message(7), queued_for=0.0, transmission=0.15, flow="c")
+
+        merged = left.merge(right)
+        assert set(merged.flows) == {"a", "b", "c"}
+        assert merged.flow("a").rows_transferred == 10
+        assert merged.flow("b").rows_transferred == 25
+        assert merged.flow("b").queueing_seconds == pytest.approx(0.3)
+        assert merged.flow("b").busy_seconds == pytest.approx(0.5)
+        assert merged.flow("c").rows_transferred == 7
+        # Merged flows still sum to the merged totals...
+        assert (
+            sum(f.total_bytes for f in merged.flows.values()) == merged.total_bytes
+        )
+        # ...and the inputs keep their own flow maps.
+        assert set(left.flows) == {"a", "b"}
+        assert left.flow("b").rows_transferred == 20
+
+    def test_flow_stats_merge_and_achieved_bandwidth(self):
+        first = FlowStats(flow="f")
+        first.record(data_message(4, payload_bytes=84), queued_for=1.0, transmission=1.0)
+        second = FlowStats(flow="f")
+        second.record(data_message(2, payload_bytes=84), queued_for=0.0, transmission=2.0)
+        merged = first.merge(second)
+        assert merged.total_bytes == 200
+        assert merged.achieved_bandwidth == pytest.approx(200 / 4.0)
+        assert FlowStats(flow="idle").achieved_bandwidth is None
+
+    def test_flow_bytes_feeds_fairness_metrics(self):
+        stats = LinkStats(name="trunk")
+        stats.record(data_message(1, payload_bytes=84), queued_for=0.0, transmission=0.1, flow="a")
+        stats.record(data_message(1, payload_bytes=84), queued_for=0.0, transmission=0.1, flow="b")
+        assert stats.flow_bytes() == {"a": 100, "b": 100}
 
 
 class TestExecutorConsistency:

@@ -324,3 +324,70 @@ def test_every_execution_mode_matches_single_site(
         with scalar_fallback():
             point = run_workload_point(workload, FAST, config)
     assert list(point.result_rows) == single_site_reference(workload)
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant execution: concurrency never changes answers
+# ---------------------------------------------------------------------------
+
+
+@given(
+    concurrent_sessions=st.integers(min_value=1, max_value=4),
+    strategy=st.sampled_from(
+        [ExecutionStrategy.SEMI_JOIN, ExecutionStrategy.CLIENT_SITE_JOIN]
+    ),
+    discipline=st.sampled_from(["drr", "fifo"]),
+    executor_slots=st.sampled_from([None, 1, 2]),
+    repeat=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=10, deadline=None)
+def test_concurrent_sessions_match_independent_runs(
+    concurrent_sessions, strategy, discipline, executor_slots, repeat
+):
+    """K sessions on one shared trunk return exactly the multiset of wire
+    results that K independent private runs return: fair queueing, admission
+    queues, and interleaving reshuffle *time*, never bytes or rows."""
+    from repro.tenancy import MultiTenantEngine, SessionWorkload
+    from repro.workloads.multitenant import make_tenant_database, point_query_spec
+
+    spec = point_query_spec(strategy=strategy)
+    reference = make_tenant_database().execute(spec.sql, **spec.options)
+    expected_trace = (
+        reference.metrics.downlink_messages,
+        reference.metrics.uplink_messages,
+        reference.metrics.downlink_bytes,
+        reference.metrics.uplink_bytes,
+        reference.metrics.rows_returned,
+    )
+
+    engine = MultiTenantEngine(
+        make_tenant_database(),
+        fair_queueing=discipline,
+        executor_slots=executor_slots,
+    )
+    report = engine.run(
+        [
+            SessionWorkload(
+                tenant_id=f"t{index}",
+                queries=[spec],
+                repeat=repeat,
+                think_time_seconds=0.05,
+                jitter_fraction=0.5,
+                seed=index,
+            )
+            for index in range(concurrent_sessions)
+        ]
+    )
+    assert report.error_count == 0
+    assert report.query_count == concurrent_sessions * repeat
+    for record in report.records:
+        metrics = record.metrics
+        assert (
+            metrics.downlink_messages,
+            metrics.uplink_messages,
+            metrics.downlink_bytes,
+            metrics.uplink_bytes,
+            metrics.rows_returned,
+        ) == expected_trace
+    if executor_slots is not None:
+        assert engine.slots.peak_in_use <= executor_slots
