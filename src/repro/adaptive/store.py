@@ -30,25 +30,42 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.optimizer.cost import CostSettings
 
 
+def _strip_wrapping_parens(text: str) -> str:
+    """``text`` without a redundant paren pair wrapping the whole string.
+
+    ``(A AND B)`` becomes ``A AND B``; ``(A) AND (B)`` is returned unchanged
+    (its outer parens do not wrap the whole string).
+    """
+    stripped = text.strip()
+    while stripped.startswith("(") and stripped.endswith(")"):
+        depth = 0
+        wraps = True
+        for index, character in enumerate(stripped):
+            if character == "(":
+                depth += 1
+            elif character == ")":
+                depth -= 1
+                if depth < 0 or (depth == 0 and index < len(stripped) - 1):
+                    wraps = False
+                    break
+        if not wraps or depth != 0:
+            break
+        stripped = stripped[1:-1].strip()
+    return stripped
+
+
 def _split_top_level_and(text: str) -> List[str]:
     """Top-level AND conjuncts of a predicate's string form.
 
-    ``(A AND B)`` (the :func:`~repro.relational.expressions.conjoin` shape)
-    splits into ``[A, B]``; anything else is a single conjunct.
+    Both the :func:`~repro.relational.expressions.conjoin` shape
+    ``(A AND B)`` *and* the bare ``A AND B`` split into ``[A, B]`` — a store
+    lookup by either spelling must produce the same canonical key.  Nested
+    groups such as ``(A AND B) AND C`` flatten recursively to ``[A, B, C]``,
+    matching expression-level conjunct flattening.  A string with no
+    top-level AND is a single conjunct, returned as written.
     """
     stripped = text.strip()
-    if not (stripped.startswith("(") and stripped.endswith(")")):
-        return [stripped]
-    inner = stripped[1:-1]
-    # The outer parens must wrap the whole string (depth never hits -1).
-    depth = 0
-    for character in inner:
-        if character == "(":
-            depth += 1
-        elif character == ")":
-            depth -= 1
-            if depth < 0:
-                return [stripped]
+    inner = _strip_wrapping_parens(stripped)
     conjuncts: List[str] = []
     depth = 0
     start = 0
@@ -68,9 +85,6 @@ def _split_top_level_and(text: str) -> List[str]:
     conjuncts.append(inner[start:].strip())
     if len(conjuncts) == 1:
         return [stripped]
-    # Flatten nested AND groups, matching the recursive flattening of
-    # expression-level conjunct splitting, so string and expression inputs
-    # for the same predicate canonicalise identically.
     flattened: List[str] = []
     for conjunct in conjuncts:
         flattened.extend(_split_top_level_and(conjunct))
@@ -151,6 +165,10 @@ class StatisticsStore:
         self._uplink_bandwidth = _Ewma(smoothing)
         self._downlink_queueing = _Ewma(smoothing)
         self._uplink_queueing = _Ewma(smoothing)
+        # Per-server-site bandwidth estimates (scale-out topologies): each
+        # site's channel calibrates independently, so replica choice can be
+        # priced from what *that* site's link actually delivered.
+        self._site_bandwidths: Dict[str, Tuple[_Ewma, _Ewma]] = {}
         self._udf_cost: Dict[str, _Ewma] = {}
         # Observed UDF selectivities are keyed by (UDF, canonical predicate):
         # ``Score(V) >= 100`` and ``Score(V) >= 160`` select different
@@ -170,12 +188,32 @@ class StatisticsStore:
 
     # -- recording ---------------------------------------------------------------------
 
-    def record(self, observation: QueryObservation) -> None:
-        """Fold one query's observation into the running estimates."""
+    def record(self, observation: QueryObservation, site: Optional[str] = None) -> None:
+        """Fold one query's observation into the running estimates.
+
+        With ``site`` the link measurements calibrate that *server site's*
+        per-site bandwidth estimates instead of the single-connection ones —
+        a scatter-gather query observes one channel per site, and blending a
+        degraded replica's bandwidth into the global estimate would
+        miscalibrate every other site.  UDF costs, selectivities, and batch
+        sizes are site-independent and always feed the shared tables.
+        """
         self.queries_observed += 1
+        if site is None:
+            down_slot = (self._downlink_bandwidth, self._downlink_queueing)
+            up_slot = (self._uplink_bandwidth, self._uplink_queueing)
+        else:
+            pair = self._site_bandwidths.get(site)
+            if pair is None:
+                pair = self._site_bandwidths[site] = (
+                    _Ewma(self.smoothing),
+                    _Ewma(self.smoothing),
+                )
+            down_slot = (pair[0], _Ewma(self.smoothing))
+            up_slot = (pair[1], _Ewma(self.smoothing))
         for link, bandwidth, queueing in (
-            (observation.downlink, self._downlink_bandwidth, self._downlink_queueing),
-            (observation.uplink, self._uplink_bandwidth, self._uplink_queueing),
+            (observation.downlink,) + down_slot,
+            (observation.uplink,) + up_slot,
         ):
             if link is None:
                 continue
@@ -329,6 +367,42 @@ class StatisticsStore:
             uplink_bandwidth=uplink if uplink else configured.uplink_bandwidth,
             name=f"{configured.name}+observed",
         )
+
+    def observed_site_bandwidth(
+        self, site: str
+    ) -> Tuple[Optional[float], Optional[float]]:
+        """(downlink, uplink) bytes/s observed for ``site``, or Nones."""
+        pair = self._site_bandwidths.get(site)
+        if pair is None:
+            return (None, None)
+        return (pair[0].value, pair[1].value)
+
+    def calibrated_network_for_site(
+        self, site: str, configured: NetworkConfig
+    ) -> NetworkConfig:
+        """``configured`` recalibrated from ``site``'s own observations.
+
+        Falls back per direction: the site's observed bandwidth, else the
+        global (single-connection) observation, else the configured value —
+        so an unvisited replica is still priced from whatever the system has
+        learned about links in general.
+        """
+        site_down, site_up = self.observed_site_bandwidth(site)
+        downlink = site_down if site_down else self._downlink_bandwidth.value
+        uplink = site_up if site_up else self._uplink_bandwidth.value
+        if downlink is None and uplink is None:
+            return configured
+        return replace(
+            configured,
+            downlink_bandwidth=downlink if downlink else configured.downlink_bandwidth,
+            uplink_bandwidth=uplink if uplink else configured.uplink_bandwidth,
+            name=f"{configured.name}+observed@{site}",
+        )
+
+    @property
+    def site_ids(self) -> List[str]:
+        """Server sites with at least one recorded observation."""
+        return sorted(self._site_bandwidths)
 
     def calibrated_cost_settings(self, settings: "CostSettings") -> "CostSettings":
         """``settings`` seeded with the converged batch size, once one is known.

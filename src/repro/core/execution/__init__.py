@@ -37,6 +37,7 @@ from repro.core.execution.adaptive import (
     PlanMigrationOperator,
 )
 from repro.core.execution.rewrite import replace_udf_calls_with_columns, build_operator
+from repro.core.execution.scatter import ScatterGatherOperator, ShardResult
 
 __all__ = [
     "RemoteExecutionContext",
@@ -51,4 +52,6 @@ __all__ = [
     "PlanMigrationOperator",
     "replace_udf_calls_with_columns",
     "build_operator",
+    "ScatterGatherOperator",
+    "ShardResult",
 ]

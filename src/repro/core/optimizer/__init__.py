@@ -33,8 +33,12 @@ from repro.core.optimizer.plans import (
     UdfOperation,
     operations_for_query,
 )
-from repro.core.optimizer.cost import CostEstimator, CostSettings
-from repro.core.optimizer.enumerator import SystemREnumerator
+from repro.core.optimizer.cost import CostEstimator, CostSettings, scatter_gather_cost
+from repro.core.optimizer.enumerator import (
+    SiteAssignment,
+    SiteSelectionEnumerator,
+    SystemREnumerator,
+)
 from repro.core.optimizer.rank_order import RankOrderOptimizer
 from repro.core.optimizer.heuristics import heuristic_plan, HEURISTIC_UDFS_FIRST, HEURISTIC_UDFS_LAST
 from repro.core.optimizer.decision import OptimizationDecision, Optimizer
@@ -50,6 +54,9 @@ __all__ = [
     "CostEstimator",
     "CostSettings",
     "SystemREnumerator",
+    "SiteAssignment",
+    "SiteSelectionEnumerator",
+    "scatter_gather_cost",
     "RankOrderOptimizer",
     "heuristic_plan",
     "HEURISTIC_UDFS_FIRST",

@@ -686,3 +686,26 @@ class CostEstimator:
             properties=PhysicalProperties(site=PlanSite.CLIENT),
             steps=plan.steps + (step,),
         )
+
+
+# -- distributed scatter-gather costing ------------------------------------------------------
+
+
+def scatter_gather_cost(
+    site_costs: Sequence[float],
+    merge_rows: float = 0.0,
+    settings: Optional[CostSettings] = None,
+) -> float:
+    """Estimated seconds for a scatter-gather fan-out over shard tasks.
+
+    The per-site plans run concurrently (each site has its own channel), so
+    the fan-out completes when the *slowest* site does — the cost is the max
+    over the per-site overlapped costs, not their sum.  ``merge_rows``
+    charges the coordinator's merge of the gathered streams at the ordinary
+    per-row server CPU rate (the merge is pure local compute; the gather
+    transfer itself is already inside each site's cost as result delivery).
+    """
+    if not site_costs:
+        return 0.0
+    settings = settings if settings is not None else CostSettings()
+    return max(site_costs) + max(0.0, merge_rows) * settings.server_cpu_seconds_per_row

@@ -158,3 +158,85 @@ class SystemREnumerator:
         if existing is None or plan.cost < existing.cost:
             table[key] = plan
             self.plans_kept += 1
+
+
+class SiteSelectionEnumerator:
+    """Grows the DP's decision space by one dimension: *where* each shard runs.
+
+    Input is the candidate cost table of a scatter-gather fan-out —
+    ``costs[(shard, site)]`` is the estimated overlapped cost of running
+    ``shard``'s plan on replica ``site`` (priced from that site's calibrated
+    bandwidth).  Only replicas actually holding the shard appear as keys.
+
+    Because shard plans run concurrently, the objective is the *makespan*:
+    the maximum, over sites, of the summed costs of the shards assigned to
+    that site.  Exact makespan minimisation is NP-hard (multiprocessor
+    scheduling), so this uses the classical LPT greedy — shards sorted by
+    their cheapest candidate cost, largest first, each assigned to the
+    replica that minimises that site's resulting load — which is within 4/3
+    of optimal and, for the common replication factors here (1–3), usually
+    exact.  Replica *choice* is where the win is: a shard priced high on a
+    congested replica moves to a cheap one, and co-located shards queue.
+    """
+
+    def __init__(self, costs: Dict[Tuple[str, str], float]) -> None:
+        if not costs:
+            raise OptimizerError("site selection needs at least one (shard, site) candidate")
+        self.costs = dict(costs)
+        self.shards = sorted({shard for shard, _ in self.costs})
+        for shard in self.shards:
+            if not any(key[0] == shard for key in self.costs):
+                raise OptimizerError(f"shard {shard!r} has no candidate site")
+
+    def select(self) -> "SiteAssignment":
+        """Assign every shard to one replica site, minimising the makespan."""
+        loads: Dict[str, float] = {}
+        assignment: Dict[str, str] = {}
+
+        def candidates(shard: str) -> List[Tuple[str, float]]:
+            return [(site, cost) for (s, site), cost in self.costs.items() if s == shard]
+
+        # Largest (by cheapest candidate) first: LPT order.
+        order = sorted(
+            self.shards,
+            key=lambda shard: min(cost for _, cost in candidates(shard)),
+            reverse=True,
+        )
+        for shard in order:
+            best_site = None
+            best_finish = None
+            best_cost = 0.0
+            for site, cost in sorted(candidates(shard)):
+                finish = loads.get(site, 0.0) + cost
+                if best_finish is None or finish < best_finish:
+                    best_site, best_finish, best_cost = site, finish, cost
+            assignment[shard] = best_site
+            loads[best_site] = loads.get(best_site, 0.0) + best_cost
+        makespan = max(loads.values()) if loads else 0.0
+        return SiteAssignment(assignment=assignment, site_loads=loads, makespan=makespan)
+
+
+class SiteAssignment:
+    """The outcome of site selection: shard → site, per-site loads, makespan."""
+
+    def __init__(
+        self,
+        assignment: Dict[str, str],
+        site_loads: Dict[str, float],
+        makespan: float,
+    ) -> None:
+        self.assignment = dict(assignment)
+        self.site_loads = dict(site_loads)
+        self.makespan = makespan
+
+    def site_for(self, shard: str) -> str:
+        return self.assignment[shard]
+
+    def describe(self) -> str:
+        parts = [
+            f"{shard} -> {site}" for shard, site in sorted(self.assignment.items())
+        ]
+        return f"site selection: {', '.join(parts)} (makespan {self.makespan:.3f}s)"
+
+    def __repr__(self) -> str:
+        return f"SiteAssignment({self.assignment}, makespan={self.makespan:.3f})"

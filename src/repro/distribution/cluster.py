@@ -1,0 +1,126 @@
+"""Cluster topology: N server sites, each behind its own (shareable) link.
+
+A :class:`SiteConfig` is one server site — a name plus the
+:class:`~repro.network.topology.NetworkConfig` of the client↔site link.  A
+:class:`ClusterConfig` bundles the sites with the :class:`ShardingSpec`s of
+the tables spread across them and fixes the *placement rule*: replica ``r``
+of shard ``i`` lives on site ``(i + r) mod N`` (round-robin), so shards
+spread evenly and each extra replica lands on a distinct site.
+
+Each site gets its own shared trunk pair in the distribution engine
+(see :mod:`repro.distribution.engine`): shard tasks co-located on one site
+contend for that site's link exactly as tenants contend in
+:mod:`repro.tenancy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.network.topology import NetworkConfig
+from repro.distribution.sharding import ShardingSpec
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """One server site and the network between it and the client."""
+
+    name: str
+    network: NetworkConfig
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a site needs a non-empty name")
+
+    def describe(self) -> str:
+        return (
+            f"site {self.name}: down {self.network.downlink_bandwidth:.0f} B/s, "
+            f"up {self.network.uplink_bandwidth:.0f} B/s, "
+            f"latency {self.network.latency * 1000.0:.1f} ms"
+        )
+
+
+class ClusterConfig:
+    """The server sites plus how logical tables are sharded across them."""
+
+    def __init__(
+        self,
+        sites: Sequence[SiteConfig],
+        sharding: Sequence[ShardingSpec] = (),
+    ) -> None:
+        if not sites:
+            raise ValueError("a cluster needs at least one site")
+        names = [site.name for site in sites]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate site names in {names}")
+        self.sites: Tuple[SiteConfig, ...] = tuple(sites)
+        self._by_name: Dict[str, SiteConfig] = {site.name: site for site in sites}
+        self._specs: Dict[str, ShardingSpec] = {}
+        for spec in sharding:
+            if spec.table.lower() in self._specs:
+                raise ValueError(f"table {spec.table!r} has two sharding specs")
+            if spec.replication_factor > len(self.sites):
+                raise ValueError(
+                    f"replication factor {spec.replication_factor} exceeds the "
+                    f"{len(self.sites)} sites of the cluster"
+                )
+            self._specs[spec.table.lower()] = spec
+
+    # -- lookups ----------------------------------------------------------------------
+
+    @property
+    def site_names(self) -> List[str]:
+        return [site.name for site in self.sites]
+
+    def site(self, name: str) -> SiteConfig:
+        site = self._by_name.get(name)
+        if site is None:
+            raise PlanError(f"unknown site {name!r} (sites: {self.site_names})")
+        return site
+
+    def spec_for(self, table: str) -> Optional[ShardingSpec]:
+        return self._specs.get(table.lower())
+
+    @property
+    def sharded_tables(self) -> List[str]:
+        return sorted(spec.table for spec in self._specs.values())
+
+    # -- placement --------------------------------------------------------------------
+
+    def replica_sites(self, shard_index: int, spec: ShardingSpec) -> List[str]:
+        """The sites holding shard ``shard_index``: round-robin placement.
+
+        Replica ``r`` of shard ``i`` lives on site ``(i + r) mod N``; with a
+        replication factor of 1 this is plain round-robin striping.
+        """
+        count = len(self.sites)
+        return [
+            self.sites[(shard_index + replica) % count].name
+            for replica in range(min(spec.replication_factor, count))
+        ]
+
+    def placement(self, spec: ShardingSpec) -> Dict[int, List[str]]:
+        """Shard index → replica sites, for the whole spec."""
+        return {
+            index: self.replica_sites(index, spec) for index in range(spec.shards)
+        }
+
+    # -- display ----------------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = [f"cluster: {len(self.sites)} sites"]
+        for site in self.sites:
+            lines.append("  " + site.describe())
+        for spec in self._specs.values():
+            lines.append(f"  {spec.describe()}")
+            for index, sites in self.placement(spec).items():
+                lines.append(f"    shard {index} -> {sites}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterConfig(sites={self.site_names}, "
+            f"sharded={self.sharded_tables})"
+        )

@@ -178,8 +178,13 @@ def jain_fairness_index(values: List[float]) -> float:
 
     ``(sum x)^2 / (n * sum x^2)`` — equals ``1/n`` when one flow gets
     everything, 1.0 when all flows get the same share.
+
+    Every flow that was active on the link counts towards ``n``, including
+    fully *starved* flows whose allocation is zero: one bulk flow plus three
+    starved flows scores 0.25, not 1.0.  (Negative inputs are clamped to
+    zero; an all-zero allocation is vacuously fair.)
     """
-    allocations = [value for value in values if value > 0]
+    allocations = [max(0.0, value) for value in values]
     if not allocations:
         return 1.0
     total = sum(allocations)

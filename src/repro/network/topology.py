@@ -69,13 +69,27 @@ class NetworkConfig:
         uplink_schedule: Optional[Tuple[Tuple[float, float], ...]] = None,
         name: Optional[str] = None,
     ) -> "NetworkConfig":
-        """A copy of this configuration with bandwidth-drift schedules."""
+        """A copy of this configuration with bandwidth-drift schedules.
+
+        An omitted (``None``) direction keeps its existing schedule — layering
+        uplink drift onto a config that already drifts downlink must not
+        silently erase the downlink schedule.  Pass an explicit empty tuple to
+        clear a direction.
+        """
         from dataclasses import replace
 
         return replace(
             self,
-            downlink_schedule=tuple(sorted(downlink_schedule or ())),
-            uplink_schedule=tuple(sorted(uplink_schedule or ())),
+            downlink_schedule=(
+                self.downlink_schedule
+                if downlink_schedule is None
+                else tuple(sorted(downlink_schedule))
+            ),
+            uplink_schedule=(
+                self.uplink_schedule
+                if uplink_schedule is None
+                else tuple(sorted(uplink_schedule))
+            ),
             name=name if name is not None else f"{self.name}+drift",
         )
 

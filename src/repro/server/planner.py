@@ -91,6 +91,7 @@ def build_plan(
     udf_order: Optional[Sequence[str]] = None,
     udf_strategies: Optional[Dict[str, ExecutionStrategy]] = None,
     table_order: Optional[Sequence[str]] = None,
+    defer_output_shaping: bool = False,
 ) -> PlanBuildResult:
     """Build the physical plan for ``query``.
 
@@ -100,6 +101,12 @@ def build_plan(
     execution strategy per UDF name, and ``table_order`` fixes the join order
     (a left-deep order over table aliases); both are what the optimizer's
     decisions feed back into plan construction.
+
+    ``defer_output_shaping`` stops the plan after the final projection,
+    leaving DISTINCT / ORDER BY / LIMIT to the caller.  Scatter-gather uses
+    this for per-shard plans: a shard-local LIMIT would drop globally
+    surviving rows, and shard-local DISTINCT/ORDER BY only hold per stream —
+    the coordinator applies them once over the merged result.
     """
     config = config if config is not None else StrategyConfig()
     server_functions = server_functions or {}
@@ -108,6 +115,7 @@ def build_plan(
         name.lower(): strategy for name, strategy in (udf_strategies or {}).items()
     }
     builder.table_order = [name.lower() for name in table_order] if table_order else None
+    builder.defer_output_shaping = defer_output_shaping
     root = builder.build(udf_order=udf_order)
     return PlanBuildResult(
         root=root,
@@ -134,6 +142,7 @@ class _PlanBuilder:
         self.result_column_mapping: Dict[str, str] = {}
         self.udf_strategies: Dict[str, ExecutionStrategy] = {}
         self.table_order: Optional[List[str]] = None
+        self.defer_output_shaping = False
 
     # -- top level ----------------------------------------------------------------------
 
@@ -444,6 +453,9 @@ class _PlanBuilder:
             rewritten = replace_udf_calls_with_columns(output.expression, self.result_column_mapping)
             outputs.append((output.name, rewritten, output.dtype))
         plan = ProjectExpressions(plan, outputs, functions=self.server_functions)
+
+        if self.defer_output_shaping:
+            return plan
 
         if self.query.distinct:
             plan = Distinct(plan)

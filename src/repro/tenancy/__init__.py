@@ -12,9 +12,12 @@ sessions against one shared topology —
   query executions as coroutine exchanges on one discrete-event simulation,
   with closed-loop sessions and open-loop Poisson arrivals;
 * :mod:`repro.tenancy.metrics` — per-query records and the aggregate
-  traffic report (throughput, p50/p99 latency, fairness).
+  traffic report (throughput, p50/p99 latency, fairness);
+* :mod:`repro.tenancy.baton` — the strict baton-passing protocol the driver
+  (and the scatter-gather distribution engine) interleaves workers with.
 """
 
+from repro.tenancy.baton import BatonDriver, BatonWorker, WorkerAborted
 from repro.tenancy.admission import (
     AdmissionPolicy,
     AdmissionScheduler,
@@ -37,6 +40,9 @@ from repro.tenancy.metrics import QueryRecord, TrafficReport, percentile
 
 __all__ = [
     "AdmissionPolicy",
+    "BatonDriver",
+    "BatonWorker",
+    "WorkerAborted",
     "AdmissionScheduler",
     "AdmissionTicket",
     "DeficitRoundRobinScheduler",

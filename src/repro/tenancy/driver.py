@@ -6,15 +6,12 @@ through ``RemoteExecutionContext.run_remote`` (one exchange at a time, on a
 private simulator).  Multi-tenancy needs many such queries *interleaved on
 one shared clock* — without rewriting every operator as a coroutine.
 
-The driver gets there with strict baton passing: each session runs its host
-code on its own worker thread, but **exactly one thread ever runs at a
-time**.  A worker that reaches a simulation synchronisation point (a remote
-exchange, a think-time pause, an admission grant) registers a callback on
-the event it needs, hands the baton back to the driver, and blocks.  The
-driver steps the shared simulator; when a worker's event fires, the worker
-joins a FIFO ready queue and is resumed — before any further simulated time
-passes.  Handoffs happen only at deterministic simulation points, so the
-whole multi-tenant run is exactly reproducible despite the threads.
+The driver gets there with the strict baton-passing protocol of
+:mod:`repro.tenancy.baton` (shared with the scatter-gather distribution
+engine): each session runs its host code on its own worker thread, but
+exactly one thread ever runs at a time, with handoffs only at deterministic
+simulation points — so the whole multi-tenant run is exactly reproducible
+despite the threads.
 
 :class:`SharedExecutionContext` is the splice point: it overrides the
 context's exchange driving to park the calling worker on the coordinator
@@ -24,22 +21,19 @@ process instead of running a private simulator to quiescence.
 from __future__ import annotations
 
 import random
-import threading
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
-from repro.errors import SimulationError
 from repro.adaptive.store import TenantStatistics
 from repro.client.runtime import ClientRuntime
 from repro.core.execution.context import RemoteExecutionContext
 from repro.network.channel import Channel
-from repro.network.events import Event
 from repro.network.simulator import Simulator
 from repro.server.engine import Database
 from repro.server.executor import ExecutorSlots
 from repro.server.session import ClientSession
 from repro.tenancy.admission import AdmissionPolicy, AdmissionScheduler
+from repro.tenancy.baton import BatonDriver, BatonWorker, WorkerAborted
 from repro.tenancy.fairqueue import DEFAULT_QUANTUM_BYTES, shared_trunks
 from repro.tenancy.metrics import QueryRecord, TrafficReport
 
@@ -142,71 +136,21 @@ class SharedExecutionContext(RemoteExecutionContext):
         return self.simulator.now - self.started_at
 
 
-class _WorkerAborted(BaseException):
-    """Raised inside a worker thread when the driver aborts the run.
-
-    Deliberately a ``BaseException`` so per-query ``except Exception``
-    error handling cannot swallow it.
-    """
+# Backwards-compatible alias: the abort signal now lives in tenancy.baton.
+_WorkerAborted = WorkerAborted
 
 
-class _SessionWorker:
-    """One session's thread plus its half of the baton protocol."""
+class _SessionWorker(BatonWorker):
+    """One session's worker: the generic baton protocol plus session state."""
 
     def __init__(self, engine: "MultiTenantEngine", workload: Workload, session: ClientSession) -> None:
+        super().__init__(engine._driver, name=f"tenant-{session.session_id}")
         self.engine = engine
         self.workload = workload
         self.session = session
-        self.finished = False
-        self.exception: Optional[BaseException] = None
-        self._resume = threading.Event()
-        self._poisoned = False
-        self.thread = threading.Thread(
-            target=self._thread_main, name=f"tenant-{session.session_id}", daemon=True
-        )
 
-    # -- baton protocol (worker side) ----------------------------------------------
-
-    def await_event(self, event: Event) -> Any:
-        """Block this worker until ``event`` fires on the shared simulator.
-
-        Registers a callback (late registration on an already-triggered
-        event still schedules through the queue, keeping ordering uniform),
-        hands the baton to the driver, and waits to be resumed.
-        """
-        event.add_callback(self._on_event)
-        self._yield_to_driver()
-        return event.value
-
-    def _on_event(self, _event: Event) -> None:
-        # Runs on the driver thread, inside a simulator step.
-        self.engine._ready.append(self)
-
-    def _yield_to_driver(self) -> None:
-        self._resume.clear()
-        self.engine._baton.set()
-        self._resume.wait()
-        self._resume.clear()
-        if self._poisoned:
-            raise _WorkerAborted()
-
-    # -- thread body ----------------------------------------------------------------
-
-    def _thread_main(self) -> None:
-        # Wait for the driver to hand over the baton the first time.
-        self._resume.wait()
-        self._resume.clear()
-        try:
-            if self._poisoned:
-                raise _WorkerAborted()
-            self.engine._run_session(self)
-        except _WorkerAborted:
-            pass
-        except BaseException as exc:  # noqa: BLE001 - reported by the driver
-            self.exception = exc
-        finally:
-            self.finished = True
-            self.engine._baton.set()
+    def run_body(self) -> None:
+        self.engine._run_session(self)
 
 
 class MultiTenantEngine:
@@ -249,8 +193,7 @@ class MultiTenantEngine:
             else None
         )
         self.sessions: List[ClientSession] = []
-        self._ready: Deque[_SessionWorker] = deque()
-        self._baton = threading.Event()
+        self._driver = BatonDriver(self.simulator, description="multi-tenant run")
         self._records: List[QueryRecord] = []
         self._cost_cache: Dict[str, Optional[float]] = {}
 
@@ -273,52 +216,8 @@ class MultiTenantEngine:
             self.sessions.append(session)
             workers.append(_SessionWorker(self, workload, session))
 
-        for worker in workers:
-            worker.thread.start()
-        # Every worker starts ready, in workload order.
-        self._ready.extend(workers)
-
-        active = len(workers)
-        while active > 0:
-            if self._ready:
-                worker = self._ready.popleft()
-                self._hand_baton(worker)
-                if worker.finished:
-                    active -= 1
-                continue
-            if self.simulator.peek_next_time() is None:
-                active -= self._abort_blocked(workers)
-                blocked = [
-                    worker.session.session_id for worker in workers if not worker.finished
-                ]
-                raise SimulationError(
-                    "multi-tenant run deadlocked: no simulation events pending while "
-                    f"sessions {blocked or '[]'} were still blocked"
-                )
-            self.simulator.step()
-
-        for worker in workers:
-            if worker.exception is not None:
-                raise worker.exception
+        self._driver.run(workers)
         return self._build_report()
-
-    def _hand_baton(self, worker: _SessionWorker) -> None:
-        """Resume ``worker`` and wait until it blocks again or finishes."""
-        self._baton.clear()
-        worker._resume.set()
-        self._baton.wait()
-
-    def _abort_blocked(self, workers: List[_SessionWorker]) -> int:
-        """Poison every still-blocked worker so its thread unwinds cleanly."""
-        aborted = 0
-        for worker in workers:
-            if worker.finished:
-                continue
-            worker._poisoned = True
-            self._hand_baton(worker)
-            if worker.finished:
-                aborted += 1
-        return aborted
 
     # -- one session's life ------------------------------------------------------------
 

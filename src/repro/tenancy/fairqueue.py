@@ -97,6 +97,10 @@ class LinkScheduler:
     def _queued_bytes(self) -> int:
         raise NotImplementedError
 
+    def _peek(self) -> Optional[_Pending]:
+        """The next queued item without removing it (``None`` when empty)."""
+        raise NotImplementedError
+
     # -- submission ----------------------------------------------------------------
 
     def submit(self, link: Link, message: Message) -> Event:
@@ -165,11 +169,21 @@ class LinkScheduler:
 
     @property
     def busy_until(self) -> float:
-        """Estimated time the trunk drains its backlog (for cost heuristics)."""
+        """Estimated time the trunk drains its backlog (for cost heuristics).
+
+        Covers the message currently serialising *and* the queued backlog,
+        priced at the bandwidth the head link will see when the trunk frees
+        up (drift-aware, one sample — an estimate, exactly like the cost
+        heuristics consuming it).
+        """
         now = self.simulator.now
-        if not self._transmitting:
-            return now
-        return max(now, self._current_finish)
+        finish = max(now, self._current_finish) if self._transmitting else now
+        backlog = self._queued_bytes()
+        if backlog > 0:
+            head = self._peek()
+            if head is not None:
+                finish += backlog / head.link.bandwidth_at(finish)
+        return finish
 
     def __repr__(self) -> str:
         return (
@@ -195,6 +209,9 @@ class FifoLinkScheduler(LinkScheduler):
 
     def _queued_bytes(self) -> int:
         return sum(item.size_bytes for item in self._queue)
+
+    def _peek(self) -> Optional[_Pending]:
+        return self._queue[0] if self._queue else None
 
 
 class DeficitRoundRobinScheduler(LinkScheduler):
@@ -265,6 +282,15 @@ class DeficitRoundRobinScheduler(LinkScheduler):
         return sum(
             item.size_bytes for queue in self._flows.values() for item in queue
         )
+
+    def _peek(self) -> Optional[_Pending]:
+        # The head of the current round's flow — a deficit rotation may serve
+        # another flow first, but for backlog estimation the head message is
+        # representative without mutating the round state.
+        if not self._active:
+            return None
+        queue = self._flows[self._active[0]]
+        return queue[0] if queue else None
 
     def backlog(self, flow: str) -> int:
         """Messages queued for ``flow`` (0 if the flow is idle or unknown)."""

@@ -12,7 +12,7 @@ from repro.network.message import (
     error_message,
 )
 from repro.network.simulator import Simulator
-from repro.network.stats import FlowStats, LinkStats
+from repro.network.stats import FlowStats, LinkStats, jain_fairness_index
 from repro.workloads.experiments import run_workload_point
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -188,6 +188,29 @@ class TestFlowAttribution:
         stats.record(data_message(1, payload_bytes=84), queued_for=0.0, transmission=0.1, flow="a")
         stats.record(data_message(1, payload_bytes=84), queued_for=0.0, transmission=0.1, flow="b")
         assert stats.flow_bytes() == {"a": 100, "b": 100}
+
+
+class TestJainFairnessIndex:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness_index([100.0, 100.0, 100.0]) == pytest.approx(1.0)
+
+    def test_starved_flows_count_toward_n(self):
+        """Regression: zero allocations used to be dropped, so one bulk flow
+        plus three fully starved flows scored a "perfectly fair" 1.0.  Every
+        active flow counts: the score must be 1/4."""
+        assert jain_fairness_index([1000.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_partially_starved_mixture(self):
+        # (sum x)^2 / (n sum x^2) with one dominant and one starved flow.
+        values = [900.0, 100.0, 0.0]
+        expected = (1000.0**2) / (3 * (900.0**2 + 100.0**2))
+        assert jain_fairness_index(values) == pytest.approx(expected)
+
+    def test_degenerate_inputs_are_vacuously_fair(self):
+        assert jain_fairness_index([]) == 1.0
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+        # Negative allocations (impossible byte counts) clamp to zero.
+        assert jain_fairness_index([-5.0, 10.0]) == pytest.approx(0.5)
 
 
 class TestExecutorConsistency:

@@ -178,3 +178,42 @@ class TestNetworkConfig:
         assert channel.downlink.bandwidth == pytest.approx(8000.0)
         assert channel.uplink.bandwidth == pytest.approx(800.0)
         assert channel.downlink.latency == pytest.approx(0.02)
+
+    def test_with_drift_sets_and_sorts_schedules(self):
+        base = NetworkConfig.symmetric(5000.0)
+        drifted = base.with_drift(
+            downlink_schedule=((2.0, 1000.0), (1.0, 2000.0)),
+            uplink_schedule=((0.5, 800.0),),
+        )
+        assert drifted.downlink_schedule == ((1.0, 2000.0), (2.0, 1000.0))
+        assert drifted.uplink_schedule == ((0.5, 800.0),)
+        assert drifted.drifts
+        assert drifted.name == "symmetric+drift"
+        # The original config is untouched (frozen dataclass copy).
+        assert not base.drifts
+
+    def test_with_drift_preserves_omitted_direction(self):
+        """Regression: layering uplink drift onto a config that already
+        drifted downlink used to silently erase the downlink schedule (an
+        omitted direction was replaced with ``()``)."""
+        base = NetworkConfig.symmetric(5000.0).with_drift(
+            downlink_schedule=((1.0, 2500.0),)
+        )
+        layered = base.with_drift(uplink_schedule=((2.0, 1250.0),))
+        assert layered.downlink_schedule == ((1.0, 2500.0),)
+        assert layered.uplink_schedule == ((2.0, 1250.0),)
+        # And the mirror image: adding downlink drift keeps uplink drift.
+        mirrored = base.with_drift(
+            downlink_schedule=((3.0, 600.0),), uplink_schedule=((4.0, 700.0),)
+        ).with_drift(downlink_schedule=((5.0, 900.0),))
+        assert mirrored.uplink_schedule == ((4.0, 700.0),)
+        assert mirrored.downlink_schedule == ((5.0, 900.0),)
+
+    def test_with_drift_explicit_empty_clears_schedule(self):
+        base = NetworkConfig.symmetric(5000.0).with_drift(
+            downlink_schedule=((1.0, 2500.0),), uplink_schedule=((1.0, 2500.0),)
+        )
+        cleared = base.with_drift(downlink_schedule=(), name="flat-down")
+        assert cleared.downlink_schedule == ()
+        assert cleared.uplink_schedule == ((1.0, 2500.0),)
+        assert cleared.name == "flat-down"

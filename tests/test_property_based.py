@@ -391,3 +391,55 @@ def test_concurrent_sessions_match_independent_runs(
         ) == expected_trace
     if executor_slots is not None:
         assert engine.slots.peak_in_use <= executor_slots
+
+
+# ---------------------------------------------------------------------------
+# Scatter-gather: sharding/replication/placement never changes answers
+# ---------------------------------------------------------------------------
+
+
+@given(
+    sites=st.integers(min_value=1, max_value=3),
+    shards=st.integers(min_value=1, max_value=4),
+    extra_replicas=st.integers(min_value=0, max_value=2),
+    method=st.sampled_from(["hash", "range"]),
+    strategy=st.sampled_from(
+        [
+            None,
+            ExecutionStrategy.NAIVE,
+            ExecutionStrategy.SEMI_JOIN,
+            ExecutionStrategy.CLIENT_SITE_JOIN,
+        ]
+    ),
+    rows=st.integers(min_value=1, max_value=18),
+    segments=st.sampled_from([1, 3]),
+    optimize=st.booleans(),
+)
+@settings(max_examples=25, deadline=None)
+def test_scatter_gather_matches_single_site(
+    sites, shards, extra_replicas, method, strategy, rows, segments, optimize
+):
+    """Distributed execution over K shards x replica placement x sharding
+    method x strategy x segmentation returns exactly the single-site result
+    multiset.
+
+    Replication is clamped to the site count (a shard cannot have more
+    replicas than sites), and skewed shard sizes — including empty fragments
+    when ``rows < shards`` — are part of the sweep by construction.
+    """
+    from repro.workloads.sharding import FILTER_SQL, make_sharded_setup
+
+    single, dist = make_sharded_setup(
+        sites=sites,
+        shards=shards,
+        replication_factor=min(sites, 1 + extra_replicas),
+        rows=rows,
+        series_points=4,
+        method=method,
+    )
+    base = single.execute(FILTER_SQL, strategy=strategy, deliver_results=True)
+    result = dist.execute(
+        FILTER_SQL, strategy=strategy, optimize=optimize, segments=segments
+    )
+    assert result.row_set() == base.row_set()
+    assert result.metrics.rows_returned == base.metrics.rows_returned

@@ -68,6 +68,26 @@ class TestCanonicalPredicateKeys:
         # structure is still normalised through the string as a whole.
         assert canonical_predicate_key(text) == canonical_predicate_key(text)
 
+    def test_unparenthesized_conjunction_matches_conjoin_shape(self):
+        """Regression: the bare ``A AND B`` string form never split, so a
+        lookup by it missed the sorted ``(A AND B)`` key written from the
+        Expression form."""
+        bare = canonical_predicate_key("B_result <= 2 AND A_result >= 1")
+        wrapped = canonical_predicate_key("(A_result >= 1 AND B_result <= 2)")
+        assert bare == wrapped == "(A_result >= 1 AND B_result <= 2)"
+
+    def test_nested_conjunction_flattens(self):
+        nested = canonical_predicate_key("(A >= 1 AND B <= 2) AND C = 3")
+        flat = canonical_predicate_key("C = 3 AND B <= 2 AND A >= 1")
+        assert nested == flat == "(A >= 1 AND B <= 2 AND C = 3)"
+
+    def test_parenthesized_single_conjunct_keeps_its_spelling(self):
+        # No top-level AND: the string is a single conjunct returned as
+        # written, so existing single-predicate keys are unchanged.
+        assert canonical_predicate_key("(Score_result >= 100)") == "(Score_result >= 100)"
+        # Parens that do not wrap the whole string are not stripped.
+        assert canonical_predicate_key("(A) AND (B)") == "((A) AND (B))"
+
     def _observation_with(self, udf_name, predicate, selectivity):
         return QueryObservation(
             elapsed_seconds=1.0,
