@@ -40,6 +40,7 @@ from repro.adaptive.controller import (
     OverlapWindowController,
 )
 from repro.adaptive.observer import (
+    JoinObservation,
     LinkObservation,
     PredicateObservation,
     QueryObservation,
@@ -56,8 +57,10 @@ from repro.adaptive.reoptimizer import (
     RuntimeStatisticsView,
 )
 from repro.adaptive.store import (
+    STORE_VERSION,
     StatisticsStore,
     TenantStatistics,
+    canonical_join_key,
     canonical_predicate_key,
 )
 from repro.adaptive.switcher import (
@@ -71,6 +74,7 @@ __all__ = [
     "BatchControllerBank",
     "BatchDecision",
     "BatchSizeController",
+    "JoinObservation",
     "LinkObservation",
     "MigrationObservation",
     "OverlapWindowController",
@@ -85,10 +89,12 @@ __all__ = [
     "RuntimeStatisticsView",
     "UdfObservation",
     "SegmentObservation",
+    "STORE_VERSION",
     "StatisticsStore",
     "TenantStatistics",
     "StrategySwitcher",
     "SwitchDecision",
     "SwitchPolicy",
+    "canonical_join_key",
     "canonical_predicate_key",
 ]

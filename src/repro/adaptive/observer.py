@@ -137,17 +137,46 @@ class UdfObservation:
 
 @dataclass(frozen=True)
 class PredicateObservation:
-    """Observed selectivity of one server-side filter."""
+    """Observed selectivity of one server-side filter.
+
+    ``equality_column`` is set when the filter was a single column-vs-literal
+    equality: its observed selectivity is then direct evidence about the
+    column's distinct-value count (selectivity ≈ 1/V(A)), which the store
+    feeds back into table-level statistics estimates.
+    """
 
     predicate: str
     input_rows: int
     output_rows: int
+    equality_column: Optional[str] = None
 
     @property
     def observed_selectivity(self) -> Optional[float]:
         if self.input_rows <= 0:
             return None
         return self.output_rows / self.input_rows
+
+
+@dataclass(frozen=True)
+class JoinObservation:
+    """Observed selectivity of one server-side equi-join.
+
+    ``columns`` are the join-key column names from both sides.  The observed
+    selectivity is the output cardinality relative to the cross product —
+    the quantity the optimizer's 1/max(V(A), V(B)) formula estimates.
+    """
+
+    columns: Tuple[str, ...]
+    left_rows: int
+    right_rows: int
+    output_rows: int
+
+    @property
+    def observed_selectivity(self) -> Optional[float]:
+        cross = self.left_rows * self.right_rows
+        if cross <= 0:
+            return None
+        return self.output_rows / cross
 
 
 @dataclass
@@ -159,6 +188,7 @@ class QueryObservation:
     uplink: Optional[LinkObservation] = None
     udfs: Dict[str, UdfObservation] = field(default_factory=dict)
     predicates: Tuple[PredicateObservation, ...] = ()
+    joins: Tuple[JoinObservation, ...] = ()
     rows_returned: int = 0
     converged_batch_size: Optional[int] = None
     batch_size_trace: Tuple[int, ...] = ()
@@ -213,6 +243,7 @@ class RuntimeObserver:
         rows_returned: int = 0,
         controller: Optional["BatchSizeController"] = None,
         filter_operators: List[object] = (),
+        join_operators: List[object] = (),
     ) -> QueryObservation:
         """Build (and record) the observation for one finished query."""
         client = client if client is not None else context.client
@@ -255,6 +286,25 @@ class RuntimeObserver:
                     predicate=str(getattr(operator, "predicate", operator)),
                     input_rows=input_rows,
                     output_rows=operator.rows_produced,
+                    equality_column=self._equality_column(
+                        getattr(operator, "predicate", None)
+                    ),
+                )
+            )
+
+        joins: List[JoinObservation] = []
+        for operator in join_operators:
+            children = getattr(operator, "children", ())
+            left_keys = getattr(operator, "left_keys", None)
+            right_keys = getattr(operator, "right_keys", None)
+            if len(children) != 2 or not left_keys or not right_keys:
+                continue
+            joins.append(
+                JoinObservation(
+                    columns=tuple(left_keys) + tuple(right_keys),
+                    left_rows=children[0].rows_produced,
+                    right_rows=children[1].rows_produced,
+                    output_rows=operator.rows_produced,
                 )
             )
 
@@ -264,6 +314,7 @@ class RuntimeObserver:
             uplink=LinkObservation.from_stats(stats.uplink),
             udfs=udfs,
             predicates=tuple(predicates),
+            joins=tuple(joins),
             rows_returned=rows_returned,
             converged_batch_size=(
                 controller.converged_batch_size
@@ -281,6 +332,22 @@ class RuntimeObserver:
         if self.store is not None:
             self.store.record(observation)
         return observation
+
+    @staticmethod
+    def _equality_column(predicate: object) -> Optional[str]:
+        """The column name when ``predicate`` is a column-vs-literal equality."""
+        from repro.relational.expressions import ColumnRef, Comparison, Literal
+
+        if not isinstance(predicate, Comparison) or predicate.operator != "=":
+            return None
+        if predicate.function_calls():
+            return None
+        left, right = predicate.left, predicate.right
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            return left.name
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            return right.name
+        return None
 
     @staticmethod
     def _operator_filtered(operator: "RemoteUdfOperator") -> bool:

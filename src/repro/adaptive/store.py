@@ -20,14 +20,20 @@ parameters, in the spirit of statistics-driven plan estimates
 
 from __future__ import annotations
 
+import json
+import os
+import warnings
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, Iterable, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.adaptive.observer import QueryObservation
 from repro.network.topology import NetworkConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.optimizer.cost import CostSettings
+
+#: On-disk format version of :meth:`StatisticsStore.save` snapshots.
+STORE_VERSION = 1
 
 
 def _strip_wrapping_parens(text: str) -> str:
@@ -124,6 +130,23 @@ def canonical_predicate_key(predicate: object) -> str:
     return text
 
 
+def _bare_column(name: str) -> str:
+    """Lower-cased column name with any table qualifier stripped."""
+    text = str(name)
+    return (text.rpartition(".")[2] if "." in text else text).strip().lower()
+
+
+def canonical_join_key(columns: Iterable[str]) -> str:
+    """A join predicate's order/qualification-independent identity key.
+
+    The observer sees an executed join operator's ``left_keys``/``right_keys``
+    (often qualified); the estimator asks with the predicate's referenced
+    columns.  Sorting the de-duplicated bare names makes both spellings meet
+    at the same key.
+    """
+    return "|".join(sorted({_bare_column(name) for name in columns if str(name).strip()}))
+
+
 class _Ewma:
     """A tiny exponentially weighted moving average."""
 
@@ -140,6 +163,21 @@ class _Ewma:
             self.value = sample
         else:
             self.value = (1.0 - self.alpha) * self.value + self.alpha * sample
+
+    def to_state(self) -> List[object]:
+        return [self.value, self.samples]
+
+    @classmethod
+    def from_state(cls, state: object, alpha: float) -> "_Ewma":
+        estimate = cls(alpha)
+        if not isinstance(state, (list, tuple)) or len(state) != 2:
+            raise ValueError(f"malformed EWMA state: {state!r}")
+        value, samples = state
+        if value is not None and not isinstance(value, (int, float)):
+            raise ValueError(f"malformed EWMA value: {value!r}")
+        estimate.value = float(value) if value is not None else None
+        estimate.samples = int(samples)
+        return estimate
 
 
 class StatisticsStore:
@@ -183,6 +221,15 @@ class StatisticsStore:
         self._predicate_identity_selectivity: Dict[str, _Ewma] = {}
         self._udf_distinct_fraction: Dict[str, _Ewma] = {}
         self._predicate_selectivity: Dict[str, _Ewma] = {}
+        # Observed equi-join selectivities keyed by canonical join key
+        # (sorted bare join-column names): measured output/cross-product
+        # ratios the estimator prefers over the 1/max(V(A), V(B)) formula.
+        self._join_selectivity: Dict[str, _Ewma] = {}
+        # Observed distinct-value evidence per bare column name, derived from
+        # column-vs-literal equality filters (selectivity ≈ 1/V(A)).  Feeds
+        # :meth:`column_distinct_evidence`, which overrides the neutral
+        # "every value distinct" default for columns without exact statistics.
+        self._column_distinct: Dict[str, _Ewma] = {}
         self._batch_size = _Ewma(smoothing)
         self._udf_batch_size: Dict[str, _Ewma] = {}
 
@@ -254,6 +301,23 @@ class StatisticsStore:
                 self._predicate_selectivity.setdefault(
                     predicate.predicate, _Ewma(self.smoothing)
                 ).update(selectivity)
+                column = getattr(predicate, "equality_column", None)
+                if column is not None and selectivity > 0.0:
+                    # selectivity of "col = literal" ≈ 1/V(col): invert for
+                    # distinct-count evidence, capped at the observed input.
+                    distinct = min(1.0 / selectivity, float(max(predicate.input_rows, 1)))
+                    self._column_distinct.setdefault(
+                        _bare_column(column), _Ewma(self.smoothing)
+                    ).update(distinct)
+
+        for join in getattr(observation, "joins", ()):
+            selectivity = join.observed_selectivity
+            if selectivity is not None:
+                key = canonical_join_key(join.columns)
+                if key:
+                    self._join_selectivity.setdefault(
+                        key, _Ewma(self.smoothing)
+                    ).update(selectivity)
 
         if observation.converged_batch_size is not None:
             self._batch_size.update(float(observation.converged_batch_size))
@@ -344,6 +408,48 @@ class StatisticsStore:
         if estimate is None or estimate.value is None:
             return default
         return min(1.0, max(0.0, estimate.value))
+
+    def join_selectivity(self, columns: Iterable[str], default: object = None) -> object:
+        """Observed selectivity of the equi-join over ``columns``, or ``default``.
+
+        ``columns`` may come qualified (operator join keys) or bare (predicate
+        references); both resolve to the same canonical key.
+        """
+        estimate = self._join_selectivity.get(canonical_join_key(columns))
+        if estimate is None or estimate.value is None:
+            return default
+        return min(1.0, max(0.0, estimate.value))
+
+    def column_distinct_evidence(self) -> Dict[str, float]:
+        """Observed distinct-value counts per bare column name.
+
+        Derived from measured equality-filter selectivities (V(A) ≈ 1/s).
+        The cost estimator overlays these onto table statistics for columns
+        that have no exact statistics, replacing the neutral "every value is
+        distinct" default with evidence.
+        """
+        return {
+            name: max(1.0, estimate.value)
+            for name, estimate in self._column_distinct.items()
+            if estimate.value is not None
+        }
+
+    def forget_columns(self, columns: Iterable[str]) -> None:
+        """Drop evidence derived from the named columns.
+
+        Called when a table is dropped or replaced: its columns' observed
+        distinct counts and any join selectivities touching them describe
+        data that no longer exists.
+        """
+        stale = {_bare_column(name) for name in columns}
+        for name in stale:
+            self._column_distinct.pop(name, None)
+        for key in [
+            key
+            for key in self._join_selectivity
+            if stale.intersection(key.split("|"))
+        ]:
+            del self._join_selectivity[key]
 
     # -- calibrated planning inputs -----------------------------------------------------
 
@@ -436,6 +542,191 @@ class StatisticsStore:
         if estimate is None or estimate.value is None:
             return self.preferred_batch_size(default)
         return max(1, int(round(estimate.value)))
+
+    # -- persistence -------------------------------------------------------------------
+
+    def to_state(self, fingerprint: Optional[str] = None) -> Dict[str, object]:
+        """The store's full calibrated state as a JSON-serialisable dict."""
+        return {
+            "version": STORE_VERSION,
+            "fingerprint": fingerprint,
+            "smoothing": self.smoothing,
+            "contention_aware": self.contention_aware,
+            "queries_observed": self.queries_observed,
+            "downlink_bandwidth": self._downlink_bandwidth.to_state(),
+            "uplink_bandwidth": self._uplink_bandwidth.to_state(),
+            "downlink_queueing": self._downlink_queueing.to_state(),
+            "uplink_queueing": self._uplink_queueing.to_state(),
+            "site_bandwidths": {
+                site: [pair[0].to_state(), pair[1].to_state()]
+                for site, pair in sorted(self._site_bandwidths.items())
+            },
+            "udf_cost": {
+                name: estimate.to_state()
+                for name, estimate in sorted(self._udf_cost.items())
+            },
+            "udf_selectivity": [
+                [udf, predicate, estimate.to_state()]
+                for (udf, predicate), estimate in sorted(self._udf_selectivity.items())
+            ],
+            "predicate_identity_selectivity": {
+                key: estimate.to_state()
+                for key, estimate in sorted(
+                    self._predicate_identity_selectivity.items()
+                )
+            },
+            "udf_distinct_fraction": {
+                name: estimate.to_state()
+                for name, estimate in sorted(self._udf_distinct_fraction.items())
+            },
+            "predicate_selectivity": {
+                key: estimate.to_state()
+                for key, estimate in sorted(self._predicate_selectivity.items())
+            },
+            "join_selectivity": {
+                key: estimate.to_state()
+                for key, estimate in sorted(self._join_selectivity.items())
+            },
+            "column_distinct": {
+                name: estimate.to_state()
+                for name, estimate in sorted(self._column_distinct.items())
+            },
+            "batch_size": self._batch_size.to_state(),
+            "udf_batch_size": {
+                name: estimate.to_state()
+                for name, estimate in sorted(self._udf_batch_size.items())
+            },
+        }
+
+    def save(self, path: str, fingerprint: Optional[str] = None) -> None:
+        """Persist the calibrated state to ``path`` (atomic JSON snapshot).
+
+        ``fingerprint`` identifies the workload the statistics describe
+        (schemas + UDF registry); :meth:`restore` refuses a snapshot whose
+        fingerprint differs, so stale statistics never warm-start a changed
+        database.
+        """
+        payload = json.dumps(self.to_state(fingerprint), indent=2, sort_keys=True)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        os.replace(tmp_path, path)
+
+    def restore(self, path: str, fingerprint: Optional[str] = None) -> bool:
+        """Load persisted state from ``path`` into this store, in place.
+
+        Returns True on success.  A missing, corrupt, version-mismatched, or
+        fingerprint-mismatched snapshot leaves the store untouched, emits a
+        warning (except for the missing-file case, which is the normal cold
+        start), and returns False — persistence failures must never take the
+        database down.
+        """
+        if not os.path.exists(path):
+            return False
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                state = json.load(handle)
+            if not isinstance(state, dict):
+                raise ValueError("snapshot is not an object")
+            version = state.get("version")
+            if version != STORE_VERSION:
+                raise ValueError(
+                    f"snapshot version {version!r} != supported {STORE_VERSION}"
+                )
+            saved_fingerprint = state.get("fingerprint")
+            if (
+                fingerprint is not None
+                and saved_fingerprint is not None
+                and saved_fingerprint != fingerprint
+            ):
+                warnings.warn(
+                    f"statistics snapshot {path!r} was captured for a different "
+                    "workload (schema or UDF registry changed); starting cold",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return False
+            self._apply_state(state)
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            warnings.warn(
+                f"ignoring unreadable statistics snapshot {path!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return False
+        return True
+
+    @classmethod
+    def load(
+        cls,
+        path: str,
+        fingerprint: Optional[str] = None,
+        smoothing: float = 0.5,
+        contention_aware: bool = False,
+    ) -> "StatisticsStore":
+        """A store warm-started from ``path``, or a cold one when unusable."""
+        store = cls(smoothing=smoothing, contention_aware=contention_aware)
+        store.restore(path, fingerprint)
+        return store
+
+    def _apply_state(self, state: Dict[str, object]) -> None:
+        """Replace this store's estimates with a validated snapshot's.
+
+        Everything is parsed into local variables first so a malformed
+        snapshot raises before any estimate is overwritten.
+        """
+        alpha = self.smoothing
+
+        def ewma(value: object) -> _Ewma:
+            return _Ewma.from_state(value, alpha)
+
+        def ewma_map(value: object) -> Dict[str, _Ewma]:
+            if not isinstance(value, dict):
+                raise ValueError(f"expected an object, got {value!r}")
+            return {str(key): ewma(item) for key, item in value.items()}
+
+        downlink = ewma(state.get("downlink_bandwidth", [None, 0]))
+        uplink = ewma(state.get("uplink_bandwidth", [None, 0]))
+        downlink_queueing = ewma(state.get("downlink_queueing", [None, 0]))
+        uplink_queueing = ewma(state.get("uplink_queueing", [None, 0]))
+        sites_state = state.get("site_bandwidths", {})
+        if not isinstance(sites_state, dict):
+            raise ValueError("site_bandwidths must be an object")
+        sites = {
+            str(site): (ewma(pair[0]), ewma(pair[1]))
+            for site, pair in sites_state.items()
+        }
+        selectivity_state = state.get("udf_selectivity", [])
+        if not isinstance(selectivity_state, list):
+            raise ValueError("udf_selectivity must be a list")
+        udf_selectivity = {
+            (str(entry[0]), str(entry[1])): ewma(entry[2])
+            for entry in selectivity_state
+        }
+        udf_cost = ewma_map(state.get("udf_cost", {}))
+        identity = ewma_map(state.get("predicate_identity_selectivity", {}))
+        distinct_fraction = ewma_map(state.get("udf_distinct_fraction", {}))
+        predicate_selectivity = ewma_map(state.get("predicate_selectivity", {}))
+        join_selectivity = ewma_map(state.get("join_selectivity", {}))
+        column_distinct = ewma_map(state.get("column_distinct", {}))
+        batch_size = ewma(state.get("batch_size", [None, 0]))
+        udf_batch_size = ewma_map(state.get("udf_batch_size", {}))
+
+        self.queries_observed = int(state.get("queries_observed", 0))
+        self._downlink_bandwidth = downlink
+        self._uplink_bandwidth = uplink
+        self._downlink_queueing = downlink_queueing
+        self._uplink_queueing = uplink_queueing
+        self._site_bandwidths = sites
+        self._udf_cost = udf_cost
+        self._udf_selectivity = udf_selectivity
+        self._predicate_identity_selectivity = identity
+        self._udf_distinct_fraction = distinct_fraction
+        self._predicate_selectivity = predicate_selectivity
+        self._join_selectivity = join_selectivity
+        self._column_distinct = column_distinct
+        self._batch_size = batch_size
+        self._udf_batch_size = udf_batch_size
 
     # -- reporting ---------------------------------------------------------------------
 

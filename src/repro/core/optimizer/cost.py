@@ -56,6 +56,11 @@ class CostSettings:
     #: a finite value adds back the non-overlapped remainder divided by W
     #: (W = 1 makes the link times add, modelling synchronous shipping).
     overlap_window: Optional[float] = None
+    #: Seconds charged per block a server-side scan reads from the paged
+    #: storage layer (``StatInfo.blocks_accessed``-style I/O costing).  The
+    #: default 0.0 keeps the closed-form per-row cost model — and every
+    #: existing cost expectation — unchanged; durable deployments opt in.
+    block_access_seconds: float = 0.0
 
     def with_batch_size(self, batch_size: float) -> "CostSettings":
         from dataclasses import replace
@@ -360,6 +365,15 @@ class CostEstimator:
 
     def scan(self, operation: TableOperation) -> CandidatePlan:
         statistics = operation.bound.table.statistics
+        if self.statistics is not None:
+            # Overlay runtime-observed distinct counts: columns the catalog
+            # knows nothing about would otherwise fall back to the neutral
+            # distinct_count = row_count default.
+            evidence = getattr(self.statistics, "column_distinct_evidence", None)
+            if evidence is not None:
+                from repro.relational.statistics import apply_observed_evidence
+
+                statistics = apply_observed_evidence(statistics, evidence())
         cardinality = max(0.0, statistics.row_count * operation.local_selectivity)
         column_sizes: Dict[str, float] = {}
         column_distinct: Dict[str, float] = {}
@@ -369,6 +383,8 @@ class CostEstimator:
             column_distinct[column.qualified_name] = max(1.0, float(stats.distinct_count))
         row_bytes = sum(column_sizes.values())
         cost = statistics.row_count * self.settings.server_cpu_seconds_per_row
+        if self.settings.block_access_seconds > 0.0:
+            cost += self._blocks_accessed(operation, statistics) * self.settings.block_access_seconds
         step = PlanStep(
             kind="scan",
             name=str(operation),
@@ -387,6 +403,22 @@ class CostEstimator:
             steps=(step,),
             table_order=(operation.alias,),
         )
+
+    @staticmethod
+    def _blocks_accessed(operation: TableOperation, statistics) -> float:
+        """Blocks a full scan of the operation's table reads.
+
+        Paged tables report their heap file's exact block count; in-memory
+        tables are priced as if laid out in default-size blocks, so the
+        I/O term compares like against like across backends.
+        """
+        storage = getattr(operation.bound.table, "storage", None)
+        if storage is not None:
+            return float(storage.block_count())
+        from repro.storage.page import DEFAULT_BLOCK_SIZE
+
+        total_bytes = statistics.row_count * max(statistics.average_row_size, 1.0)
+        return math.ceil(total_bytes / DEFAULT_BLOCK_SIZE)
 
     # -- joins --------------------------------------------------------------------------------
 
@@ -442,6 +474,15 @@ class CostEstimator:
             if not plan.has_columns(plan_side) or not inner.has_columns(inner_side):
                 continue
             found = True
+            if self.statistics is not None:
+                # An observed selectivity for this join's column set beats
+                # the 1/max(V(A), V(B)) textbook estimate.
+                lookup = getattr(self.statistics, "join_selectivity", None)
+                if lookup is not None:
+                    observed = lookup(columns, None)
+                    if observed is not None:
+                        selectivity *= observed
+                        continue
             left_distinct = max(
                 (plan.column_distinct.get(c, 1.0) for c in plan_side if c in plan.column_distinct),
                 default=1.0,

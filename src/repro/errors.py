@@ -107,6 +107,15 @@ class SandboxViolation(ClientError):
 
 
 # ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """The paged storage layer hit a corrupt page, bad block, or full pool."""
+
+
+# ---------------------------------------------------------------------------
 # Execution and optimization
 # ---------------------------------------------------------------------------
 

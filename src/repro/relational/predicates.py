@@ -112,7 +112,46 @@ def _comparison_selectivity(
         return 1.0 - _comparison_selectivity(
             Comparison("=", expression.left, expression.right), statistics, udf_selectivities
         )
+    if statistics is not None:
+        estimate = _histogram_range_selectivity(expression, statistics)
+        if estimate is not None:
+            return estimate
     return DEFAULT_RANGE_SELECTIVITY
+
+
+def _histogram_range_selectivity(
+    expression: Comparison, statistics: TableStatistics
+) -> Optional[float]:
+    """Histogram-based selectivity of a column-vs-literal range comparison.
+
+    Returns ``None`` when the comparison is not a single column against a
+    numeric literal, or when the column's statistics carry no histogram —
+    the flat :data:`DEFAULT_RANGE_SELECTIVITY` then applies, which keeps
+    estimates without statistics exactly as before.
+    """
+    left, right = expression.left, expression.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        column, literal, operator = left.name, right.value, expression.operator
+    elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+        # Flip ``literal OP column`` into ``column OP' literal``.
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        column, literal = right.name, left.value
+        operator = flipped.get(expression.operator, expression.operator)
+    else:
+        return None
+    if isinstance(literal, bool) or not isinstance(literal, (int, float)):
+        return None
+    histogram = statistics.column(_bare_name(column)).histogram
+    if histogram is None or histogram.total <= 0:
+        return None
+    below = histogram.fraction_below(float(literal))
+    if operator in ("<", "<="):
+        estimate = below
+    elif operator in (">", ">="):
+        estimate = 1.0 - below
+    else:
+        return None
+    return min(1.0, max(0.0, estimate))
 
 
 def _single_column_vs_literal(expression: Comparison) -> Optional[str]:

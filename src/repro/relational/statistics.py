@@ -17,10 +17,108 @@ supplied estimates so the optimizer can be exercised on hypothetical tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.relational.schema import Schema
 from repro.relational.tuples import Row
+
+#: Default number of equi-width buckets for column histograms.
+DEFAULT_HISTOGRAM_BUCKETS = 8
+
+
+@dataclass
+class Histogram:
+    """A small equi-width histogram over one numeric column.
+
+    ``counts[i]`` holds the number of values falling in the *i*-th of
+    ``len(counts)`` equal-width buckets spanning ``[low, high]``.  The range
+    selectivity estimate assumes values are uniform within a bucket, which
+    is the classic System-R refinement over a flat range default.
+    """
+
+    low: float
+    high: float
+    counts: List[int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @classmethod
+    def build(
+        cls, values: Iterable[object], buckets: int = DEFAULT_HISTOGRAM_BUCKETS
+    ) -> Optional["Histogram"]:
+        """Build a histogram from numeric values; None if there are none."""
+        numeric = [
+            float(value)
+            for value in values
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        ]
+        if not numeric:
+            return None
+        low, high = min(numeric), max(numeric)
+        if high <= low:
+            return cls(low=low, high=high, counts=[len(numeric)])
+        histogram = cls(low=low, high=high, counts=[0] * max(1, buckets))
+        for value in numeric:
+            histogram.add(value)
+        return histogram
+
+    def add(self, value: object) -> bool:
+        """Count ``value`` if it falls inside the range; False otherwise."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        value = float(value)
+        if value < self.low or value > self.high:
+            return False
+        if self.high <= self.low:
+            self.counts[0] += 1
+            return True
+        width = (self.high - self.low) / len(self.counts)
+        bucket = min(int((value - self.low) / width), len(self.counts) - 1)
+        self.counts[bucket] += 1
+        return True
+
+    def fraction_below(self, value: float) -> float:
+        """Estimated fraction of values strictly below ``value``."""
+        total = self.total
+        if total <= 0:
+            return 0.5
+        if value <= self.low:
+            return 0.0
+        if value > self.high:
+            return 1.0
+        if self.high <= self.low:
+            return 0.0 if value <= self.low else 1.0
+        width = (self.high - self.low) / len(self.counts)
+        covered = 0.0
+        for index, count in enumerate(self.counts):
+            start = self.low + index * width
+            end = start + width
+            if value >= end:
+                covered += count
+            elif value > start:
+                covered += count * (value - start) / width
+        return min(1.0, covered / total)
+
+    def range_fraction(
+        self, low: Optional[float] = None, high: Optional[float] = None
+    ) -> float:
+        """Estimated fraction of values in ``[low, high]`` (None = unbounded)."""
+        below_high = 1.0 if high is None else self.fraction_below(float(high))
+        below_low = 0.0 if low is None else self.fraction_below(float(low))
+        return max(0.0, below_high - below_low)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"low": self.low, "high": self.high, "counts": list(self.counts)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Histogram":
+        return cls(
+            low=float(payload["low"]),
+            high=float(payload["high"]),
+            counts=[int(count) for count in payload["counts"]],
+        )
 
 
 @dataclass
@@ -33,6 +131,7 @@ class ColumnStatistics:
     average_size: float = 0.0
     minimum: Optional[object] = None
     maximum: Optional[object] = None
+    histogram: Optional[Histogram] = None
 
     @property
     def has_range(self) -> bool:
@@ -51,6 +150,12 @@ class TableStatistics:
         if "." in name:
             name = name.partition(".")[2]
         if name not in self.columns:
+            # SQL identifiers are case-insensitive: fall back to a
+            # case-folded match before giving up on the name.
+            lowered = name.lower()
+            for key, stats in self.columns.items():
+                if key.lower() == lowered:
+                    return stats
             # Unknown columns get a neutral default so cost estimation can
             # proceed; this happens for derived columns (UDF results).
             return ColumnStatistics(name=name, distinct_count=max(1, self.row_count))
@@ -154,6 +259,34 @@ def merge_statistics(
             )
             merged.columns.setdefault(name, capped)
     return merged
+
+
+def apply_observed_evidence(
+    stats: TableStatistics, distinct_evidence: Mapping[str, float]
+) -> TableStatistics:
+    """Overlay runtime-observed distinct counts onto ``stats``.
+
+    ``distinct_evidence`` maps bare column names to distinct-count estimates
+    derived from observed predicate selectivities.  Columns the statistics
+    already describe keep their computed values — evidence only replaces the
+    neutral ``distinct_count = row_count`` default returned for columns the
+    catalog knows nothing about (UDF results, derived columns).
+    """
+    if not distinct_evidence:
+        return stats
+    patched = TableStatistics(
+        row_count=stats.row_count,
+        average_row_size=stats.average_row_size,
+        columns=dict(stats.columns),
+    )
+    known = {key.lower() for key in patched.columns}
+    for name, distinct in distinct_evidence.items():
+        bare = name.partition(".")[2] if "." in name else name
+        if bare.lower() in known:
+            continue
+        capped = min(max(1, int(round(distinct))), max(1, stats.row_count))
+        patched.columns[bare] = ColumnStatistics(name=bare, distinct_count=capped)
+    return patched
 
 
 def scale_statistics(stats: TableStatistics, selectivity: float) -> TableStatistics:

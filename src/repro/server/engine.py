@@ -16,6 +16,8 @@ is the public API most examples and benchmarks use::
 
 from __future__ import annotations
 
+import hashlib
+import os
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import OptimizerError
@@ -45,7 +47,18 @@ from repro.sql.logical import BoundQuery
 
 
 class Database:
-    """An in-memory ORDBMS with client-site UDF support."""
+    """An ORDBMS with client-site UDF support: in memory, or durable on disk.
+
+    By default every table lives in memory and nothing survives the process.
+    With ``storage_dir`` set the database opens a
+    :class:`~repro.storage.engine.StorageEngine` over that directory: tables
+    become slotted-page heap files reached through a buffer pool, the
+    metadata catalog persists schemas and incrementally-maintained
+    statistics, previously-created tables are recovered on open, and the
+    adaptive :class:`StatisticsStore` is saved to / warm-started from
+    ``statistics.json`` in the same directory (keyed by a workload
+    fingerprint so schema or UDF changes start cold).
+    """
 
     def __init__(
         self,
@@ -53,6 +66,9 @@ class Database:
         default_config: Optional[StrategyConfig] = None,
         use_client_result_cache: bool = True,
         statistics: Optional[StatisticsStore] = None,
+        storage_dir: Optional[str] = None,
+        buffer_pool_size: int = 64,
+        buffer_policy: str = "lru",
     ) -> None:
         self.catalog = Catalog()
         self.udfs = UdfRegistry()
@@ -66,6 +82,16 @@ class Database:
         #: measurements, and the optimizer consults them on later queries.
         self.statistics = statistics if statistics is not None else StatisticsStore()
         self.observer = RuntimeObserver(self.statistics)
+        #: The durable storage engine, or None for a purely in-memory database.
+        self.storage = None
+        self._statistics_loaded = False
+        if storage_dir is not None:
+            from repro.storage.engine import StorageEngine
+
+            self.storage = StorageEngine(
+                storage_dir, pool_size=buffer_pool_size, policy=buffer_policy
+            )
+            self._recover_tables()
 
     # -- schema management --------------------------------------------------------------
 
@@ -78,14 +104,55 @@ class Database:
     ) -> Table:
         """Create (and register) a table from ``(column, type)`` pairs."""
         schema = Schema(Column(column_name, dtype) for column_name, dtype in columns)
-        table = Table(name, schema, rows=rows)
+        if replace and self.catalog.has_table(name):
+            self._invalidate_table_statistics(self.catalog.table(name))
+        if self.storage is not None:
+            storage = self.storage.create_table(name, schema, replace=replace)
+            table = self._paged_table(name, schema, storage)
+            if rows is not None:
+                table.insert_many(rows)
+            self.storage.flush()
+        else:
+            table = Table(name, schema, rows=rows)
         return self.catalog.register(table, replace=replace)
 
     def register_table(self, table: Table, replace: bool = False) -> Table:
+        if replace and self.catalog.has_table(table.name):
+            self._invalidate_table_statistics(self.catalog.table(table.name))
         return self.catalog.register(table, replace=replace)
 
     def drop_table(self, name: str) -> None:
+        self._invalidate_table_statistics(self.catalog.table(name))
         self.catalog.drop(name)
+        if self.storage is not None:
+            self.storage.drop_table(name)
+
+    def _invalidate_table_statistics(self, table: Table) -> None:
+        """Forget derived statistics describing a dropped/replaced table's data.
+
+        The observed-evidence store keys by column name; statistics learned
+        about the old incarnation's columns must not inform estimates for the
+        replacement's data.
+        """
+        self.statistics.forget_columns(
+            column.name for column in table.schema.columns
+        )
+
+    def _paged_table(self, name: str, schema: Schema, storage: object) -> Table:
+        return Table(
+            name,
+            schema,
+            storage=storage,
+            stats_provider=lambda _name=name: self.storage.table_statistics(_name),
+            scan_listener=lambda _name=name: self.storage.on_table_scan(_name),
+        )
+
+    def _recover_tables(self) -> None:
+        """Re-register every table the storage directory already holds."""
+        for name in self.storage.table_names():
+            storage = self.storage.open_table(name)
+            schema = self.storage.metadata.schema_for(name)
+            self.catalog.register(self._paged_table(name, schema, storage), replace=True)
 
     # -- UDF management -----------------------------------------------------------------
 
@@ -263,8 +330,12 @@ class Database:
         the metrics.  All default to the database-wide singletons, so
         single-query callers see no change.
         """
+        self._ensure_statistics_loaded()
         bound = self.bind(query) if isinstance(query, str) else query
         statistics = statistics if statistics is not None else self.statistics
+        buffers_before = (
+            self.storage.buffer_stats() if self.storage is not None else None
+        )
         if observer is None:
             observer = (
                 self.observer
@@ -338,18 +409,111 @@ class Database:
                 # so hand it the committed per-UDF strategies and join order.
                 udf_strategies = decision.udf_strategies
                 table_order = decision.table_order
-            return executor.execute_query(
-                bound,
-                config=run_config,
-                deliver_results=deliver_results,
-                udf_order=decision.udf_order,
-                udf_strategies=udf_strategies,
-                table_order=table_order,
+            return self._finalize_result(
+                executor.execute_query(
+                    bound,
+                    config=run_config,
+                    deliver_results=deliver_results,
+                    udf_order=decision.udf_order,
+                    udf_strategies=udf_strategies,
+                    table_order=table_order,
+                ),
+                buffers_before,
+                persist=observe and statistics is self.statistics,
             )
 
-        return executor.execute_query(
-            bound, config=config, deliver_results=deliver_results, udf_order=udf_order
+        return self._finalize_result(
+            executor.execute_query(
+                bound, config=config, deliver_results=deliver_results, udf_order=udf_order
+            ),
+            buffers_before,
+            persist=observe and statistics is self.statistics,
         )
+
+    # -- durable storage plumbing --------------------------------------------------------
+
+    def _finalize_result(
+        self,
+        result: QueryResult,
+        buffers_before: Optional[object],
+        persist: bool = False,
+    ) -> QueryResult:
+        """Stamp buffer-pool traffic onto the result and persist state.
+
+        Runs after every :meth:`execute` on a durable database: the buffer
+        counters' delta since query start lands on the metrics (observability
+        of real page traffic), dirty pages and catalog stats flush, and —
+        when the run was observed into the database-wide store — the
+        statistics snapshot is rewritten so a restart warm-starts from it.
+        """
+        if self.storage is None:
+            return result
+        delta = self.storage.buffer_stats().delta(buffers_before)
+        result.metrics.buffer_hits = delta.hits
+        result.metrics.buffer_misses = delta.misses
+        result.metrics.buffer_evictions = delta.evictions
+        result.metrics.buffer_pinned_peak = delta.pinned_peak
+        self.storage.flush()
+        if persist:
+            self.save_statistics()
+        return result
+
+    def _statistics_path(self) -> Optional[str]:
+        if self.storage is None:
+            return None
+        return os.path.join(self.storage.directory, "statistics.json")
+
+    def workload_fingerprint(self) -> str:
+        """A digest of the schemas and UDF registry the statistics describe.
+
+        Saved alongside the statistics snapshot: a restart whose schemas or
+        UDFs differ gets a cold store instead of calibrations measured on a
+        different workload.
+        """
+        parts: List[str] = []
+        for name in self.catalog.table_names():
+            table = self.catalog.table(name)
+            columns = ",".join(
+                f"{column.name.lower()}:{column.dtype.name}"
+                for column in table.schema.columns
+            )
+            parts.append(f"table {name.lower()}({columns})")
+        parts.extend(f"udf {udf_name.lower()}" for udf_name in sorted(self.udfs.names()))
+        return hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+
+    def _ensure_statistics_loaded(self) -> None:
+        """Warm-start the statistics store from disk, once, at first execute.
+
+        Deferred to first execution (not ``__init__``) so the fingerprint
+        sees the tables *and UDFs* the application registers after opening
+        the database — the same state a prior run's snapshot was keyed by.
+        """
+        if self._statistics_loaded or self.storage is None:
+            return
+        self._statistics_loaded = True
+        path = self._statistics_path()
+        if path is not None and self.statistics.queries_observed == 0:
+            self.statistics.restore(path, fingerprint=self.workload_fingerprint())
+
+    def save_statistics(self) -> None:
+        """Snapshot the adaptive statistics store into the storage directory."""
+        path = self._statistics_path()
+        if path is not None:
+            self.statistics.save(path, fingerprint=self.workload_fingerprint())
+
+    def close(self) -> None:
+        """Flush and close durable state (no-op for in-memory databases)."""
+        if self.storage is None:
+            return
+        if self._statistics_loaded or self.statistics.queries_observed > 0:
+            self.save_statistics()
+        self.storage.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def new_batch_controller(
         self, config: Optional[StrategyConfig] = None

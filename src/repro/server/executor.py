@@ -141,6 +141,7 @@ class Executor:
                 rows_returned=len(rows),
                 controller=controller,
                 filter_operators=self._find_filters(root),
+                join_operators=self._find_joins(root),
             )
         return QueryResult(
             schema=root.output_schema(),
@@ -213,6 +214,22 @@ class Executor:
             for child in operator.children:
                 visit(child)
             if isinstance(operator, Filter):
+                found.append(operator)
+
+        visit(root)
+        return found
+
+    @staticmethod
+    def _find_joins(root: Operator) -> List[Operator]:
+        """All equi-join operators in the tree (for observed join selectivities)."""
+        found: List[Operator] = []
+
+        def visit(operator: Operator) -> None:
+            for child in operator.children:
+                visit(child)
+            if getattr(operator, "left_keys", None) and getattr(
+                operator, "right_keys", None
+            ):
                 found.append(operator)
 
         visit(root)

@@ -69,6 +69,15 @@ class ExecutionMetrics:
     tenant_id: Optional[str] = None
     session_id: Optional[str] = None
     admission_wait_seconds: float = 0.0
+    #: Buffer-pool traffic this query caused, stamped by the
+    #: :class:`~repro.server.engine.Database` when it runs over durable paged
+    #: storage (all zero for in-memory databases): page requests served from
+    #: the pool, page requests that went to disk, pages evicted to make room,
+    #: and the pool-wide pinned-page high-water mark at the end of the query.
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    buffer_evictions: int = 0
+    buffer_pinned_peak: int = 0
 
     @classmethod
     def from_run(
@@ -133,6 +142,18 @@ class ExecutionMetrics:
         return self.downlink_bytes + self.uplink_bytes
 
     @property
+    def buffer_accesses(self) -> int:
+        return self.buffer_hits + self.buffer_misses
+
+    @property
+    def buffer_hit_ratio(self) -> float:
+        """Fraction of page requests served from the pool (0.0 when unused)."""
+        accesses = self.buffer_accesses
+        if accesses <= 0:
+            return 0.0
+        return self.buffer_hits / accesses
+
+    @property
     def elapsed_milliseconds(self) -> float:
         return self.elapsed_seconds * 1000.0
 
@@ -157,6 +178,11 @@ class ExecutionMetrics:
             batching += (
                 f" | overlap peak {self.peak_in_flight_batches} batches"
                 f" (stalled {self.send_stall_seconds:.3f}s)"
+            )
+        if self.buffer_accesses > 0:
+            batching += (
+                f" | buffer {self.buffer_hits}/{self.buffer_accesses} hits"
+                f" ({self.buffer_hit_ratio:.0%}), {self.buffer_evictions} evicted"
             )
         return (
             f"elapsed {self.elapsed_seconds:.3f}s | strategy {strategy} | "

@@ -43,6 +43,23 @@ class QueryResult:
         """
         return self.metrics.shapes_used or ()
 
+    # -- storage introspection ----------------------------------------------------------
+
+    @property
+    def buffer_hit_ratio(self) -> float:
+        """Buffer-pool hit ratio of this query (0.0 for in-memory databases)."""
+        return self.metrics.buffer_hit_ratio
+
+    @property
+    def buffer_evictions(self) -> int:
+        """Pages evicted from the buffer pool while this query ran."""
+        return self.metrics.buffer_evictions
+
+    @property
+    def buffer_pinned_peak(self) -> int:
+        """Pool-wide pinned-page high-water mark as of this query's end."""
+        return self.metrics.buffer_pinned_peak
+
     # -- row access --------------------------------------------------------------------
 
     def __len__(self) -> int:

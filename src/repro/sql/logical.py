@@ -144,8 +144,17 @@ class BoundQuery:
 
     def _tables_of(self, columns: FrozenSet[str]) -> Set[str]:
         """Lower-cased aliases of the tables the given columns belong to."""
+        aliases = {table.alias.lower() for table in self.tables}
         owners: Set[str] = set()
         for name in columns:
+            # A qualifier naming a table in the FROM list settles ownership
+            # outright; asking each schema would mis-attribute ``R.K`` to
+            # ``L`` when both tables carry a column ``K`` (schemas fall back
+            # to the bare name for unknown prefixes).
+            qualifier = name.partition(".")[0].lower() if "." in name else None
+            if qualifier in aliases:
+                owners.add(qualifier)
+                continue
             for table in self.tables:
                 if table.schema.has_column(name):
                     owners.add(table.alias.lower())

@@ -1,0 +1,131 @@
+"""The storage engine: one database directory, opened end to end.
+
+:class:`StorageEngine` composes the file manager, buffer pool, and metadata
+manager for one directory and hands out :class:`PagedTableStorage` backends
+for tables.  It is the single integration point a
+:class:`~repro.server.engine.Database` opened with ``storage_dir=...`` talks
+to: create/open/drop tables, fetch catalog statistics, observe scans, and
+flush everything at query boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import CatalogError
+from repro.relational.schema import Schema
+from repro.relational.statistics import TableStatistics
+from repro.storage.buffer import BufferManager, BufferStats
+from repro.storage.file import FileManager
+from repro.storage.metadata import MetadataManager, StatInfo
+from repro.storage.page import DEFAULT_BLOCK_SIZE
+from repro.storage.record import PagedTableStorage
+
+
+class StorageEngine:
+    """All storage state for one database directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        pool_size: int = 64,
+        policy: str = "lru",
+        refresh_interval: int = 100,
+    ) -> None:
+        self.directory = directory
+        self.files = FileManager(directory, block_size)
+        self.buffers = BufferManager(self.files, pool_size=pool_size, policy=policy)
+        self.metadata = MetadataManager(directory, refresh_interval=refresh_interval)
+        self._storages: Dict[str, PagedTableStorage] = {}
+
+    # -- table lifecycle ---------------------------------------------------------
+
+    def create_table(
+        self, name: str, schema: Schema, replace: bool = False
+    ) -> PagedTableStorage:
+        """Create (or replace) a table's heap file and catalog entry."""
+        key = name.lower()
+        if self.metadata.has_table(name):
+            if not replace:
+                raise CatalogError(f"table {name!r} already exists in storage")
+            self.drop_table(name)
+        self.metadata.create_table(name, schema, replace=True)
+        storage = self._attach(name, schema, row_count=0)
+        return storage
+
+    def open_table(self, name: str, schema: Optional[Schema] = None) -> PagedTableStorage:
+        """Open an existing table, recovering its schema from the catalog."""
+        key = name.lower()
+        if key in self._storages:
+            return self._storages[key]
+        catalog_schema = self.metadata.schema_for(name)
+        recovered = self.metadata.stat_info(name).records
+        return self._attach(name, schema or catalog_schema, row_count=recovered)
+
+    def drop_table(self, name: str) -> None:
+        """Delete the heap file, evict its cached pages, drop catalog entry."""
+        key = name.lower()
+        storage = self._storages.pop(key, None)
+        if storage is None and self.metadata.has_table(name):
+            storage = self._attach(name, self.metadata.schema_for(name), row_count=0)
+            self._storages.pop(key, None)
+        if storage is not None:
+            storage.clear()
+        if self.metadata.has_table(name):
+            self.metadata.drop_table(name)
+
+    def table_names(self) -> List[str]:
+        return self.metadata.table_names()
+
+    def _attach(self, name: str, schema: Schema, row_count: int) -> PagedTableStorage:
+        storage = PagedTableStorage(
+            self.buffers,
+            name,
+            schema,
+            row_count=row_count,
+            on_insert=lambda values, _name=name: self.metadata.record_insert(
+                _name, values
+            ),
+        )
+        self._storages[name.lower()] = storage
+        return storage
+
+    # -- statistics --------------------------------------------------------------
+
+    def stat_info(self, name: str) -> StatInfo:
+        """Catalog statistics with the current block count stamped in."""
+        storage = self.open_table(name)
+        return self.metadata.stat_info(name, block_count=storage.block_count())
+
+    def table_statistics(self, name: str) -> TableStatistics:
+        """The catalog's view of a table in the optimizer's statistics shape."""
+        return self.stat_info(name).to_table_statistics()
+
+    def on_table_scan(self, name: str) -> None:
+        """Count one scan; run the due full-stats refresh when triggered."""
+        if self.metadata.note_scan(name):
+            storage = self.open_table(name)
+            self.metadata.refresh(
+                name, storage.heap.records(), storage.block_count()
+            )
+
+    # -- observability and lifecycle ---------------------------------------------
+
+    def buffer_stats(self) -> BufferStats:
+        return self.buffers.stats()
+
+    def flush(self) -> None:
+        """Persist dirty pages and the catalog."""
+        self.buffers.flush_all()
+        self.metadata.flush()
+
+    def close(self) -> None:
+        self.flush()
+        self.files.close()
+
+    def __enter__(self) -> "StorageEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

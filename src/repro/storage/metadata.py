@@ -1,0 +1,375 @@
+"""The metadata manager: persisted schemas and per-table ``StatInfo``.
+
+This is the catalog half of the storage subsystem, modelled on simpledb-py's
+``MetadataManager``/``StatInfo`` split: table schemas and their statistics
+live in ``catalog.json`` under the database directory, and the optimizer
+prices scans from the catalog's ``blocks_accessed()`` / ``records_output()``
+/ ``distinct_values()`` estimates instead of exact eagerly-computed
+in-memory statistics.
+
+Statistics are maintained incrementally: every insert updates null counts,
+size sums, min/max, a capped distinct sample, and the column histogram (when
+the value stays inside the histogram's range).  A scan-count trigger marks
+stats due for a full recompute from the heap, which rebuilds exact distinct
+counts and re-ranges the histograms.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, StorageError
+from repro.relational.schema import Column, Schema
+from repro.relational.statistics import (
+    ColumnStatistics,
+    Histogram,
+    TableStatistics,
+    compute_column_statistics,
+)
+from repro.relational.types import type_by_name, value_size
+
+CATALOG_FILE = "catalog.json"
+CATALOG_VERSION = 1
+
+#: Cap on the per-column distinct sample kept between full refreshes.
+_DISTINCT_SAMPLE_CAP = 4096
+
+_JSON_SCALARS = (bool, int, float, str)
+
+
+class ColumnStatInfo:
+    """Incrementally maintained statistics for one column."""
+
+    __slots__ = (
+        "name",
+        "distinct_base",
+        "null_count",
+        "total_size",
+        "minimum",
+        "maximum",
+        "histogram",
+        "histogram_stale",
+        "_sample",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.distinct_base = 0
+        self.null_count = 0
+        self.total_size = 0.0
+        self.minimum: Optional[object] = None
+        self.maximum: Optional[object] = None
+        self.histogram: Optional[Histogram] = None
+        self.histogram_stale = False
+        self._sample: set = set()
+
+    def observe(self, value: Any) -> None:
+        """Fold one inserted value into the running statistics."""
+        self.total_size += value_size(value)
+        if value is None:
+            self.null_count += 1
+            return
+        if len(self._sample) < _DISTINCT_SAMPLE_CAP:
+            try:
+                self._sample.add(hash(value))
+            except TypeError:
+                pass
+        try:
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+        except TypeError:
+            self.minimum = None
+            self.maximum = None
+        if self.histogram is not None and not self.histogram.add(value):
+            # Numeric value outside the histogram's range (or histogram no
+            # longer applies): the buckets need a full rebuild.
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.histogram_stale = True
+
+    def distinct_count(self, records: int) -> int:
+        """Best current distinct estimate, never exceeding the row count."""
+        estimate = max(self.distinct_base, len(self._sample))
+        return min(max(1, estimate), max(1, records)) if records else 0
+
+    def average_size(self, records: int) -> float:
+        return (self.total_size / records) if records else 0.0
+
+    def to_column_statistics(self, records: int) -> ColumnStatistics:
+        return ColumnStatistics(
+            name=self.name,
+            distinct_count=self.distinct_count(records),
+            null_count=self.null_count,
+            average_size=self.average_size(records),
+            minimum=self.minimum,
+            maximum=self.maximum,
+            histogram=None if self.histogram_stale else self.histogram,
+        )
+
+    def reset_from_values(self, values: Sequence[Any]) -> None:
+        """Full refresh: exact statistics recomputed from every value."""
+        exact = compute_column_statistics(self.name, values)
+        self.distinct_base = exact.distinct_count
+        self.null_count = exact.null_count
+        self.total_size = exact.average_size * len(values)
+        self.minimum = exact.minimum
+        self.maximum = exact.maximum
+        self.histogram = Histogram.build(values)
+        self.histogram_stale = False
+        self._sample = set()
+
+    def to_dict(self, records: int) -> Dict[str, Any]:
+        return {
+            "distinct": self.distinct_count(records),
+            "nulls": self.null_count,
+            "total_size": self.total_size,
+            "min": self.minimum if isinstance(self.minimum, _JSON_SCALARS) else None,
+            "max": self.maximum if isinstance(self.maximum, _JSON_SCALARS) else None,
+            "histogram": (
+                None
+                if self.histogram is None or self.histogram_stale
+                else self.histogram.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, payload: Mapping[str, Any]) -> "ColumnStatInfo":
+        info = cls(name)
+        info.distinct_base = int(payload.get("distinct", 0))
+        info.null_count = int(payload.get("nulls", 0))
+        info.total_size = float(payload.get("total_size", 0.0))
+        info.minimum = payload.get("min")
+        info.maximum = payload.get("max")
+        histogram = payload.get("histogram")
+        if histogram:
+            info.histogram = Histogram.from_dict(histogram)
+        return info
+
+
+class StatInfo:
+    """Catalog statistics for one table, in simpledb vocabulary."""
+
+    __slots__ = ("blocks", "records", "columns")
+
+    def __init__(
+        self,
+        blocks: int = 0,
+        records: int = 0,
+        columns: Optional[Dict[str, ColumnStatInfo]] = None,
+    ) -> None:
+        self.blocks = int(blocks)
+        self.records = int(records)
+        self.columns: Dict[str, ColumnStatInfo] = columns if columns is not None else {}
+
+    def blocks_accessed(self) -> int:
+        """Blocks a full scan of the table reads."""
+        return self.blocks
+
+    def records_output(self) -> int:
+        """Records a full scan of the table produces."""
+        return self.records
+
+    def distinct_values(self, field_name: str) -> int:
+        """Distinct values of ``field_name`` (bare or table-qualified)."""
+        bare = field_name.partition(".")[2] if "." in field_name else field_name
+        info = self.columns.get(bare)
+        if info is None:
+            return max(1, self.records)
+        return info.distinct_count(self.records)
+
+    def to_table_statistics(self) -> TableStatistics:
+        """Project the catalog view into the optimizer's statistics shape."""
+        records = self.records
+        stats = TableStatistics(row_count=records)
+        total = 0.0
+        for name, info in self.columns.items():
+            stats.columns[name] = info.to_column_statistics(records)
+            total += info.total_size
+        stats.average_row_size = (total / records) if records else 0.0
+        return stats
+
+    def __repr__(self) -> str:
+        return f"StatInfo(blocks={self.blocks}, records={self.records})"
+
+
+class MetadataManager:
+    """Persists table schemas and ``StatInfo`` in ``catalog.json``.
+
+    The manager is write-through for structural changes (create/drop save
+    immediately) and write-behind for per-insert statistics: inserts mark
+    the catalog dirty and :meth:`flush` persists it, which the storage
+    engine calls at query boundaries and on close.
+    """
+
+    def __init__(self, directory: str, refresh_interval: int = 100) -> None:
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.refresh_interval = max(1, int(refresh_interval))
+        self._schemas: Dict[str, Schema] = {}
+        self._names: Dict[str, str] = {}  # lower-case key -> declared name
+        self._stats: Dict[str, StatInfo] = {}
+        self._scans_since_refresh: Dict[str, int] = {}
+        self._dirty = False
+        self._load()
+
+    # -- table lifecycle ---------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema, replace: bool = False) -> None:
+        key = name.lower()
+        if key in self._schemas and not replace:
+            raise CatalogError(f"table {name!r} already exists in the catalog")
+        bare = Schema(Column(column.name, column.dtype) for column in schema.columns)
+        self._schemas[key] = bare
+        self._names[key] = name
+        # A fresh StatInfo, never carried over: a replaced table must not be
+        # priced from the old table's statistics.
+        stats = StatInfo()
+        for column in bare.columns:
+            stats.columns[column.name] = ColumnStatInfo(column.name)
+        self._stats[key] = stats
+        self._scans_since_refresh[key] = 0
+        self.save()
+
+    def drop_table(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._schemas:
+            raise CatalogError(f"table {name!r} is not in the catalog")
+        del self._schemas[key]
+        del self._names[key]
+        self._stats.pop(key, None)
+        self._scans_since_refresh.pop(key, None)
+        self.save()
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._schemas
+
+    def table_names(self) -> List[str]:
+        return [self._names[key] for key in sorted(self._names)]
+
+    def schema_for(self, name: str) -> Schema:
+        try:
+            return self._schemas[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"table {name!r} is not in the catalog") from exc
+
+    # -- statistics maintenance --------------------------------------------------
+
+    def stat_info(self, name: str, block_count: Optional[int] = None) -> StatInfo:
+        key = name.lower()
+        try:
+            stats = self._stats[key]
+        except KeyError as exc:
+            raise CatalogError(f"table {name!r} is not in the catalog") from exc
+        if block_count is not None and block_count != stats.blocks:
+            stats.blocks = int(block_count)
+            self._dirty = True
+        return stats
+
+    def record_insert(self, name: str, values: Sequence[Any]) -> None:
+        key = name.lower()
+        stats = self._stats.get(key)
+        schema = self._schemas.get(key)
+        if stats is None or schema is None:
+            return
+        stats.records += 1
+        for column, value in zip(schema.columns, values):
+            info = stats.columns.get(column.name)
+            if info is None:
+                info = stats.columns[column.name] = ColumnStatInfo(column.name)
+            info.observe(value)
+        self._dirty = True
+
+    def note_scan(self, name: str) -> bool:
+        """Count one table scan; True when a full stats refresh is due."""
+        key = name.lower()
+        if key not in self._stats:
+            return False
+        count = self._scans_since_refresh.get(key, 0) + 1
+        self._scans_since_refresh[key] = count
+        return count >= self.refresh_interval
+
+    def refresh(
+        self,
+        name: str,
+        rows: Iterable[Tuple[Any, ...]],
+        block_count: int,
+    ) -> StatInfo:
+        """Full recompute of a table's statistics from its actual records."""
+        key = name.lower()
+        schema = self.schema_for(name)
+        materialized = list(rows)
+        stats = StatInfo(blocks=block_count, records=len(materialized))
+        for position, column in enumerate(schema.columns):
+            info = ColumnStatInfo(column.name)
+            info.reset_from_values([row[position] for row in materialized])
+            stats.columns[column.name] = info
+        self._stats[key] = stats
+        self._scans_since_refresh[key] = 0
+        self.save()
+        return stats
+
+    # -- persistence -------------------------------------------------------------
+
+    @property
+    def catalog_path(self) -> str:
+        return os.path.join(self.directory, CATALOG_FILE)
+
+    def save(self) -> None:
+        tables: Dict[str, Any] = {}
+        for key in sorted(self._schemas):
+            schema = self._schemas[key]
+            stats = self._stats.get(key, StatInfo())
+            tables[self._names[key]] = {
+                "columns": [[column.name, column.dtype.name] for column in schema.columns],
+                "stats": {
+                    "blocks": stats.blocks,
+                    "records": stats.records,
+                    "columns": {
+                        name: info.to_dict(stats.records)
+                        for name, info in stats.columns.items()
+                    },
+                },
+            }
+        payload = {"version": CATALOG_VERSION, "tables": tables}
+        temporary = self.catalog_path + ".tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        os.replace(temporary, self.catalog_path)
+        self._dirty = False
+
+    def flush(self) -> None:
+        if self._dirty:
+            self.save()
+
+    def _load(self) -> None:
+        if not os.path.exists(self.catalog_path):
+            return
+        try:
+            with open(self.catalog_path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"corrupt catalog at {self.catalog_path}: {exc}") from exc
+        if payload.get("version") != CATALOG_VERSION:
+            raise StorageError(
+                f"catalog version {payload.get('version')!r} is not supported "
+                f"(expected {CATALOG_VERSION})"
+            )
+        for name, entry in payload.get("tables", {}).items():
+            key = name.lower()
+            schema = Schema(
+                Column(column_name, type_by_name(type_name))
+                for column_name, type_name in entry["columns"]
+            )
+            raw = entry.get("stats", {})
+            stats = StatInfo(blocks=raw.get("blocks", 0), records=raw.get("records", 0))
+            for column_name, column_payload in raw.get("columns", {}).items():
+                stats.columns[column_name] = ColumnStatInfo.from_dict(
+                    column_name, column_payload
+                )
+            self._schemas[key] = schema
+            self._names[key] = name
+            self._stats[key] = stats
+            self._scans_since_refresh[key] = 0

@@ -1,0 +1,273 @@
+"""Slotted record pages and append-only heap files over the buffer pool.
+
+Each heap-file block starts with a 4-byte type header:
+
+* ``slot_count >= 0`` — a slotted page: ``free_end`` at offset 4, then a
+  slot directory of ``(offset, length)`` int32 pairs growing upward from
+  offset 8, with record bytes growing downward from the end of the block;
+* ``-1`` — the head of an overflow chain holding one record too large for
+  a slotted page: total payload length at offset 4, payload from offset 8,
+  continuing into ``-2`` blocks;
+* ``-2`` — an overflow continuation: payload from offset 4.
+
+Records themselves are the self-describing byte strings produced by
+:func:`repro.storage.page.encode_record`, so a heap file can hold any value
+the in-memory tables can.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.relational.schema import Schema
+from repro.storage.buffer import BufferManager
+from repro.storage.page import DEFAULT_BLOCK_SIZE, BlockId, Page, decode_record, encode_record
+
+_HEADER_BYTES = 8  # slot_count + free_end
+_SLOT_BYTES = 8  # offset + length
+_OVERFLOW_HEAD = -1
+_OVERFLOW_CONTINUATION = -2
+
+
+class Layout:
+    """The physical layout of one table's heap file."""
+
+    __slots__ = ("schema", "block_size", "file_name")
+
+    def __init__(
+        self, table_name: str, schema: Schema, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> None:
+        self.schema = schema
+        self.block_size = int(block_size)
+        self.file_name = f"{table_name.lower()}.tbl"
+
+    def encoded_size(self, values: Sequence[Any]) -> int:
+        """Exact on-page size of one record holding ``values``."""
+        return len(encode_record(values))
+
+    def max_inline_record(self) -> int:
+        """Largest record that fits a slotted page (else an overflow chain)."""
+        return self.block_size - _HEADER_BYTES - _SLOT_BYTES
+
+    def __repr__(self) -> str:
+        return f"Layout(file={self.file_name!r}, block_size={self.block_size})"
+
+
+class SlottedPage:
+    """A view interpreting one :class:`~repro.storage.page.Page` as slots."""
+
+    __slots__ = ("page",)
+
+    def __init__(self, page: Page) -> None:
+        self.page = page
+
+    def format(self) -> None:
+        """Initialise an empty slotted page (0 slots, all space free)."""
+        self.page.write_int(0, 0)
+        self.page.write_int(4, self.page.block_size)
+
+    @property
+    def slot_count(self) -> int:
+        return self.page.read_int(0)
+
+    @property
+    def free_end(self) -> int:
+        return self.page.read_int(4)
+
+    @property
+    def free_space(self) -> int:
+        return self.free_end - _HEADER_BYTES - _SLOT_BYTES * self.slot_count
+
+    def has_room(self, record_length: int) -> bool:
+        return self.free_space >= record_length + _SLOT_BYTES
+
+    def insert(self, record: bytes) -> int:
+        """Place ``record`` on this page; returns its slot index."""
+        if not self.has_room(len(record)):
+            raise StorageError(
+                f"record of {len(record)} bytes does not fit "
+                f"({self.free_space} bytes free)"
+            )
+        slot = self.slot_count
+        offset = self.free_end - len(record)
+        self.page.write_bytes(offset, record)
+        self.page.write_int(_HEADER_BYTES + _SLOT_BYTES * slot, offset)
+        self.page.write_int(_HEADER_BYTES + _SLOT_BYTES * slot + 4, len(record))
+        self.page.write_int(0, slot + 1)
+        self.page.write_int(4, offset)
+        return slot
+
+    def record(self, slot: int) -> bytes:
+        if not 0 <= slot < self.slot_count:
+            raise StorageError(f"slot {slot} out of range (page has {self.slot_count})")
+        offset = self.page.read_int(_HEADER_BYTES + _SLOT_BYTES * slot)
+        length = self.page.read_int(_HEADER_BYTES + _SLOT_BYTES * slot + 4)
+        return self.page.read_bytes(offset, length)
+
+    def records(self) -> Iterator[bytes]:
+        for slot in range(self.slot_count):
+            yield self.record(slot)
+
+
+class HeapFile:
+    """An append-only file of record blocks reached through the buffer pool."""
+
+    def __init__(self, buffers: BufferManager, layout: Layout) -> None:
+        if layout.block_size != buffers.file_manager.block_size:
+            raise StorageError(
+                f"layout block size {layout.block_size} does not match the "
+                f"file manager's {buffers.file_manager.block_size}"
+            )
+        self.buffers = buffers
+        self.layout = layout
+        self.file_name = layout.file_name
+
+    def block_count(self) -> int:
+        return self.buffers.file_manager.block_count(self.file_name)
+
+    def append(self, values: Sequence[Any]) -> None:
+        """Append one record, spilling to an overflow chain when oversized."""
+        record = encode_record(values)
+        if len(record) > self.layout.max_inline_record():
+            self._append_overflow(record)
+            return
+        blocks = self.block_count()
+        if blocks:
+            buffer = self.buffers.pin(BlockId(self.file_name, blocks - 1))
+            try:
+                slotted = SlottedPage(buffer.page)
+                if slotted.slot_count >= 0 and slotted.has_room(len(record)):
+                    slotted.insert(record)
+                    buffer.mark_dirty()
+                    return
+            finally:
+                self.buffers.unpin(buffer)
+        buffer = self.buffers.pin_new(self.file_name)
+        try:
+            slotted = SlottedPage(buffer.page)
+            slotted.format()
+            slotted.insert(record)
+            buffer.mark_dirty()
+        finally:
+            self.buffers.unpin(buffer)
+
+    def _append_overflow(self, record: bytes) -> None:
+        head_capacity = self.layout.block_size - _HEADER_BYTES
+        cont_capacity = self.layout.block_size - 4
+        buffer = self.buffers.pin_new(self.file_name)
+        try:
+            buffer.page.write_int(0, _OVERFLOW_HEAD)
+            buffer.page.write_int(4, len(record))
+            buffer.page.write_bytes(_HEADER_BYTES, record[:head_capacity])
+            buffer.mark_dirty()
+        finally:
+            self.buffers.unpin(buffer)
+        position = head_capacity
+        while position < len(record):
+            buffer = self.buffers.pin_new(self.file_name)
+            try:
+                buffer.page.write_int(0, _OVERFLOW_CONTINUATION)
+                buffer.page.write_bytes(4, record[position : position + cont_capacity])
+                buffer.mark_dirty()
+            finally:
+                self.buffers.unpin(buffer)
+            position += cont_capacity
+
+    def records(self) -> Iterator[Tuple[Any, ...]]:
+        """Scan every record in block order, pinning one block at a time."""
+        head_capacity = self.layout.block_size - _HEADER_BYTES
+        cont_capacity = self.layout.block_size - 4
+        number = 0
+        total = self.block_count()
+        while number < total:
+            buffer = self.buffers.pin(BlockId(self.file_name, number))
+            try:
+                marker = buffer.page.read_int(0)
+                if marker >= 0:
+                    for raw in SlottedPage(buffer.page).records():
+                        values, _ = decode_record(raw)
+                        yield values
+                    number += 1
+                    continue
+                if marker != _OVERFLOW_HEAD:
+                    raise StorageError(
+                        f"orphan overflow continuation at block {number} of "
+                        f"{self.file_name!r}"
+                    )
+                length = buffer.page.read_int(4)
+                chunks: List[bytes] = [
+                    buffer.page.read_bytes(_HEADER_BYTES, min(length, head_capacity))
+                ]
+            finally:
+                self.buffers.unpin(buffer)
+            remaining = length - head_capacity
+            number += 1
+            while remaining > 0:
+                buffer = self.buffers.pin(BlockId(self.file_name, number))
+                try:
+                    if buffer.page.read_int(0) != _OVERFLOW_CONTINUATION:
+                        raise StorageError(
+                            f"truncated overflow chain at block {number} of "
+                            f"{self.file_name!r}"
+                        )
+                    chunks.append(buffer.page.read_bytes(4, min(remaining, cont_capacity)))
+                finally:
+                    self.buffers.unpin(buffer)
+                remaining -= cont_capacity
+                number += 1
+            values, _ = decode_record(b"".join(chunks))
+            yield values
+
+    def delete_file(self) -> None:
+        """Drop every cached page and remove the backing file."""
+        self.buffers.discard(self.file_name)
+        self.buffers.file_manager.delete(self.file_name)
+
+
+class PagedTableStorage:
+    """The paged backend behind one :class:`~repro.relational.table.Table`.
+
+    Keeps a running row count (recovered from catalog metadata on open, or
+    by a one-off scan) and notifies an optional listener on every insert so
+    the metadata layer can maintain statistics incrementally.
+    """
+
+    def __init__(
+        self,
+        buffers: BufferManager,
+        table_name: str,
+        schema: Schema,
+        row_count: Optional[int] = None,
+        on_insert: Optional[Callable[[Sequence[Any]], None]] = None,
+    ) -> None:
+        self.table_name = table_name
+        self.layout = Layout(table_name, schema, buffers.file_manager.block_size)
+        self.heap = HeapFile(buffers, self.layout)
+        self.on_insert = on_insert
+        if row_count is None:
+            row_count = sum(1 for _ in self.heap.records())
+        self.row_count = int(row_count)
+
+    def append(self, values: Sequence[Any]) -> None:
+        self.heap.append(values)
+        self.row_count += 1
+        if self.on_insert is not None:
+            self.on_insert(values)
+
+    def read_all(self) -> List[Tuple[Any, ...]]:
+        """Materialize every record by scanning through the buffer pool."""
+        return list(self.heap.records())
+
+    def block_count(self) -> int:
+        return self.heap.block_count()
+
+    def clear(self) -> None:
+        self.heap.delete_file()
+        self.row_count = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"PagedTableStorage({self.table_name!r}, rows={self.row_count}, "
+            f"blocks={self.block_count()})"
+        )

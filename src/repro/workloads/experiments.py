@@ -66,6 +66,7 @@ def run_workload_point(
     workload: SyntheticWorkload,
     network: NetworkConfig,
     config: StrategyConfig,
+    storage_dir: Optional[str] = None,
 ) -> ExperimentPoint:
     """Execute the Figure 7 style query for one parameter point.
 
@@ -73,8 +74,23 @@ def run_workload_point(
     whose result falls below the workload's selectivity threshold, and
     returns the non-argument column together with the result — the byte flows
     of the paper's ``UDF1``/``UDF2`` experiment.
+
+    With ``storage_dir`` the workload's table is written to a slotted-page
+    heap file there and scanned back through a buffer pool — the execution
+    then exercises the durable storage data path, and must produce exactly
+    the in-memory point (rows *and* wire bytes).
     """
     table = workload.build_table()
+    storage_engine = None
+    if storage_dir is not None:
+        from repro.relational.table import Table
+        from repro.storage.engine import StorageEngine
+
+        storage_engine = StorageEngine(storage_dir)
+        backend = storage_engine.create_table(table.name, table.schema, replace=True)
+        paged = Table(table.name, table.schema, storage=backend)
+        paged.insert_many(tuple(row) for row in table.rows)
+        table = paged
     registry = workload.build_registry()
     context = RemoteExecutionContext.create(network, client=ClientRuntime(registry=registry))
 
@@ -97,6 +113,8 @@ def run_workload_point(
         output_columns=output_columns,
     )
     rows = operator.run()
+    if storage_engine is not None:
+        storage_engine.close()
     switcher = getattr(operator, "switcher", None)
     return ExperimentPoint(
         strategy=config.strategy,

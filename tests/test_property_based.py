@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import tempfile
+
 from hypothesis import given, settings, strategies as st
 
 from repro.adaptive import (
@@ -250,6 +252,7 @@ def single_site_reference(workload: SyntheticWorkload):
     declared_selectivity=st.sampled_from([None, 0.05, 0.95]),
     overlap_window=st.sampled_from([None, 1, 4]),
     typed_buffers=st.booleans(),
+    paged_storage=st.booleans(),
 )
 @settings(max_examples=80, deadline=None)
 def test_every_execution_mode_matches_single_site(
@@ -265,6 +268,7 @@ def test_every_execution_mode_matches_single_site(
     declared_selectivity,
     overlap_window,
     typed_buffers,
+    paged_storage,
 ):
     """Strategy x batch x adaptive batching x switching x re-optimization x
     overlap window — every combination returns the exact single-site result
@@ -281,7 +285,9 @@ def test_every_execution_mode_matches_single_site(
     window, the window is additionally adapted mid-query.  ``typed_buffers``
     runs the identical point with typed column storage (and vectorized
     kernels) disabled, so the typed and fully-scalar data planes face the
-    same combinatorial sweep.
+    same combinatorial sweep.  ``paged_storage`` feeds the execution from a
+    slotted-page heap file behind a buffer pool instead of the in-memory
+    rows, so the durable storage data path faces it too.
     """
     workload = SyntheticWorkload(
         row_count=row_count,
@@ -318,11 +324,17 @@ def test_every_execution_mode_matches_single_site(
                 )
             )
         )
+    def run_point():
+        if not paged_storage:
+            return run_workload_point(workload, FAST, config)
+        with tempfile.TemporaryDirectory() as directory:
+            return run_workload_point(workload, FAST, config, storage_dir=directory)
+
     if typed_buffers:
-        point = run_workload_point(workload, FAST, config)
+        point = run_point()
     else:
         with scalar_fallback():
-            point = run_workload_point(workload, FAST, config)
+            point = run_point()
     assert list(point.result_rows) == single_site_reference(workload)
 
 
