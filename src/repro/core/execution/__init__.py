@@ -38,8 +38,11 @@ from repro.core.execution.adaptive import (
 )
 from repro.core.execution.rewrite import replace_udf_calls_with_columns, build_operator
 from repro.core.execution.scatter import ScatterGatherOperator, ShardResult
+from repro.core.execution.access import IndexNestedLoopJoinOperator, IndexScanOperator
 
 __all__ = [
+    "IndexNestedLoopJoinOperator",
+    "IndexScanOperator",
     "RemoteExecutionContext",
     "RemoteUdfOperator",
     "NaiveUdfOperator",

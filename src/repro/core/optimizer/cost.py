@@ -21,12 +21,22 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.core.optimizer.plans import CandidatePlan, PlanStep, TableOperation, UdfOperation
+from repro.core.optimizer.plans import (
+    AccessPath,
+    CandidatePlan,
+    PlanStep,
+    TableOperation,
+    UdfOperation,
+)
 from repro.core.optimizer.properties import PhysicalProperties, PlanSite
 from repro.core.strategies import ExecutionStrategy
 from repro.network.message import MESSAGE_OVERHEAD_BYTES
 from repro.network.topology import NetworkConfig
-from repro.relational.predicates import estimate_selectivity
+from repro.relational.predicates import (
+    equi_join_columns,
+    estimate_selectivity,
+    index_condition,
+)
 from repro.sql.logical import BoundQuery
 
 
@@ -240,6 +250,20 @@ def remaining_plan_cost(
     return cost
 
 
+def _yao_pages(blocks: float, matching: float) -> float:
+    """Yao's approximation: distinct heap pages ``matching`` random rows hit.
+
+    ``blocks * (1 - (1 - 1/blocks)^matching)`` — for an unclustered index,
+    each fetched row lands on a uniformly random page, so few matches touch
+    few pages but many matches converge on the whole file.
+    """
+    blocks = max(1.0, float(blocks))
+    matching = max(0.0, float(matching))
+    if matching <= 0.0:
+        return 0.0
+    return blocks * (1.0 - (1.0 - 1.0 / blocks) ** matching)
+
+
 class CostEstimator:
     """Estimates costs of plan operations for a given network configuration.
 
@@ -419,6 +443,201 @@ class CostEstimator:
 
         total_bytes = statistics.row_count * max(statistics.average_row_size, 1.0)
         return math.ceil(total_bytes / DEFAULT_BLOCK_SIZE)
+
+    # -- index-aware access paths -------------------------------------------------------------
+
+    def scan_variants(self, operation: TableOperation) -> List[CandidatePlan]:
+        """Every access path for a base table: the seq scan, plus one
+        index-scan alternative per applicable secondary index.
+
+        Index variants are only generated when the I/O term is switched on
+        (``block_access_seconds > 0``) — with the closed-form per-row model
+        the paths cost identically and the extra states would only slow the
+        DP — and only for complete indexes (an index that skipped unorderable
+        keys could silently drop matching rows).
+        """
+        variants = [self.scan(operation)]
+        if self.settings.block_access_seconds <= 0.0:
+            return variants
+        indexes = self._usable_indexes(operation)
+        if not indexes:
+            return variants
+        statistics = operation.bound.table.statistics
+        rows = max(0.0, float(statistics.row_count))
+        blocks = self._blocks_accessed(operation, statistics)
+        for predicate in self.query.single_table_predicates(operation.alias):
+            condition = index_condition(predicate.expression)
+            if condition is None:
+                continue
+            bare = condition.column.partition(".")[2] if "." in condition.column else condition.column
+            for name, handle in indexes.items():
+                if handle.definition.column.lower() != bare.lower():
+                    continue
+                if not condition.is_equality and not handle.supports_range:
+                    continue
+                selectivity = self._conjunct_selectivity(predicate)
+                matching = rows * min(1.0, selectivity)
+                pages = self._index_pages(handle, matching) + _yao_pages(blocks, matching)
+                seq = variants[0]
+                cost = (
+                    matching * self.settings.server_cpu_seconds_per_row
+                    + pages * self.settings.block_access_seconds
+                )
+                path = AccessPath(
+                    alias=operation.alias,
+                    kind="index_scan",
+                    index_name=name,
+                    index_kind=handle.kind,
+                    column=handle.definition.column,
+                    predicate_key=str(predicate.expression),
+                )
+                step = PlanStep(
+                    kind="scan",
+                    name=f"{operation} via {name}",
+                    detail=(
+                        f"index {handle.kind} on {handle.definition.column}, "
+                        f"~{matching:.0f} matches, ~{pages:.0f} pages"
+                    ),
+                    cost=cost,
+                    cardinality=seq.cardinality,
+                )
+                variants.append(
+                    seq.extended(
+                        cost=cost,
+                        steps=(step,),
+                        access_paths={operation.alias: path},
+                    )
+                )
+        return variants
+
+    def join_variants(
+        self, plan: CandidatePlan, operation: TableOperation
+    ) -> List[CandidatePlan]:
+        """Join alternatives: the default join plus index-nested-loop probes
+        of the inner table through any index on an equi-join column."""
+        variants = [self.join(plan, operation)]
+        if self.settings.block_access_seconds <= 0.0:
+            return variants
+        indexes = self._usable_indexes(operation)
+        if not indexes:
+            return variants
+        inner_schema = operation.bound.schema
+        for predicate in self.query.join_predicates():
+            pair = equi_join_columns(predicate.expression)
+            if pair is None:
+                continue
+            for outer_column, inner_column in (pair, pair[::-1]):
+                if not inner_schema.has_column(inner_column):
+                    continue
+                if not plan.has_columns([outer_column]):
+                    continue
+                bare = (
+                    inner_column.partition(".")[2]
+                    if "." in inner_column
+                    else inner_column
+                )
+                for name, handle in indexes.items():
+                    if handle.definition.column.lower() != bare.lower():
+                        continue
+                    variant = self._index_join(
+                        plan, operation, name, handle, outer_column, predicate
+                    )
+                    if variant is not None:
+                        variants.append(variant)
+                break
+        return variants
+
+    def _index_join(
+        self,
+        plan: CandidatePlan,
+        operation: TableOperation,
+        index_name: str,
+        handle,
+        outer_column: str,
+        predicate,
+    ) -> Optional[CandidatePlan]:
+        """An index-nested-loop join: probe the inner's index per outer row."""
+        base = self.join(plan, operation)
+        inner = self.scan(operation)
+        statistics = operation.bound.table.statistics
+        inner_rows = max(0.0, float(statistics.row_count))
+        blocks = self._blocks_accessed(operation, statistics)
+        probes = max(0.0, plan.cardinality)
+        distinct = max(1.0, inner.column_distinct.get(
+            next(
+                (c.qualified_name for c in operation.bound.schema.columns
+                 if c.name.lower() == handle.definition.column.lower()),
+                handle.definition.column,
+            ),
+            inner_rows,
+        ))
+        matches_per_probe = inner_rows / distinct
+        pages_per_probe = self._index_pages(handle, matches_per_probe) + _yao_pages(
+            blocks, matches_per_probe
+        )
+        io_cost = probes * pages_per_probe * self.settings.block_access_seconds
+        # Replace the inner seq scan's cost (CPU over every row + full-file
+        # I/O) with the probe cost: only matching rows are touched.
+        probe_cpu = probes * max(1.0, matches_per_probe) * self.settings.server_cpu_seconds_per_row
+        cost = base.cost - inner.cost + probe_cpu + io_cost
+        if cost >= base.cost:
+            return None
+        path = AccessPath(
+            alias=operation.alias,
+            kind="index_join",
+            index_name=index_name,
+            index_kind=handle.kind,
+            column=handle.definition.column,
+            predicate_key=str(predicate.expression),
+            join_column=outer_column,
+        )
+        steps = base.steps[:-1] + (
+            PlanStep(
+                kind="join",
+                name=f"{'+'.join(sorted(plan.operations))} ⋈ {operation.alias} via {index_name}",
+                detail=(
+                    f"index nested loop, ~{probes:.0f} probes x "
+                    f"~{pages_per_probe:.1f} pages"
+                ),
+                cost=probe_cpu + io_cost,
+                cardinality=base.cardinality,
+            ),
+        )
+        access_paths = dict(base.access_paths)
+        access_paths[operation.alias] = path
+        return base.extended(cost=cost, steps=steps, access_paths=access_paths)
+
+    def _usable_indexes(self, operation: TableOperation) -> Dict[str, object]:
+        """Complete secondary-index handles of a paged base table."""
+        table = operation.bound.table
+        provider = getattr(table, "indexes", None)
+        if provider is None:
+            return {}
+        try:
+            handles = provider()
+        except Exception:
+            return {}
+        return {
+            name: handle
+            for name, handle in handles.items()
+            if not getattr(handle, "incomplete", False)
+        }
+
+    def _conjunct_selectivity(self, predicate) -> float:
+        """One conjunct's selectivity, observed-feedback-calibrated when known."""
+        estimate = max(predicate.selectivity, 1e-6)
+        if self.statistics is not None:
+            lookup = getattr(self.statistics, "predicate_selectivity", None)
+            if lookup is not None:
+                estimate = max(lookup(str(predicate.expression), estimate), 1e-6)
+        return min(1.0, estimate)
+
+    @staticmethod
+    def _index_pages(handle, matching: float) -> float:
+        """Index pages one lookup touches: the descent plus matching leaves."""
+        height = float(getattr(handle, "height", 1))
+        per_leaf = max(1.0, float(handle.average_leaf_entries()))
+        return height + max(0.0, math.ceil(matching / per_leaf) - 1)
 
     # -- joins --------------------------------------------------------------------------------
 

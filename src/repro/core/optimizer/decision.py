@@ -13,7 +13,7 @@ from repro.core.optimizer.heuristics import (
     HEURISTIC_UDFS_LAST,
     heuristic_plan,
 )
-from repro.core.optimizer.plans import CandidatePlan, operations_for_query
+from repro.core.optimizer.plans import AccessPath, CandidatePlan, operations_for_query
 from repro.core.optimizer.rank_order import RankOrderOptimizer
 from repro.core.strategies import ExecutionStrategy, StrategyConfig
 from repro.network.topology import NetworkConfig
@@ -41,6 +41,8 @@ class OptimizationDecision:
     estimated_cost: float
     batch_size: int = 1
     alternatives: Dict[str, CandidatePlan] = field(default_factory=dict)
+    #: Chosen non-sequential access path per table alias (empty = all scans).
+    access_paths: Dict[str, "AccessPath"] = field(default_factory=dict)
 
     def describe(self) -> str:
         lines = [
@@ -48,6 +50,8 @@ class OptimizationDecision:
             f"join order {list(self.table_order)}, UDF order {list(self.udf_order)}, "
             f"batch size {self.batch_size}",
         ]
+        for path in self.access_paths.values():
+            lines.append(f"  {path.describe()}")
         for name, strategy in self.udf_strategies.items():
             lines.append(f"  UDF {name}: {strategy.value}")
         for step in self.plan.steps:
@@ -217,6 +221,7 @@ class Optimizer:
             estimated_cost=best.cost,
             batch_size=batch_size,
             alternatives=alternatives,
+            access_paths=dict(best.access_paths),
         )
 
     def baseline_plans(self, query: BoundQuery) -> Dict[str, CandidatePlan]:

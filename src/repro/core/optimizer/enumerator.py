@@ -76,9 +76,12 @@ class SystemREnumerator:
 
         if seed is None:
             # Step 1: single-operation plans.  Only table operations can
-            # start a plan (a UDF needs an input relation).
+            # start a plan (a UDF needs an input relation).  Each table
+            # contributes every access path the estimator generates — the
+            # seq scan plus any index-scan alternatives.
             for table in self.tables:
-                self._keep(best, self.estimator.scan(table))
+                for variant in self.estimator.scan_variants(table):
+                    self._keep(best, variant)
         else:
             unknown = seed.operations - all_keys
             if unknown:
@@ -121,7 +124,8 @@ class SystemREnumerator:
 
         best: Dict[StateKey, CandidatePlan] = {}
         for table in self.tables:
-            self._keep(best, self.estimator.scan(table))
+            for variant in self.estimator.scan_variants(table):
+                self._keep(best, variant)
         total = len(operations)
         for size in range(2, total + 1):
             for (applied, _properties), plan in list(best.items()):
@@ -142,7 +146,7 @@ class SystemREnumerator:
     def _apply(self, plan: CandidatePlan, operation) -> List[CandidatePlan]:
         self.plans_considered += 1
         if isinstance(operation, TableOperation):
-            return [self.estimator.join(plan, operation)]
+            return self.estimator.join_variants(plan, operation)
         if isinstance(operation, UdfOperation):
             if not plan.has_columns(operation.argument_columns):
                 return []  # the UDF's arguments are not available yet

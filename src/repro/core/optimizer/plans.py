@@ -77,6 +77,39 @@ class UdfOperation:
 
 
 @dataclass(frozen=True)
+class AccessPath:
+    """How one base table is physically accessed in a candidate plan.
+
+    ``kind`` is ``"index_scan"`` (a single-table predicate served by a
+    secondary index) or ``"index_join"`` (an index-nested-loop probe of the
+    table as a join inner).  ``predicate_key`` is the served conjunct's
+    string form — the key the planner uses to find the matching expression
+    again; ``join_column`` the outer-side column an index join probes with.
+    Tables without an entry in ``CandidatePlan.access_paths`` use the
+    default sequential scan.
+    """
+
+    alias: str
+    kind: str  # "index_scan" | "index_join"
+    index_name: str
+    index_kind: str  # "btree" | "hash"
+    column: str  # the indexed column (bare name)
+    predicate_key: Optional[str] = None
+    join_column: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.kind == "index_join":
+            return (
+                f"index nested loop over {self.alias} via {self.index_name} "
+                f"({self.index_kind} on {self.column}, probed by {self.join_column})"
+            )
+        return (
+            f"index scan of {self.alias} via {self.index_name} "
+            f"({self.index_kind} on {self.column}: {self.predicate_key})"
+        )
+
+
+@dataclass(frozen=True)
 class PlanStep:
     """One applied operation in a candidate plan.
 
@@ -119,6 +152,8 @@ class CandidatePlan:
     table_order: Tuple[str, ...] = ()
     udf_order: Tuple[str, ...] = ()
     udf_strategies: Dict[str, ExecutionStrategy] = field(default_factory=dict)
+    #: Chosen non-sequential access path per table alias (empty = all scans).
+    access_paths: Dict[str, AccessPath] = field(default_factory=dict)
 
     # -- helpers --------------------------------------------------------------------
 

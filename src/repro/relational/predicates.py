@@ -164,6 +164,69 @@ def _single_column_vs_literal(expression: Comparison) -> Optional[str]:
     return None
 
 
+@dataclass(frozen=True)
+class IndexCondition:
+    """A column-vs-literal comparison an index could serve.
+
+    ``column`` is the name as written (possibly table-qualified),
+    ``operator`` one of ``=``, ``<``, ``<=``, ``>``, ``>=`` with the column
+    on the left (literal-op-column comparisons are flipped).
+    """
+
+    column: str
+    operator: str
+    value: object
+
+    @property
+    def is_equality(self) -> bool:
+        return self.operator == "="
+
+
+_INDEXABLE_OPERATORS = {"=", "<", "<=", ">", ">="}
+_FLIPPED_OPERATORS = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+
+
+def index_condition(expression: Expression) -> Optional[IndexCondition]:
+    """The :class:`IndexCondition` of ``expression``, or None.
+
+    Only UDF-free column-vs-literal comparisons with a non-NULL literal
+    qualify (``col = NULL`` never matches under three-valued logic, and an
+    index never stores NULL keys anyway).
+    """
+    if not isinstance(expression, Comparison):
+        return None
+    if expression.operator not in _INDEXABLE_OPERATORS:
+        return None
+    if expression.function_calls():
+        return None
+    left, right = expression.left, expression.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        column, operator, value = left.name, expression.operator, right.value
+    elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+        column, operator, value = (
+            right.name,
+            _FLIPPED_OPERATORS[expression.operator],
+            left.value,
+        )
+    else:
+        return None
+    if value is None:
+        return None
+    return IndexCondition(column=column, operator=operator, value=value)
+
+
+def equi_join_columns(expression: Expression) -> Optional[Tuple[str, str]]:
+    """The ``(left, right)`` column names of a two-column equality, or None."""
+    if not isinstance(expression, Comparison) or expression.operator != "=":
+        return None
+    if expression.function_calls():
+        return None
+    left, right = expression.left, expression.right
+    if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+        return left.name, right.name
+    return None
+
+
 def is_join_predicate(
     expression: Expression, left_columns: Set[str], right_columns: Set[str]
 ) -> bool:

@@ -46,6 +46,8 @@ class Table:
         storage: Optional["PagedTableStorage"] = None,
         stats_provider: Optional[Callable[[], TableStatistics]] = None,
         scan_listener: Optional[Callable[[], None]] = None,
+        index_provider: Optional[Callable[[], Dict[str, Any]]] = None,
+        delete_listener: Optional[Callable[[], None]] = None,
     ) -> None:
         self.name = name
         # A table's own columns are qualified by the table name so that
@@ -54,6 +56,8 @@ class Table:
         self._storage = storage
         self._stats_provider = stats_provider
         self._scan_listener = scan_listener
+        self._index_provider = index_provider
+        self._delete_listener = delete_listener
         self._rows: List[Row] = []
         self._statistics: Optional[TableStatistics] = None
         self._batch: Optional[RowBatch] = None
@@ -105,6 +109,28 @@ class Table:
                 )
             self.insert([record.get(name) for name in names])
 
+    def delete(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete every row matching ``predicate``; returns the count.
+
+        On the paged path this tombstones the records in place (their space
+        is reclaimed via the heap's free-space map) and notifies the storage
+        engine so catalog statistics and secondary indexes stay current.
+        """
+        if self._storage is not None:
+            deleted = self._storage.delete_where(
+                lambda values: bool(predicate(Row(values)))
+            )
+            if deleted and self._delete_listener is not None:
+                self._delete_listener()
+        else:
+            kept = [row for row in self._rows if not predicate(row)]
+            deleted = len(self._rows) - len(kept)
+            self._rows = kept
+        if deleted:
+            self._statistics = None
+            self._batch = None
+        return deleted
+
     def clear(self) -> None:
         if self._storage is not None:
             self._storage.clear()
@@ -150,6 +176,12 @@ class Table:
         if self._batch is None:
             self._batch = RowBatch(list(self._rows)).ensure_typed(self.schema)
         return self._batch
+
+    def indexes(self) -> Dict[str, Any]:
+        """Secondary index handles keyed by index name (paged tables only)."""
+        if self._index_provider is not None:
+            return self._index_provider()
+        return {}
 
     @property
     def statistics(self) -> TableStatistics:

@@ -69,6 +69,7 @@ class Database:
         storage_dir: Optional[str] = None,
         buffer_pool_size: int = 64,
         buffer_policy: str = "lru",
+        cost_settings: Optional["CostSettings"] = None,
     ) -> None:
         self.catalog = Catalog()
         self.udfs = UdfRegistry()
@@ -82,6 +83,10 @@ class Database:
         #: measurements, and the optimizer consults them on later queries.
         self.statistics = statistics if statistics is not None else StatisticsStore()
         self.observer = RuntimeObserver(self.statistics)
+        #: Cost-model settings the optimizer plans with (``None`` keeps the
+        #: defaults).  Index access paths only enter the plan space when
+        #: these charge block I/O (``block_access_seconds > 0``).
+        self.cost_settings = cost_settings
         #: The durable storage engine, or None for a purely in-memory database.
         self.storage = None
         self._statistics_loaded = False
@@ -145,6 +150,10 @@ class Database:
             storage=storage,
             stats_provider=lambda _name=name: self.storage.table_statistics(_name),
             scan_listener=lambda _name=name: self.storage.on_table_scan(_name),
+            index_provider=lambda _name=name: self.storage.index_handles(_name),
+            delete_listener=lambda _name=name: self.storage.maybe_refresh_after_deletes(
+                _name
+            ),
         )
 
     def _recover_tables(self) -> None:
@@ -153,6 +162,48 @@ class Database:
             storage = self.storage.open_table(name)
             schema = self.storage.metadata.schema_for(name)
             self.catalog.register(self._paged_table(name, schema, storage), replace=True)
+
+    # -- index management ---------------------------------------------------------------
+
+    def create_index(
+        self, name: str, table: str, column: str, kind: str = "btree"
+    ) -> None:
+        """Create a secondary index over ``table.column`` (durable databases only).
+
+        ``kind`` is ``"btree"`` (point and range lookups) or ``"hash"``
+        (equality only, cheaper probes).  The index is built from the current
+        heap contents, maintained incrementally on every insert and delete,
+        and persisted in the catalog, so it survives reopen.
+        """
+        if self.storage is None:
+            raise OptimizerError("indexes need a durable database (storage_dir=...)")
+        self.storage.create_index(name, table, column, kind=kind)
+        self.storage.flush()
+
+    def drop_index(self, name: str) -> None:
+        """Drop a secondary index by name."""
+        if self.storage is None:
+            raise OptimizerError("indexes need a durable database (storage_dir=...)")
+        self.storage.drop_index(name)
+        self.storage.flush()
+
+    def index_names(self) -> List[str]:
+        """Names of every secondary index (empty for in-memory databases)."""
+        if self.storage is None:
+            return []
+        return self.storage.metadata.index_names()
+
+    def analyze(self, table: str) -> None:
+        """Refresh a table's catalog statistics (histograms, distinct counts) now.
+
+        The storage engine refreshes lazily on scan/delete triggers; call
+        this after a bulk load so the optimizer's selectivity estimates —
+        and with them the index-versus-scan access-path choice — see the
+        loaded data immediately.  No-op for in-memory databases, whose
+        statistics are always exact.
+        """
+        if self.storage is not None:
+            self.storage.refresh_statistics(table)
 
     # -- UDF management -----------------------------------------------------------------
 
@@ -331,6 +382,10 @@ class Database:
         single-query callers see no change.
         """
         self._ensure_statistics_loaded()
+        if isinstance(query, str):
+            ddl_result = self._maybe_execute_index_ddl(query)
+            if ddl_result is not None:
+                return ddl_result
         bound = self.bind(query) if isinstance(query, str) else query
         statistics = statistics if statistics is not None else self.statistics
         buffers_before = (
@@ -386,6 +441,7 @@ class Database:
             optimizer = Optimizer(
                 self.network,
                 default_config=config,
+                settings=self.cost_settings,
                 statistics=(
                     statistics
                     if calibrated and statistics.queries_observed
@@ -396,6 +452,12 @@ class Database:
             run_config = decision.strategy_config
             udf_strategies = None
             table_order = None
+            access_paths = decision.access_paths or None
+            if access_paths:
+                # An index nested-loop join is only valid in the join order
+                # the optimizer priced it for (its probe column must come
+                # from the outer side), so realise the decision's order too.
+                table_order = decision.table_order
             if reoptimize:
                 reoptimizer = ReOptimizer(
                     policy=replan_policy,
@@ -417,6 +479,7 @@ class Database:
                     udf_order=decision.udf_order,
                     udf_strategies=udf_strategies,
                     table_order=table_order,
+                    access_paths=access_paths,
                 ),
                 buffers_before,
                 persist=observe and statistics is self.statistics,
@@ -429,6 +492,30 @@ class Database:
             buffers_before,
             persist=observe and statistics is self.statistics,
         )
+
+    def _maybe_execute_index_ddl(self, sql: str) -> Optional[QueryResult]:
+        """Execute ``CREATE INDEX`` / ``DROP INDEX`` statements, or None.
+
+        Index DDL runs entirely server-side — no network simulation, no
+        planning — so the result carries an empty row set and a plan text
+        describing what happened.
+        """
+        stripped = sql.lstrip().upper()
+        if not (stripped.startswith("CREATE") or stripped.startswith("DROP")):
+            return None
+        from repro.sql.ast import CreateIndexStatement, DropIndexStatement
+        from repro.sql.parser import parse
+
+        statement = parse(sql)
+        if isinstance(statement, CreateIndexStatement):
+            self.create_index(
+                statement.name, statement.table, statement.column, kind=statement.kind
+            )
+        elif isinstance(statement, DropIndexStatement):
+            self.drop_index(statement.name)
+        else:
+            return None
+        return QueryResult(schema=Schema(()), rows=[], plan_text=str(statement))
 
     # -- durable storage plumbing --------------------------------------------------------
 
@@ -576,12 +663,15 @@ class Database:
 
         lines: List[str] = []
         udf_order = None
+        table_order = None
+        access_paths = None
         if optimize:
             from repro.core.optimizer import Optimizer
 
             optimizer = Optimizer(
                 self.network,
                 default_config=config,
+                settings=self.cost_settings,
                 statistics=(
                     self.statistics
                     if calibrated and self.statistics.queries_observed
@@ -591,6 +681,9 @@ class Database:
             decision = optimizer.optimize(bound)
             config = decision.strategy_config
             udf_order = decision.udf_order
+            access_paths = decision.access_paths or None
+            if access_paths:
+                table_order = decision.table_order
             lines.append(decision.describe())
         plan = build_plan(
             bound,
@@ -598,6 +691,8 @@ class Database:
             config=config,
             server_functions=self._server_functions(),
             udf_order=udf_order,
+            table_order=table_order,
+            access_paths=access_paths,
         )
         lines.append(plan.explain())
         return "\n".join(lines)

@@ -94,6 +94,7 @@ class Executor:
         udf_order: Optional[Sequence[str]] = None,
         udf_strategies: Optional[Dict[str, ExecutionStrategy]] = None,
         table_order: Optional[Sequence[str]] = None,
+        access_paths: Optional[Dict[str, object]] = None,
     ) -> QueryResult:
         """Plan and execute ``query``; optionally ship the answer to the client."""
         plan = build_plan(
@@ -104,6 +105,7 @@ class Executor:
             udf_order=udf_order,
             udf_strategies=udf_strategies,
             table_order=table_order,
+            access_paths=access_paths,
         )
         return self.execute_plan(plan, config=config, deliver_results=deliver_results)
 
@@ -205,7 +207,14 @@ class Executor:
 
     @staticmethod
     def _find_filters(root: Operator) -> List[Operator]:
-        """All Filter operators in the tree (for observed predicate selectivities)."""
+        """Filter operators whose selectivity is worth observing.
+
+        Filters the planner marked ``observe_selectivity = False`` are
+        skipped: the redundant re-check above an index scan and the residual
+        inner filters above an index nested-loop join see pre-filtered or
+        join-reduced input, so their pass-through rate is *not* the
+        predicate's base-table selectivity and must not be recorded as such.
+        """
         from repro.relational.operators import Filter
 
         found: List[Operator] = []
@@ -213,7 +222,9 @@ class Executor:
         def visit(operator: Operator) -> None:
             for child in operator.children:
                 visit(child)
-            if isinstance(operator, Filter):
+            if isinstance(operator, Filter) and getattr(
+                operator, "observe_selectivity", True
+            ):
                 found.append(operator)
 
         visit(root)
@@ -289,6 +300,17 @@ class Executor:
                     for _, strategy in shape.udf_strategies:
                         if strategy not in strategies_used:
                             strategies_used = strategies_used + (strategy,)
+        index_lookups = 0
+        index_pages_read = 0
+
+        def visit_index_operators(operator: Operator) -> None:
+            nonlocal index_lookups, index_pages_read
+            for node in operator.children:
+                visit_index_operators(node)
+            index_lookups += getattr(operator, "index_lookups", 0) or 0
+            index_pages_read += getattr(operator, "index_pages_read", 0) or 0
+
+        visit_index_operators(plan.root)
         controller = config.batch_controller if config is not None else None
         return ExecutionMetrics.from_run(
             elapsed_seconds=self.context.elapsed_seconds,
@@ -322,4 +344,6 @@ class Executor:
             send_stall_seconds=send_stall,
             overlap_window=overlap_window,
             plan_description=plan.explain(),
+            index_lookups=index_lookups,
+            index_pages_read=index_pages_read,
         )

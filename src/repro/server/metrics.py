@@ -78,6 +78,12 @@ class ExecutionMetrics:
     buffer_misses: int = 0
     buffer_evictions: int = 0
     buffer_pinned_peak: int = 0
+    #: Secondary-index traffic: how many index probes the plan issued (one
+    #: per index scan, one per index nested-loop probe) and how many index
+    #: pages those probes pinned through the buffer pool.  Both zero for
+    #: plans that only sequential-scan.
+    index_lookups: int = 0
+    index_pages_read: int = 0
 
     @classmethod
     def from_run(
@@ -105,6 +111,8 @@ class ExecutionMetrics:
         send_stall_seconds: float = 0.0,
         overlap_window: Optional[int] = None,
         plan_description: str = "",
+        index_lookups: int = 0,
+        index_pages_read: int = 0,
     ) -> "ExecutionMetrics":
         return cls(
             elapsed_seconds=elapsed_seconds,
@@ -135,6 +143,8 @@ class ExecutionMetrics:
             send_stall_seconds=send_stall_seconds,
             overlap_window=overlap_window,
             plan_description=plan_description,
+            index_lookups=index_lookups,
+            index_pages_read=index_pages_read,
         )
 
     @property
@@ -183,6 +193,11 @@ class ExecutionMetrics:
             batching += (
                 f" | buffer {self.buffer_hits}/{self.buffer_accesses} hits"
                 f" ({self.buffer_hit_ratio:.0%}), {self.buffer_evictions} evicted"
+            )
+        if self.index_lookups > 0:
+            batching += (
+                f" | index {self.index_lookups} lookup(s),"
+                f" {self.index_pages_read} page(s)"
             )
         return (
             f"elapsed {self.elapsed_seconds:.3f}s | strategy {strategy} | "

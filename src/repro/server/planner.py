@@ -30,6 +30,8 @@ from repro.core.execution.adaptive import (
 from repro.core.execution.base import RemoteUdfOperator
 from repro.core.execution.context import RemoteExecutionContext
 from repro.core.execution.rewrite import build_operator, replace_udf_calls_with_columns
+from repro.core.execution.access import IndexNestedLoopJoinOperator, IndexScanOperator
+from repro.core.optimizer.plans import AccessPath
 from repro.core.strategies import ExecutionStrategy, StrategyConfig
 from repro.relational.expressions import ColumnRef, Expression, conjoin
 from repro.relational.operators import (
@@ -44,7 +46,12 @@ from repro.relational.operators import (
     Sort,
     TableScan,
 )
-from repro.relational.predicates import PredicateInfo, columns_covered
+from repro.relational.predicates import (
+    PredicateInfo,
+    columns_covered,
+    equi_join_columns,
+    index_condition,
+)
 from repro.sql.logical import BoundQuery, ClientUdfCall
 
 
@@ -92,6 +99,7 @@ def build_plan(
     udf_strategies: Optional[Dict[str, ExecutionStrategy]] = None,
     table_order: Optional[Sequence[str]] = None,
     defer_output_shaping: bool = False,
+    access_paths: Optional[Dict[str, AccessPath]] = None,
 ) -> PlanBuildResult:
     """Build the physical plan for ``query``.
 
@@ -101,6 +109,14 @@ def build_plan(
     execution strategy per UDF name, and ``table_order`` fixes the join order
     (a left-deep order over table aliases); both are what the optimizer's
     decisions feed back into plan construction.
+
+    ``access_paths`` (per table alias, from the optimizer's decision) swaps
+    the default sequential scans for index access: an ``index_scan`` path
+    fetches a base table through a secondary index instead of scanning it,
+    an ``index_join`` path joins the table as the inner of an index
+    nested-loop join.  Paths are best-effort — when the named index no
+    longer exists (dropped since planning, or the table is in-memory) the
+    plan silently falls back to the sequential scan / regular join.
 
     ``defer_output_shaping`` stops the plan after the final projection,
     leaving DISTINCT / ORDER BY / LIMIT to the caller.  Scatter-gather uses
@@ -116,6 +132,9 @@ def build_plan(
     }
     builder.table_order = [name.lower() for name in table_order] if table_order else None
     builder.defer_output_shaping = defer_output_shaping
+    builder.access_paths = {
+        alias.lower(): path for alias, path in (access_paths or {}).items()
+    }
     root = builder.build(udf_order=udf_order)
     return PlanBuildResult(
         root=root,
@@ -143,6 +162,7 @@ class _PlanBuilder:
         self.udf_strategies: Dict[str, ExecutionStrategy] = {}
         self.table_order: Optional[List[str]] = None
         self.defer_output_shaping = False
+        self.access_paths: Dict[str, AccessPath] = {}
 
     # -- top level ----------------------------------------------------------------------
 
@@ -161,19 +181,107 @@ class _PlanBuilder:
         if self.table_order:
             order = {alias: index for index, alias in enumerate(self.table_order)}
             tables.sort(key=lambda bound: order.get(bound.alias.lower(), len(order)))
-        plans: List[Operator] = []
-        for bound in tables:
-            scan: Operator = TableScan(bound.table, alias=bound.alias)
-            single = self.query.single_table_predicates(bound.alias)
-            for predicate in single:
-                scan = Filter(scan, predicate.expression, self.server_functions)
-                self.applied_predicates.add(id(predicate))
-            plans.append(scan)
-
-        plan = plans[0]
-        for next_plan in plans[1:]:
-            plan = self._join(plan, next_plan)
+        plan = self._scan_leaf(tables[0])
+        for bound in tables[1:]:
+            joined = self._index_join(plan, bound)
+            plan = joined if joined is not None else self._join(plan, self._scan_leaf(bound))
         return plan
+
+    def _scan_leaf(self, bound) -> Operator:
+        """A base-table leaf with its single-table predicates applied.
+
+        With an ``index_scan`` access path the leaf fetches through the
+        index; every single-table filter still goes on top — the one the
+        index serves becomes a (cheap) re-check over the already-matching
+        rows, kept for correctness against index over-approximation and
+        marked ``observe_selectivity = False`` so its residual pass-through
+        rate is not recorded as the predicate's selectivity.
+        """
+        served_key: Optional[str] = None
+        scan: Optional[Operator] = self._index_scan_leaf(bound)
+        if scan is not None:
+            served_key = self.access_paths[bound.alias.lower()].predicate_key
+        else:
+            scan = TableScan(bound.table, alias=bound.alias)
+        plan: Operator = scan
+        for predicate in self.query.single_table_predicates(bound.alias):
+            filter_operator = Filter(plan, predicate.expression, self.server_functions)
+            if served_key is not None and str(predicate.expression) == served_key:
+                filter_operator.observe_selectivity = False
+            plan = filter_operator
+            self.applied_predicates.add(id(predicate))
+        return plan
+
+    def _index_scan_leaf(self, bound) -> Optional[Operator]:
+        """The index-scan leaf the access path asks for, or None to fall back."""
+        path = self.access_paths.get(bound.alias.lower())
+        if path is None or path.kind != "index_scan" or path.predicate_key is None:
+            return None
+        handle = bound.table.indexes().get(path.index_name)
+        if handle is None or getattr(handle, "incomplete", False):
+            return None
+        for predicate in self.query.single_table_predicates(bound.alias):
+            if str(predicate.expression) != path.predicate_key:
+                continue
+            condition = index_condition(predicate.expression)
+            if condition is None:
+                return None
+            if not condition.is_equality and not getattr(handle, "supports_range", False):
+                return None
+            return IndexScanOperator(bound.table, handle, condition, alias=bound.alias)
+        return None
+
+    def _index_join(self, plan: Operator, bound) -> Optional[Operator]:
+        """Join ``bound`` as the inner of an index nested-loop join, or None.
+
+        The inner table's single-table predicates cannot go below the probe,
+        so they become residual filters above the join — marked
+        ``observe_selectivity = False`` because they then see join-reduced
+        input, not the base table the recorded selectivity would describe.
+        """
+        path = self.access_paths.get(bound.alias.lower())
+        if path is None or path.kind != "index_join" or path.join_column is None:
+            return None
+        handle = bound.table.indexes().get(path.index_name)
+        if handle is None or getattr(handle, "incomplete", False):
+            return None
+        outer_schema = plan.output_schema()
+        if not columns_covered(frozenset({path.join_column}), set(outer_schema.qualified_names())):
+            return None
+        try:
+            joined: Operator = IndexNestedLoopJoinOperator(
+                plan, bound.table, handle, path.join_column, alias=bound.alias
+            )
+        except Exception:  # noqa: BLE001 - ambiguous probe column etc.: fall back
+            return None
+
+        def bare(name: str) -> str:
+            return name.partition(".")[2].lower() if "." in name else name.lower()
+
+        served = {bare(path.join_column), bare(path.column)}
+        for predicate in self.query.join_predicates():
+            if id(predicate) in self.applied_predicates:
+                continue
+            pair = equi_join_columns(predicate.expression)
+            if pair is not None and {bare(pair[0]), bare(pair[1])} == served:
+                self.applied_predicates.add(id(predicate))
+                break
+        available = set(joined.output_schema().qualified_names())
+        for predicate in self.query.join_predicates():
+            if id(predicate) in self.applied_predicates:
+                continue
+            if not columns_covered(predicate.columns, available):
+                continue
+            joined = Filter(joined, predicate.expression, self.server_functions)
+            self.applied_predicates.add(id(predicate))
+        for predicate in self.query.single_table_predicates(bound.alias):
+            if id(predicate) in self.applied_predicates:
+                continue
+            residual = Filter(joined, predicate.expression, self.server_functions)
+            residual.observe_selectivity = False
+            joined = residual
+            self.applied_predicates.add(id(predicate))
+        return joined
 
     def _join(self, left: Operator, right: Operator) -> Operator:
         left_columns = set(left.output_schema().qualified_names())

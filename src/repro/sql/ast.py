@@ -108,6 +108,32 @@ class OrderItem:
     descending: bool = False
 
 
+@dataclass(frozen=True)
+class CreateIndexStatement:
+    """``CREATE INDEX name ON table (column) [USING BTREE|HASH]``."""
+
+    name: str
+    table: str
+    column: str
+    kind: str = "btree"
+
+    def __str__(self) -> str:
+        return (
+            f"CREATE INDEX {self.name} ON {self.table} ({self.column}) "
+            f"USING {self.kind.upper()}"
+        )
+
+
+@dataclass(frozen=True)
+class DropIndexStatement:
+    """``DROP INDEX name``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"DROP INDEX {self.name}"
+
+
 @dataclass
 class SelectStatement:
     """A parsed SELECT statement."""

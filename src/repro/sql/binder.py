@@ -50,7 +50,12 @@ class Binder:
     # -- public API --------------------------------------------------------------------
 
     def bind_sql(self, sql: str) -> BoundQuery:
-        return self.bind(parse(sql), sql=sql)
+        statement = parse(sql)
+        if not isinstance(statement, SelectStatement):
+            raise BindError(
+                f"{type(statement).__name__} is DDL; only SELECT statements bind to a query"
+            )
+        return self.bind(statement, sql=sql)
 
     def bind(self, statement: SelectStatement, sql: str = "") -> BoundQuery:
         tables = self._bind_tables(statement)

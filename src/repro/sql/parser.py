@@ -21,7 +21,7 @@ Grammar (informally)::
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.errors import ParseError
 from repro.sql.ast import (
@@ -32,11 +32,16 @@ from repro.sql.ast import (
     AstLiteral,
     AstStar,
     AstUnaryOp,
+    CreateIndexStatement,
+    DropIndexStatement,
     OrderItem,
     SelectItem,
     SelectStatement,
     TableReference,
 )
+
+#: Any parsed statement.
+Statement = Union[SelectStatement, CreateIndexStatement, DropIndexStatement]
 from repro.sql.lexer import Token, TokenType, tokenize
 
 _COMPARISON_OPERATORS = {"=", "<>", "!=", "<", "<=", ">", ">="}
@@ -87,13 +92,58 @@ class Parser:
 
     # -- entry point -----------------------------------------------------------------
 
-    def parse(self) -> SelectStatement:
-        statement = self._select()
+    def parse(self) -> Statement:
+        # CREATE / DROP / INDEX / ON / USING are deliberately *not* lexer
+        # keywords (they stay usable as identifiers in queries), so index DDL
+        # dispatches on the leading identifier instead.
+        if self._at_word("CREATE"):
+            statement: Statement = self._create_index()
+        elif self._at_word("DROP"):
+            statement = self._drop_index()
+        else:
+            statement = self._select()
         if self.current.type is not TokenType.END:
             raise ParseError(
                 f"unexpected trailing input {self.current.value!r} at offset {self.current.position}"
             )
         return statement
+
+    # -- index DDL ----------------------------------------------------------------------
+
+    def _at_word(self, word: str) -> bool:
+        token = self.current
+        return token.type is TokenType.IDENTIFIER and token.value.upper() == word
+
+    def _expect_word(self, word: str) -> str:
+        if not self._at_word(word):
+            raise ParseError(
+                f"expected {word!r} but found {self.current.value or 'end of input'!r} "
+                f"at offset {self.current.position}"
+            )
+        return self.advance().value
+
+    def _create_index(self) -> CreateIndexStatement:
+        self._expect_word("CREATE")
+        self._expect_word("INDEX")
+        name = self.expect(TokenType.IDENTIFIER).value
+        self._expect_word("ON")
+        table = self.expect(TokenType.IDENTIFIER).value
+        self.expect(TokenType.LPAREN)
+        column = self.expect(TokenType.IDENTIFIER).value
+        self.expect(TokenType.RPAREN)
+        kind = "btree"
+        if self._at_word("USING"):
+            self.advance()
+            kind = self.expect(TokenType.IDENTIFIER).value.lower()
+            if kind not in ("btree", "hash"):
+                raise ParseError(f"unknown index kind {kind!r} (expected BTREE or HASH)")
+        return CreateIndexStatement(name=name, table=table, column=column, kind=kind)
+
+    def _drop_index(self) -> DropIndexStatement:
+        self._expect_word("DROP")
+        self._expect_word("INDEX")
+        name = self.expect(TokenType.IDENTIFIER).value
+        return DropIndexStatement(name=name)
 
     # -- productions -------------------------------------------------------------------
 
@@ -272,6 +322,6 @@ class Parser:
         return AstColumn(name)
 
 
-def parse(text: str) -> SelectStatement:
-    """Parse ``text`` into a :class:`SelectStatement`."""
+def parse(text: str) -> Statement:
+    """Parse ``text`` into a statement (SELECT, CREATE INDEX, or DROP INDEX)."""
     return Parser(text).parse()

@@ -13,7 +13,11 @@ package supplies that missing storage half:
 * :mod:`repro.storage.buffer` — a :class:`BufferManager` pool with
   pin/unpin, LRU or clock replacement, and hit/miss/eviction counters;
 * :mod:`repro.storage.record` — slotted pages, the per-table
-  :class:`Layout`, and append-only :class:`HeapFile`s over the buffer pool;
+  :class:`Layout`, and :class:`HeapFile`s over the buffer pool with stable
+  RIDs, tombstone deletes, and a persisted free-space map;
+* :mod:`repro.storage.index` — secondary indexes over the heap: a paged
+  :class:`BTreeIndex` (point + range lookups) and an equality-only
+  :class:`HashIndex`, both pinned through the shared buffer pool;
 * :mod:`repro.storage.metadata` — the :class:`MetadataManager` persisting
   table schemas and per-table :class:`StatInfo` (block/record counts,
   per-column distinct values, equi-width histograms) that feed the
@@ -25,6 +29,14 @@ package supplies that missing storage half:
 from repro.storage.buffer import Buffer, BufferManager, BufferStats
 from repro.storage.engine import StorageEngine
 from repro.storage.file import FileManager
+from repro.storage.index import (
+    BTREE,
+    HASH,
+    BTreeIndex,
+    HashIndex,
+    IndexDefinition,
+    open_index,
+)
 from repro.storage.metadata import ColumnStatInfo, MetadataManager, StatInfo
 from repro.storage.page import (
     DEFAULT_BLOCK_SIZE,
@@ -38,14 +50,19 @@ from repro.storage.page import (
 from repro.storage.record import HeapFile, Layout, PagedTableStorage, SlottedPage
 
 __all__ = [
+    "BTREE",
     "DEFAULT_BLOCK_SIZE",
+    "HASH",
+    "BTreeIndex",
     "BlockId",
     "Buffer",
     "BufferManager",
     "BufferStats",
     "ColumnStatInfo",
     "FileManager",
+    "HashIndex",
     "HeapFile",
+    "IndexDefinition",
     "Layout",
     "MetadataManager",
     "Page",
@@ -57,4 +74,5 @@ __all__ = [
     "decode_value",
     "encode_record",
     "encode_value",
+    "open_index",
 ]

@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import CatalogError, StorageError
 from repro.relational.schema import Column, Schema
+from repro.storage.index import IndexDefinition
 from repro.relational.statistics import (
     ColumnStatistics,
     Histogram,
@@ -212,6 +213,10 @@ class MetadataManager:
         self._names: Dict[str, str] = {}  # lower-case key -> declared name
         self._stats: Dict[str, StatInfo] = {}
         self._scans_since_refresh: Dict[str, int] = {}
+        self._deletes_since_refresh: Dict[str, int] = {}
+        self._indexes: Dict[str, IndexDefinition] = {}  # lower-case index name
+        self._index_state: Dict[str, Tuple[int, bool]] = {}  # (entries, incomplete)
+        self._free_space: Dict[str, Dict[int, int]] = {}  # table key -> block -> bytes
         self._dirty = False
         self._load()
 
@@ -231,6 +236,8 @@ class MetadataManager:
             stats.columns[column.name] = ColumnStatInfo(column.name)
         self._stats[key] = stats
         self._scans_since_refresh[key] = 0
+        self._deletes_since_refresh[key] = 0
+        self._free_space[key] = {}
         self.save()
 
     def drop_table(self, name: str) -> None:
@@ -241,6 +248,11 @@ class MetadataManager:
         del self._names[key]
         self._stats.pop(key, None)
         self._scans_since_refresh.pop(key, None)
+        self._deletes_since_refresh.pop(key, None)
+        self._free_space.pop(key, None)
+        for index_key in [k for k, d in self._indexes.items() if d.table.lower() == key]:
+            del self._indexes[index_key]
+            self._index_state.pop(index_key, None)
         self.save()
 
     def has_table(self, name: str) -> bool:
@@ -254,6 +266,80 @@ class MetadataManager:
             return self._schemas[name.lower()]
         except KeyError as exc:
             raise CatalogError(f"table {name!r} is not in the catalog") from exc
+
+    # -- secondary indexes -------------------------------------------------------
+
+    def create_index(self, definition: IndexDefinition) -> None:
+        """Record one index definition; the engine owns the index file."""
+        key = definition.name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {definition.name!r} already exists")
+        table_key = definition.table.lower()
+        if table_key not in self._schemas:
+            raise CatalogError(f"table {definition.table!r} is not in the catalog")
+        schema = self._schemas[table_key]
+        if not any(column.name == definition.column for column in schema.columns):
+            raise CatalogError(
+                f"table {definition.table!r} has no column {definition.column!r}"
+            )
+        self._indexes[key] = definition
+        self._index_state[key] = (0, False)
+        self.save()
+
+    def drop_index(self, name: str) -> IndexDefinition:
+        key = name.lower()
+        definition = self._indexes.pop(key, None)
+        if definition is None:
+            raise CatalogError(f"index {name!r} is not in the catalog")
+        self._index_state.pop(key, None)
+        self.save()
+        return definition
+
+    def has_index(self, name: str) -> bool:
+        return name.lower() in self._indexes
+
+    def index_definition(self, name: str) -> IndexDefinition:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError as exc:
+            raise CatalogError(f"index {name!r} is not in the catalog") from exc
+
+    def indexes_for(self, table: str) -> List[IndexDefinition]:
+        key = table.lower()
+        return [
+            self._indexes[name]
+            for name in sorted(self._indexes)
+            if self._indexes[name].table.lower() == key
+        ]
+
+    def index_names(self) -> List[str]:
+        return [self._indexes[key].name for key in sorted(self._indexes)]
+
+    def index_state(self, name: str) -> Tuple[int, bool]:
+        """The persisted ``(entry_count, incomplete)`` pair for one index."""
+        return self._index_state.get(name.lower(), (0, False))
+
+    def set_index_state(self, name: str, entries: int, incomplete: bool) -> None:
+        key = name.lower()
+        if key in self._indexes:
+            state = (int(entries), bool(incomplete))
+            if self._index_state.get(key) != state:
+                self._index_state[key] = state
+                self._dirty = True
+
+    # -- free-space maps ---------------------------------------------------------
+
+    def free_space_for(self, table: str) -> Dict[int, int]:
+        """The persisted heap free-space map (block -> free bytes)."""
+        return dict(self._free_space.get(table.lower(), {}))
+
+    def set_free_space(self, table: str, holes: Mapping[int, int]) -> None:
+        key = table.lower()
+        if key in self._schemas:
+            snapshot = dict(holes)
+            if self._free_space.get(key) != snapshot:
+                self._free_space[key] = snapshot
+                self._dirty = True
 
     # -- statistics maintenance --------------------------------------------------
 
@@ -282,6 +368,40 @@ class MetadataManager:
             info.observe(value)
         self._dirty = True
 
+    def record_delete(self, name: str) -> None:
+        """Fold one deleted row into the catalog's record count.
+
+        Per-column statistics (distincts, min/max, histograms) cannot be
+        decremented incrementally; they stay as-is until the next full
+        refresh, which :meth:`deletes_refresh_due` brings forward after a
+        large delete batch.
+        """
+        key = name.lower()
+        stats = self._stats.get(key)
+        if stats is None:
+            return
+        stats.records = max(0, stats.records - 1)
+        self._deletes_since_refresh[key] = self._deletes_since_refresh.get(key, 0) + 1
+        self._dirty = True
+
+    def deletes_refresh_due(self, name: str) -> bool:
+        """True when deletes since the last refresh warrant a full recompute.
+
+        Scan counting alone would let index-vs-scan costing run on stale
+        record counts and histograms for up to ``refresh_interval`` queries
+        after a bulk delete; a batch that removed >= 20% of the table (or
+        ``refresh_interval`` rows outright) forces the refresh now.
+        """
+        key = name.lower()
+        deletes = self._deletes_since_refresh.get(key, 0)
+        if not deletes:
+            return False
+        if deletes >= self.refresh_interval:
+            return True
+        stats = self._stats.get(key)
+        before = deletes + (stats.records if stats is not None else 0)
+        return deletes * 5 >= max(1, before)
+
     def note_scan(self, name: str) -> bool:
         """Count one table scan; True when a full stats refresh is due."""
         key = name.lower()
@@ -308,6 +428,7 @@ class MetadataManager:
             stats.columns[column.name] = info
         self._stats[key] = stats
         self._scans_since_refresh[key] = 0
+        self._deletes_since_refresh[key] = 0
         self.save()
         return stats
 
@@ -322,7 +443,7 @@ class MetadataManager:
         for key in sorted(self._schemas):
             schema = self._schemas[key]
             stats = self._stats.get(key, StatInfo())
-            tables[self._names[key]] = {
+            entry: Dict[str, Any] = {
                 "columns": [[column.name, column.dtype.name] for column in schema.columns],
                 "stats": {
                     "blocks": stats.blocks,
@@ -333,7 +454,26 @@ class MetadataManager:
                     },
                 },
             }
-        payload = {"version": CATALOG_VERSION, "tables": tables}
+            holes = self._free_space.get(key)
+            if holes:
+                entry["free_space"] = {
+                    str(block): free for block, free in sorted(holes.items())
+                }
+            tables[self._names[key]] = entry
+        indexes: Dict[str, Any] = {}
+        for key in sorted(self._indexes):
+            definition = self._indexes[key]
+            entries, incomplete = self._index_state.get(key, (0, False))
+            indexes[definition.name] = {
+                "table": definition.table,
+                "column": definition.column,
+                "kind": definition.kind,
+                "entries": entries,
+                "incomplete": incomplete,
+            }
+        payload: Dict[str, Any] = {"version": CATALOG_VERSION, "tables": tables}
+        if indexes:
+            payload["indexes"] = indexes
         temporary = self.catalog_path + ".tmp"
         with open(temporary, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=1, sort_keys=True)
@@ -373,3 +513,18 @@ class MetadataManager:
             self._names[key] = name
             self._stats[key] = stats
             self._scans_since_refresh[key] = 0
+            self._deletes_since_refresh[key] = 0
+            holes = entry.get("free_space") or {}
+            self._free_space[key] = {int(block): int(free) for block, free in holes.items()}
+        for index_name, entry in payload.get("indexes", {}).items():
+            definition = IndexDefinition(
+                name=index_name,
+                table=entry["table"],
+                column=entry["column"],
+                kind=entry["kind"],
+            )
+            self._indexes[index_name.lower()] = definition
+            self._index_state[index_name.lower()] = (
+                int(entry.get("entries", 0)),
+                bool(entry.get("incomplete", False)),
+            )

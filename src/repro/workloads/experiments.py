@@ -67,6 +67,7 @@ def run_workload_point(
     network: NetworkConfig,
     config: StrategyConfig,
     storage_dir: Optional[str] = None,
+    indexes: bool = False,
 ) -> ExperimentPoint:
     """Execute the Figure 7 style query for one parameter point.
 
@@ -78,7 +79,10 @@ def run_workload_point(
     With ``storage_dir`` the workload's table is written to a slotted-page
     heap file there and scanned back through a buffer pool — the execution
     then exercises the durable storage data path, and must produce exactly
-    the in-memory point (rows *and* wire bytes).
+    the in-memory point (rows *and* wire bytes).  ``indexes`` (paged runs
+    only) additionally creates a hash index on the argument column *before*
+    loading, so every insert maintains it incrementally — index maintenance
+    must never change what the query returns or ships.
     """
     table = workload.build_table()
     storage_engine = None
@@ -88,6 +92,12 @@ def run_workload_point(
 
         storage_engine = StorageEngine(storage_dir)
         backend = storage_engine.create_table(table.name, table.schema, replace=True)
+        if indexes:
+            # DataObject arguments are unorderable, so the equality-only
+            # hash index is the one that applies here.
+            storage_engine.create_index(
+                "workload_argument_idx", table.name, "Argument", kind="hash"
+            )
         paged = Table(table.name, table.schema, storage=backend)
         paged.insert_many(tuple(row) for row in table.rows)
         table = paged

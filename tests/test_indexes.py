@@ -1,0 +1,470 @@
+"""Secondary indexes and index-aware access paths, end to end.
+
+Covers the access-path choice (the optimizer picks an index scan or an
+index nested-loop join from catalog statistics alone, and declines both
+when statistics are missing or the predicate is unselective), result
+equivalence against unindexed plans, the SQL DDL surface, and the storage
+satellites: free-space reuse bounding heap growth, statistics refresh
+after large delete batches, the buffer pool under index workloads, and
+index rebuild on reopen after a crash corrupted the index file.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.core.optimizer.cost import CostSettings
+from repro.errors import BindError, OptimizerError, ParseError, StorageError
+from repro.network.topology import NetworkConfig
+from repro.relational.schema import Column, Schema
+from repro.relational.types import FLOAT, INTEGER, STRING
+from repro.server.engine import Database
+from repro.sql.ast import CreateIndexStatement, DropIndexStatement
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.storage.buffer import BufferManager
+from repro.storage.engine import StorageEngine
+from repro.storage.file import FileManager
+from repro.storage.page import BlockId, Page
+
+NETWORK = NetworkConfig.symmetric(2_000_000.0, latency=0.0005, name="index-tests")
+#: Non-zero block cost is what lets index access paths compete at all; the
+#: default of 0.0 keeps plans identical to the pre-index engine.
+COST = CostSettings(block_access_seconds=0.005)
+
+QUOTE_SCHEMA = [("Id", INTEGER), ("Price", FLOAT), ("Name", STRING)]
+QUOTE_ROWS = [(index, float(index) / 4.0, f"name{index % 50}") for index in range(4000)]
+
+SELECTIVE_SQL = "SELECT Q.Id FROM Quotes Q WHERE Q.Price < 2.0"
+UNSELECTIVE_SQL = "SELECT Q.Id FROM Quotes Q WHERE Q.Price < 900.0"
+
+
+def make_quotes(storage_dir=None, cost_settings=COST) -> Database:
+    db = Database(network=NETWORK, storage_dir=storage_dir, cost_settings=cost_settings)
+    db.create_table("Quotes", QUOTE_SCHEMA, rows=QUOTE_ROWS)
+    return db
+
+
+def open_copy(source: str, tmp_path, cost_settings=COST) -> Database:
+    """Open a private copy of a pre-built database directory.
+
+    Building the 4000-entry B-tree takes seconds; copying the finished
+    directory takes milliseconds, so tests share pre-built fixtures and
+    mutate their own copies freely.
+    """
+    target = os.path.join(str(tmp_path), "db")
+    shutil.copytree(source, target)
+    return Database(network=NETWORK, storage_dir=target, cost_settings=cost_settings)
+
+
+@pytest.fixture(scope="module")
+def quotes_indexed_dir(tmp_path_factory):
+    """Quotes with fresh statistics and a B-tree index on Price."""
+    directory = str(tmp_path_factory.mktemp("quotes-indexed"))
+    db = make_quotes(storage_dir=directory)
+    db.analyze("Quotes")
+    db.create_index("quotes_price_idx", "Quotes", "Price")
+    db.close()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def quotes_unanalyzed_dir(tmp_path_factory):
+    """Quotes with the Price index but no statistics refresh (no histogram)."""
+    directory = str(tmp_path_factory.mktemp("quotes-unanalyzed"))
+    db = make_quotes(storage_dir=directory)
+    db.create_index("quotes_price_idx", "Quotes", "Price")
+    db.close()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def quotes_join_dir(tmp_path_factory):
+    """Quotes indexed on Id plus a tiny Orders table for join tests."""
+    directory = str(tmp_path_factory.mktemp("quotes-join"))
+    db = make_quotes(storage_dir=directory)
+    db.analyze("Quotes")
+    db.create_index("quotes_id_idx", "Quotes", "Id")
+    orders = [(index, index * 400) for index in range(8)]
+    db.create_table("Orders", [("OId", INTEGER), ("QuoteId", INTEGER)], rows=orders)
+    db.analyze("Orders")
+    db.close()
+    return directory
+
+
+# ---------------------------------------------------------------------------
+# Access-path choice: from catalog statistics alone, no hints
+# ---------------------------------------------------------------------------
+
+
+class TestAccessPathChoice:
+    def test_index_scan_chosen_from_stats_alone(self, quotes_indexed_dir, tmp_path):
+        """With fresh histograms and a matching index, the enumerator prices
+        the selective range predicate below the full scan and the executed
+        plan probes the B-tree — no hint anywhere in the query."""
+        db = open_copy(quotes_indexed_dir, tmp_path)
+
+        seq = db.execute(SELECTIVE_SQL, deliver_results=True)
+        indexed = db.execute(SELECTIVE_SQL, optimize=True, deliver_results=True)
+
+        assert indexed.metrics.index_lookups > 0
+        assert indexed.metrics.index_pages_read > 0
+        assert "IndexScan" in indexed.plan_text
+        assert indexed.row_set() == seq.row_set()
+        # The whole point: touch a handful of pages instead of every heap block.
+        assert indexed.metrics.buffer_accesses < seq.metrics.buffer_accesses / 2
+        db.close()
+
+    def test_seq_scan_without_statistics(self, quotes_unanalyzed_dir, tmp_path):
+        """No ANALYZE means no histogram: the optimizer falls back to the
+        flat default range selectivity and keeps the sequential scan."""
+        db = open_copy(quotes_unanalyzed_dir, tmp_path)
+        result = db.execute(SELECTIVE_SQL, optimize=True, deliver_results=True)
+        assert result.metrics.index_lookups == 0
+        assert "IndexScan" not in result.plan_text
+        db.close()
+
+    def test_seq_scan_at_high_selectivity(self, quotes_indexed_dir, tmp_path):
+        """An unselective predicate touches nearly every heap page anyway
+        (Yao), so the scan stays cheaper even with stats and an index."""
+        db = open_copy(quotes_indexed_dir, tmp_path)
+        result = db.execute(UNSELECTIVE_SQL, optimize=True, deliver_results=True)
+        assert result.metrics.index_lookups == 0
+        assert "IndexScan" not in result.plan_text
+        assert len(result.row_set()) == 3600
+        db.close()
+
+    def test_no_index_paths_without_block_cost(self, quotes_indexed_dir, tmp_path):
+        """With the default cost settings (block accesses free) index
+        variants never enter the plan space, preserving prior behaviour."""
+        db = open_copy(quotes_indexed_dir, tmp_path, cost_settings=None)
+        result = db.execute(SELECTIVE_SQL, optimize=True, deliver_results=True)
+        assert result.metrics.index_lookups == 0
+        db.close()
+
+    def test_index_nested_loop_join_chosen(self, quotes_join_dir, tmp_path):
+        """A tiny outer table against an indexed inner: per-row probes beat
+        scanning the big table, and every probe is counted."""
+        db = open_copy(quotes_join_dir, tmp_path)
+
+        sql = "SELECT O.OId, Q.Price FROM Orders O, Quotes Q WHERE O.QuoteId = Q.Id"
+        plain = db.execute(sql, deliver_results=True)
+        indexed = db.execute(sql, optimize=True, deliver_results=True)
+
+        assert "IndexNestedLoopJoin" in indexed.plan_text
+        assert indexed.metrics.index_lookups == 8  # one probe per Orders row
+        assert indexed.row_set() == plain.row_set()
+        assert indexed.metrics.buffer_accesses < plain.metrics.buffer_accesses
+        db.close()
+
+    def test_explain_reports_access_path(self, quotes_indexed_dir, tmp_path):
+        db = open_copy(quotes_indexed_dir, tmp_path)
+        text = db.explain(SELECTIVE_SQL, optimize=True)
+        assert "index_scan" in text or "IndexScan" in text
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# Result equivalence: indexed plans answer exactly like unindexed ones
+# ---------------------------------------------------------------------------
+
+
+class TestResultEquivalence:
+    QUERIES = [
+        "SELECT Q.Id, Q.Name FROM Quotes Q WHERE Q.Price < 2.0",
+        "SELECT Q.Id FROM Quotes Q WHERE Q.Price = 1.25",
+        "SELECT Q.Name FROM Quotes Q WHERE Q.Price > 999.0",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_btree_paths_match_memory(self, quotes_indexed_dir, tmp_path, sql):
+        memory = make_quotes()
+        paged = open_copy(quotes_indexed_dir, tmp_path)
+        expected = memory.execute(sql, deliver_results=True)
+        actual = paged.execute(sql, optimize=True, deliver_results=True)
+        assert actual.row_set() == expected.row_set()
+        paged.close()
+
+    def test_hash_index_numeric_keys_match_by_value(self, tmp_path):
+        """``1000`` and ``1000.0`` are equal keys: the hash index normalizes
+        numerics so an equality probe with either spelling finds the row."""
+        db = make_quotes(storage_dir=str(tmp_path))
+        db.analyze("Quotes")
+        db.create_index("quotes_id_hash", "Quotes", "Id", kind="hash")
+        result = db.execute(
+            "SELECT Q.Name FROM Quotes Q WHERE Q.Id = 1000", optimize=True
+        )
+        assert "IndexScan" in result.plan_text
+        for literal in ("1000", "1000.0"):
+            result = db.execute(
+                f"SELECT Q.Name FROM Quotes Q WHERE Q.Id = {literal}",
+                optimize=True,
+                deliver_results=True,
+            )
+            assert result.row_set() == [("name0",)]
+        db.close()
+
+    def test_index_survives_deletes_and_reinserts(self, quotes_indexed_dir, tmp_path):
+        db = open_copy(quotes_indexed_dir, tmp_path)
+        table = db.catalog.table("Quotes")
+        table.delete(lambda row: row[1] < 2.0)
+        table.insert((9001, 0.25, "revived"))
+        result = db.execute(SELECTIVE_SQL, optimize=True, deliver_results=True)
+        assert result.row_set() == [(9001,)]
+        db.close()
+
+
+# ---------------------------------------------------------------------------
+# SQL DDL surface
+# ---------------------------------------------------------------------------
+
+
+class TestIndexDdl:
+    def test_parse_create_index(self):
+        statement = parse("CREATE INDEX quotes_price_idx ON Quotes (Price)")
+        assert statement == CreateIndexStatement(
+            name="quotes_price_idx", table="Quotes", column="Price", kind="btree"
+        )
+
+    def test_parse_create_index_using_hash(self):
+        statement = parse("CREATE INDEX q_idx ON Quotes (Id) USING HASH")
+        assert isinstance(statement, CreateIndexStatement)
+        assert statement.kind == "hash"
+
+    def test_parse_rejects_unknown_kind(self):
+        with pytest.raises(ParseError):
+            parse("CREATE INDEX q_idx ON Quotes (Id) USING bitmap")
+
+    def test_parse_drop_index(self):
+        assert parse("DROP INDEX q_idx") == DropIndexStatement(name="q_idx")
+
+    def test_binder_rejects_ddl(self):
+        db = make_quotes()
+        with pytest.raises(BindError):
+            Binder(db.catalog, db.udfs).bind_sql("DROP INDEX q_idx")
+
+    def test_execute_create_and_drop_index(self, tmp_path):
+        db = Database(network=NETWORK, storage_dir=str(tmp_path), cost_settings=COST)
+        db.create_table("Mini", [("Id", INTEGER)], rows=[(index,) for index in range(50)])
+        result = db.execute("CREATE INDEX mini_id_idx ON Mini (Id)")
+        assert result.rows == []
+        assert db.index_names() == ["mini_id_idx"]
+        db.execute("DROP INDEX mini_id_idx")
+        assert db.index_names() == []
+        db.close()
+
+    def test_create_index_requires_durable_database(self):
+        db = Database(network=NETWORK)
+        db.create_table("Mini", [("Id", INTEGER)], rows=[(1,)])
+        with pytest.raises(OptimizerError):
+            db.create_index("mini_id_idx", "Mini", "Id")
+
+
+# ---------------------------------------------------------------------------
+# Satellite: free-space reuse bounds the heap file
+# ---------------------------------------------------------------------------
+
+
+class TestFreeSpaceReuse:
+    def test_delete_insert_cycles_keep_file_bounded(self, tmp_path):
+        """Tombstoned space is reused: churning the same rows through delete
+        and re-insert must not grow the heap file beyond a small slack."""
+        engine = StorageEngine(str(tmp_path))
+        schema = Schema((Column("Id", INTEGER), Column("Payload", STRING)))
+        storage = engine.create_table("Churn", schema)
+        rows = [(index, "x" * 64) for index in range(500)]
+        for values in rows:
+            storage.append(values)
+        baseline = storage.block_count()
+        for _ in range(10):
+            storage.delete_where(lambda values: values[0] % 2 == 0)
+            for values in rows:
+                if values[0] % 2 == 0:
+                    storage.append(values)
+        assert storage.row_count == len(rows)
+        assert storage.block_count() <= baseline + 2
+        engine.close()
+
+    def test_free_space_map_survives_reopen(self, tmp_path):
+        directory = str(tmp_path)
+        engine = StorageEngine(directory)
+        schema = Schema((Column("Id", INTEGER), Column("Payload", STRING)))
+        storage = engine.create_table("Churn", schema)
+        for index in range(500):
+            storage.append((index, "x" * 64))
+        storage.delete_where(lambda values: values[0] % 2 == 0)
+        blocks_before = storage.block_count()
+        engine.close()
+
+        reopened = StorageEngine(directory)
+        recovered = reopened.open_table("Churn")
+        assert recovered.heap.holes  # the persisted map, not a fresh scan
+        for index in range(0, 500, 2):
+            recovered.append((index, "x" * 64))
+        assert recovered.block_count() <= blocks_before + 2
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: statistics refresh after large delete batches
+# ---------------------------------------------------------------------------
+
+
+class TestDeleteStatisticsRefresh:
+    def test_large_delete_batch_refreshes_stats(self, tmp_path):
+        """Before the refresh hook, a bulk delete left the catalog claiming
+        the old row count until ``refresh_interval`` scans had passed; now a
+        batch that removes a large share of the table recomputes at once."""
+        engine = StorageEngine(str(tmp_path), refresh_interval=100)
+        schema = Schema((Column("Id", INTEGER), Column("Price", FLOAT)))
+        storage = engine.create_table("Fat", schema)
+        for index in range(400):
+            storage.append((index, float(index)))
+        assert engine.stat_info("Fat").records == 400
+
+        deleted = engine.delete_rows("Fat", lambda values: values[0] >= 100)
+        assert deleted == 300
+        assert engine.stat_info("Fat").records == 100
+        assert not engine.metadata.deletes_refresh_due("Fat")
+        engine.close()
+
+    def test_small_delete_batch_stays_lazy(self, tmp_path):
+        """A handful of deletes is not worth a full recompute: the running
+        counters absorb them and the full refresh stays deferred."""
+        engine = StorageEngine(str(tmp_path), refresh_interval=100)
+        schema = Schema((Column("Id", INTEGER), Column("Price", FLOAT)))
+        storage = engine.create_table("Thin", schema)
+        for index in range(400):
+            storage.append((index, float(index)))
+        engine.refresh_statistics("Thin")
+        engine.delete_rows("Thin", lambda values: values[0] < 3)
+        # Stale by exactly the small batch — no refresh fired.
+        assert engine.stat_info("Thin").records == 397
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: the buffer pool under index workloads
+# ---------------------------------------------------------------------------
+
+
+class TestBufferPoolUnderIndexWorkloads:
+    def test_interleaved_pinned_heap_and_index_pages(self, tmp_path):
+        """Pins on heap and index files interleave in one pool: eviction
+        only ever claims unpinned buffers, and the peak counts both files."""
+        files = FileManager(str(tmp_path), block_size=256)
+        for name in ("heap.tbl", "index.btx"):
+            for _ in range(6):
+                files.append(name, Page(files.block_size))
+        pool = BufferManager(files, pool_size=4)
+        pinned = [
+            pool.pin(BlockId("heap.tbl", 0)),
+            pool.pin(BlockId("index.btx", 0)),
+            pool.pin(BlockId("heap.tbl", 1)),
+        ]
+        assert pool.pinned_count == 3
+        # The single free buffer cycles through the remaining blocks.
+        for number in range(2, 6):
+            buffer = pool.pin(BlockId("index.btx", number))
+            pool.unpin(buffer)
+        stats = pool.stats()
+        assert stats.pinned_peak >= 3
+        assert stats.evictions >= 3
+        # Pinned blocks were never evicted: re-pinning them is a hit.
+        hits_before = pool.hits
+        for buffer in pinned:
+            assert pool.pin(buffer.block) is buffer
+        assert pool.hits == hits_before + 3
+
+    def test_pool_exhaustion_raises_when_all_pinned(self, tmp_path):
+        files = FileManager(str(tmp_path), block_size=256)
+        for _ in range(4):
+            files.append("heap.tbl", Page(files.block_size))
+        pool = BufferManager(files, pool_size=2)
+        pool.pin(BlockId("heap.tbl", 0))
+        pool.pin(BlockId("heap.tbl", 1))
+        with pytest.raises(StorageError):
+            pool.pin(BlockId("heap.tbl", 2))
+
+    def test_index_probes_leave_no_pins_behind(self, tmp_path):
+        """A search must unpin everything it touched, even through a pool
+        far smaller than the index, so later queries never starve."""
+        engine = StorageEngine(str(tmp_path), pool_size=8)
+        schema = Schema((Column("Id", INTEGER), Column("Price", FLOAT)))
+        storage = engine.create_table("Quotes", schema)
+        for index in range(2000):
+            storage.append((index, float(index)))
+        handle = engine.create_index("quotes_id_idx", "Quotes", "Id")
+        assert engine.buffers.pinned_count == 0
+        before = engine.buffer_stats()
+        for key in (0, 999, 1999, -5):
+            expected = 1 if 0 <= key < 2000 else 0
+            assert len(handle.search_eq(key)) == expected
+        assert list(handle.search_range(10, 20)) != []
+        after = engine.buffer_stats().delta(before)
+        assert after.accesses > 0
+        assert engine.buffers.pinned_count == 0
+        engine.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: crash safety — reopen revalidates and rebuilds indexes
+# ---------------------------------------------------------------------------
+
+
+class TestCrashSafetyReopen:
+    @staticmethod
+    def _build(directory: str) -> str:
+        engine = StorageEngine(directory)
+        schema = Schema((Column("Id", INTEGER), Column("Price", FLOAT)))
+        storage = engine.create_table("Quotes", schema)
+        for index in range(800):
+            storage.append((index, float(index)))
+        definition = engine.create_index("quotes_id_idx", "Quotes", "Id").definition
+        engine.close()
+        return os.path.join(directory, definition.file_name)
+
+    def _assert_rebuilt(self, directory: str) -> None:
+        reopened = StorageEngine(directory)
+        handle = reopened.index_handle("quotes_id_idx")
+        assert handle.entry_count == 800
+        assert handle.search_eq(123) != []
+        assert handle.search_eq(799) != []
+        reopened.close()
+
+    def test_truncated_index_file_is_rebuilt(self, tmp_path):
+        index_file = self._build(str(tmp_path))
+        with open(index_file, "r+b") as handle:
+            handle.truncate(0)
+        self._assert_rebuilt(str(tmp_path))
+
+    def test_corrupted_meta_page_is_rebuilt(self, tmp_path):
+        index_file = self._build(str(tmp_path))
+        with open(index_file, "r+b") as handle:
+            handle.write(b"\xff" * 64)  # clobber the magic + meta fields
+        self._assert_rebuilt(str(tmp_path))
+
+    def test_missing_index_file_is_rebuilt(self, tmp_path):
+        index_file = self._build(str(tmp_path))
+        os.remove(index_file)
+        self._assert_rebuilt(str(tmp_path))
+
+    def test_reopened_database_answers_through_rebuilt_index(
+        self, quotes_indexed_dir, tmp_path
+    ):
+        db = open_copy(quotes_indexed_dir, tmp_path)
+        directory = db.storage.directory
+        expected = db.execute(SELECTIVE_SQL, optimize=True, deliver_results=True)
+        db.close()
+        index_file = os.path.join(directory, "quotes.quotes_price_idx.btx")
+        with open(index_file, "r+b") as handle:
+            handle.truncate(0)
+
+        reopened = Database(network=NETWORK, storage_dir=directory, cost_settings=COST)
+        result = reopened.execute(SELECTIVE_SQL, optimize=True, deliver_results=True)
+        assert result.metrics.index_lookups > 0
+        assert result.row_set() == expected.row_set()
+        reopened.close()

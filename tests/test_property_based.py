@@ -253,6 +253,7 @@ def single_site_reference(workload: SyntheticWorkload):
     overlap_window=st.sampled_from([None, 1, 4]),
     typed_buffers=st.booleans(),
     paged_storage=st.booleans(),
+    indexes=st.booleans(),
 )
 @settings(max_examples=80, deadline=None)
 def test_every_execution_mode_matches_single_site(
@@ -269,6 +270,7 @@ def test_every_execution_mode_matches_single_site(
     overlap_window,
     typed_buffers,
     paged_storage,
+    indexes,
 ):
     """Strategy x batch x adaptive batching x switching x re-optimization x
     overlap window — every combination returns the exact single-site result
@@ -287,7 +289,9 @@ def test_every_execution_mode_matches_single_site(
     kernels) disabled, so the typed and fully-scalar data planes face the
     same combinatorial sweep.  ``paged_storage`` feeds the execution from a
     slotted-page heap file behind a buffer pool instead of the in-memory
-    rows, so the durable storage data path faces it too.
+    rows, so the durable storage data path faces it too; ``indexes``
+    additionally maintains a hash index on the argument column through every
+    insert — an indexed table must return the identical result multiset.
     """
     workload = SyntheticWorkload(
         row_count=row_count,
@@ -328,7 +332,9 @@ def test_every_execution_mode_matches_single_site(
         if not paged_storage:
             return run_workload_point(workload, FAST, config)
         with tempfile.TemporaryDirectory() as directory:
-            return run_workload_point(workload, FAST, config, storage_dir=directory)
+            return run_workload_point(
+                workload, FAST, config, storage_dir=directory, indexes=indexes
+            )
 
     if typed_buffers:
         point = run_point()
